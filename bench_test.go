@@ -1,0 +1,269 @@
+package heartshield
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment and reports
+// its headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the reproduction series next to the timing. Full paper-scale
+// trial counts are used by cmd/shieldsim; the benchmarks run the quick
+// configuration so the whole suite finishes in minutes.
+
+import (
+	"testing"
+
+	"heartshield/internal/experiments"
+)
+
+func benchCfg(i int) experiments.Config {
+	return experiments.Config{Seed: int64(1000 + i), Quick: true}
+}
+
+// BenchmarkFig3ResponseTiming regenerates Fig. 3 (fixed response window,
+// no carrier sensing).
+func BenchmarkFig3ResponseTiming(b *testing.B) {
+	var last experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig3(benchCfg(i))
+	}
+	b.ReportMetric(minF(last.DelaysIdleMs), "minDelay_ms")
+	b.ReportMetric(maxF(last.DelaysIdleMs), "maxDelay_ms")
+}
+
+// BenchmarkFig4FSKProfile regenerates Fig. 4 (FSK power profile).
+func BenchmarkFig4FSKProfile(b *testing.B) {
+	var last experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig4(benchCfg(i))
+	}
+	b.ReportMetric(last.ToneBandFraction, "toneBandFrac")
+}
+
+// BenchmarkFig5JammingProfile regenerates Fig. 5 (shaped vs constant
+// jamming profile, with the per-watt BER ablation).
+func BenchmarkFig5JammingProfile(b *testing.B) {
+	var last experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig5(benchCfg(i))
+	}
+	b.ReportMetric(last.ToneBandGainDB, "shapedGain_dB")
+	b.ReportMetric(last.BERShaped, "BERshaped")
+	b.ReportMetric(last.BERFlat, "BERflat")
+}
+
+// BenchmarkFig7AntennaCancellation regenerates Fig. 7 (cancellation CDF).
+func BenchmarkFig7AntennaCancellation(b *testing.B) {
+	var last experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig7(benchCfg(i))
+	}
+	b.ReportMetric(last.MeanDB, "meanCancel_dB")
+	b.ReportMetric(last.StdDB, "stdCancel_dB")
+}
+
+// BenchmarkFig8Tradeoff regenerates Fig. 8 (eavesdropper BER and shield
+// PER versus relative jamming power).
+func BenchmarkFig8Tradeoff(b *testing.B) {
+	var last experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig8(benchCfg(i))
+	}
+	op := last.OperatingPoint()
+	b.ReportMetric(op.EavesBER, "BER_at20dB")
+	b.ReportMetric(op.ShieldPER, "PER_at20dB")
+}
+
+// BenchmarkFig9EavesdropperBER regenerates Fig. 9 and Fig. 10 (per-
+// location eavesdropper BER CDF and shield loss CDF).
+func BenchmarkFig9EavesdropperBER(b *testing.B) {
+	var last experiments.Fig9_10Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig9And10(experiments.Config{Seed: int64(1000 + i), Trials: 4})
+	}
+	b.ReportMetric(last.MinLocationBER(), "minLocBER")
+	b.ReportMetric(last.MeanLoss, "shieldLoss")
+}
+
+// BenchmarkFig10ShieldLoss is the Fig. 10 alias (measured jointly with
+// Fig. 9, as in the paper).
+func BenchmarkFig10ShieldLoss(b *testing.B) {
+	var last experiments.Fig9_10Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig9And10(experiments.Config{Seed: int64(2000 + i), Trials: 4})
+	}
+	b.ReportMetric(last.MeanLoss, "meanLoss")
+}
+
+// BenchmarkFig11TriggerAttack regenerates Fig. 11 (battery-depletion
+// replay success by location, shield off/on).
+func BenchmarkFig11TriggerAttack(b *testing.B) {
+	var last experiments.AttackResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig11(experiments.Config{Seed: int64(1000 + i), Trials: 6})
+	}
+	b.ReportMetric(float64(last.OffKneeLocation()), "offKneeLoc")
+	b.ReportMetric(last.MaxOnSuccess(), "maxOnSuccess")
+}
+
+// BenchmarkFig12TherapyAttack regenerates Fig. 12 (therapy-change replay
+// success by location, shield off/on).
+func BenchmarkFig12TherapyAttack(b *testing.B) {
+	var last experiments.AttackResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig12(experiments.Config{Seed: int64(1000 + i), Trials: 6})
+	}
+	b.ReportMetric(float64(last.OffKneeLocation()), "offKneeLoc")
+	b.ReportMetric(last.MaxOnSuccess(), "maxOnSuccess")
+}
+
+// BenchmarkFig13HighPower regenerates Fig. 13 (100× adversary: range
+// contraction and alarms).
+func BenchmarkFig13HighPower(b *testing.B) {
+	var last experiments.AttackResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig13(experiments.Config{Seed: int64(1000 + i), Trials: 6})
+	}
+	b.ReportMetric(float64(last.OffKneeLocation()), "offKneeLoc")
+	b.ReportMetric(last.MaxOnSuccess(), "maxOnSuccess")
+}
+
+// BenchmarkTable1Pthresh regenerates Table 1 (adversary RSSI that elicits
+// responses despite jamming).
+func BenchmarkTable1Pthresh(b *testing.B) {
+	var last experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Table1(experiments.Config{Seed: int64(1000 + i), Trials: 4})
+	}
+	b.ReportMetric(last.MinDBm, "minRSSI_dBm")
+	b.ReportMetric(last.AvgDBm, "avgRSSI_dBm")
+}
+
+// BenchmarkTable2Coexistence regenerates Table 2 (cross-traffic safety
+// and turn-around time).
+func BenchmarkTable2Coexistence(b *testing.B) {
+	var last experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Table2(benchCfg(i))
+	}
+	b.ReportMetric(float64(last.CrossJammed), "crossJammed")
+	b.ReportMetric(last.TurnaroundMeanUs, "turnaround_us")
+}
+
+// BenchmarkAblationAntidote regenerates the antidote on/off ablation.
+func BenchmarkAblationAntidote(b *testing.B) {
+	var last experiments.AblationAntidoteResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.AblationAntidote(benchCfg(i))
+	}
+	b.ReportMetric(float64(last.DecodedWith)/float64(last.Trials), "decodeWith")
+	b.ReportMetric(float64(last.DecodedWithout)/float64(last.Trials), "decodeWithout")
+}
+
+// BenchmarkAblationDigitalCancel regenerates the digital-cancellation
+// ablation at +30 dB jamming.
+func BenchmarkAblationDigitalCancel(b *testing.B) {
+	var last experiments.AblationDigitalResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.AblationDigitalCancel(benchCfg(i))
+	}
+	b.ReportMetric(float64(last.LostPlain), "lostPlain")
+	b.ReportMetric(float64(last.LostDigital), "lostDigital")
+}
+
+// BenchmarkAblationBThresh regenerates the Sid threshold sweep.
+func BenchmarkAblationBThresh(b *testing.B) {
+	var last experiments.AblationBThreshResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.AblationBThresh(benchCfg(i))
+	}
+	for _, p := range last.Points {
+		if p.BThresh == 4 {
+			b.ReportMetric(p.MissRate, "missAt4")
+			b.ReportMetric(p.FalseJams, "falseAt4")
+		}
+	}
+}
+
+// BenchmarkBattery regenerates the §7(e) energy analysis.
+func BenchmarkBattery(b *testing.B) {
+	var last experiments.BatteryResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.Battery(benchCfg(i))
+	}
+	b.ReportMetric(last.ContinuousJamHours, "contJam_h")
+	b.ReportMetric(last.IdleDays, "idle_days")
+}
+
+// BenchmarkOFDMExtension regenerates the §5 wideband-antidote comparison.
+func BenchmarkOFDMExtension(b *testing.B) {
+	var last experiments.OFDMExtensionResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.OFDMExtension(benchCfg(i))
+	}
+	b.ReportMetric(meanF(last.MultiNarrowbandDB), "narrow_dB")
+	b.ReportMetric(meanF(last.MultiOFDMDB), "ofdm_dB")
+}
+
+// BenchmarkMIMOExtension regenerates the §3.2 MIMO-eavesdropper sweep.
+func BenchmarkMIMOExtension(b *testing.B) {
+	var last experiments.MIMOExtensionResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.MIMOExtension(benchCfg(i))
+	}
+	b.ReportMetric(last.Points[0].BER, "BERat2cm")
+	b.ReportMetric(last.Points[len(last.Points)-1].BER, "BERatLambda")
+}
+
+// BenchmarkProtectedExchange measures the cost of one full shield-proxied
+// exchange on the public API (not a paper figure; a throughput baseline).
+// Occasional decode failures are the system's documented ~0.2% packet
+// loss (Fig. 10), so they are counted rather than treated as errors.
+func BenchmarkProtectedExchange(b *testing.B) {
+	sim := NewSimulation(SimOptions{Seed: 9})
+	lost := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ProtectedExchange(Interrogate); err != nil {
+			lost++
+		}
+	}
+	b.ReportMetric(float64(lost)/float64(b.N), "lossRate")
+}
+
+func minF(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v[0]
+	for _, x := range v {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxF(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v[0]
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func meanF(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

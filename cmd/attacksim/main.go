@@ -1,0 +1,83 @@
+// Command attacksim runs interactive attack scenarios against the
+// simulated IMD and prints an outcome trace: the tool answers "what
+// happens if an adversary at location L replays command C with/without
+// the shield".
+//
+// Usage:
+//
+//	attacksim -location 1 -command therapy
+//	attacksim -location 8 -command interrogate -power high -trials 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heartshield"
+)
+
+func main() {
+	var (
+		location = flag.Int("location", 1, "adversary location 1..18 (Fig. 6)")
+		command  = flag.String("command", "therapy", "command: interrogate | therapy")
+		power    = flag.String("power", "fcc", "adversary power: fcc | high (100x)")
+		trials   = flag.Int("trials", 10, "attempts per arm")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		trace    = flag.Bool("trace", false, "print an air-interface timeline of one shielded attempt")
+	)
+	flag.Parse()
+
+	kind := heartshield.SetTherapy
+	if *command == "interrogate" {
+		kind = heartshield.Interrogate
+	} else if *command != "therapy" {
+		fmt.Fprintln(os.Stderr, "unknown command:", *command)
+		os.Exit(2)
+	}
+
+	sim := heartshield.NewSimulation(heartshield.SimOptions{
+		Seed:               *seed,
+		Location:           *location,
+		HighPowerAdversary: *power == "high",
+	})
+
+	fmt.Printf("target: %s\n", sim.IMDName())
+	fmt.Printf("adversary: %s power, at %s\n", *power, sim.Location())
+	fmt.Printf("command: %s, %d attempts per arm\n\n", *command, *trials)
+
+	for _, shieldOn := range []bool{false, true} {
+		succ, jams, alarms := 0, 0, 0
+		for i := 0; i < *trials; i++ {
+			rep := sim.Attack(kind, shieldOn)
+			ok := rep.IMDResponded
+			if kind == heartshield.SetTherapy {
+				ok = rep.TherapyChanged
+			}
+			if ok {
+				succ++
+			}
+			if rep.ShieldJammed {
+				jams++
+			}
+			if rep.Alarmed {
+				alarms++
+			}
+		}
+		state := "ABSENT"
+		if shieldOn {
+			state = "PRESENT"
+		}
+		fmt.Printf("shield %-8s attack succeeded %2d/%d", state, succ, *trials)
+		if shieldOn {
+			fmt.Printf("   jammed %2d/%d   alarms %2d/%d", jams, *trials, alarms, *trials)
+		}
+		fmt.Println()
+	}
+
+	if *trace {
+		fmt.Println("\nair-interface trace of one shielded attempt:")
+		_, timeline := sim.AttackTrace(kind, true)
+		fmt.Print(timeline)
+	}
+}

@@ -1,0 +1,83 @@
+// Command micscan renders the spectral views of the paper's Fig. 4 and
+// Fig. 5: the IMD's FSK power profile and the shield's shaped/flat
+// jamming profiles, as an ASCII plot or CSV.
+//
+// Usage:
+//
+//	micscan                  # ASCII plot of all three profiles
+//	micscan -csv > psd.csv   # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"heartshield"
+)
+
+func main() {
+	var (
+		csv  = flag.Bool("csv", false, "emit CSV instead of an ASCII plot")
+		seed = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	res, err := heartshield.RunExperiment("fig5", heartshield.ExperimentConfig{Seed: *seed, Quick: true})
+	if err != nil {
+		panic(err)
+	}
+	fig5 := res.Render()
+
+	if *csv {
+		// The Render output is row-oriented already; re-emit as CSV.
+		for _, line := range strings.Split(fig5, "\n") {
+			fields := strings.Fields(line)
+			if len(fields) == 4 && isNumeric(fields[0]) {
+				fmt.Printf("%s,%s,%s,%s\n", fields[0], fields[1], fields[2], fields[3])
+			}
+		}
+		return
+	}
+
+	fmt.Print(fig5)
+	fmt.Println()
+	fmt.Println("ASCII view (each row one frequency bin; # = IMD, * = shaped jam):")
+	plotRows(fig5)
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && c != '-' && c != '.' && c != '+' {
+			return false
+		}
+	}
+	return true
+}
+
+// plotRows renders a crude two-series bar chart from the Fig. 5 rows.
+func plotRows(rendered string) {
+	for _, line := range strings.Split(rendered, "\n") {
+		f := strings.Fields(line)
+		if len(f) != 4 || !isNumeric(f[0]) {
+			continue
+		}
+		var freq, imd, shaped float64
+		fmt.Sscanf(f[0], "%f", &freq)
+		fmt.Sscanf(f[1], "%f", &imd)
+		fmt.Sscanf(f[2], "%f", &shaped)
+		fmt.Printf("%8.0f kHz |%-30s|%-30s\n", freq, bar(imd, '#'), bar(shaped, '*'))
+	}
+}
+
+// bar maps a dBr value in [-60, 0] to a bar of up to 30 chars.
+func bar(dbr float64, c byte) string {
+	if dbr < -60 {
+		dbr = -60
+	}
+	n := int((dbr + 60) / 2)
+	return strings.Repeat(string(c), n)
+}

@@ -1,0 +1,68 @@
+// Command shieldsim regenerates the paper's tables and figures on the
+// simulated testbed and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	shieldsim -list
+//	shieldsim -run fig7
+//	shieldsim -run all -quick
+//	shieldsim -run fig11 -trials 100 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"heartshield"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		run    = flag.String("run", "", "experiment name, or 'all'")
+		seed   = flag.Int64("seed", 1, "deterministic seed")
+		trials = flag.Int("trials", 0, "per-point trials (0 = experiment default)")
+		quick  = flag.Bool("quick", false, "reduced trial counts")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments (use -run <name> or -run all):")
+		for _, e := range heartshield.Experiments() {
+			fmt.Printf("  %-18s %s\n", e.Name, e.Title)
+		}
+		if *run == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := heartshield.ExperimentConfig{Seed: *seed, Trials: *trials, Quick: *quick}
+	names := []string{*run}
+	if *run == "all" {
+		names = names[:0]
+		seen := map[string]bool{}
+		for _, e := range heartshield.Experiments() {
+			if e.Name == "fig10" { // measured jointly with fig9
+				continue
+			}
+			if !seen[e.Name] {
+				names = append(names, e.Name)
+				seen[e.Name] = true
+			}
+		}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		res, err := heartshield.RunExperiment(name, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,56 @@
+// Active-attack demo: an adversary replays recorded programmer commands
+// at the IMD — first with a commercial-programmer power budget, then with
+// 100× custom hardware — with the shield absent and present. Reproduces
+// the story of Fig. 11–13: the shield blanks FCC-power attacks outright,
+// and for overpowered attackers it shrinks the usable range and raises an
+// alarm.
+package main
+
+import (
+	"fmt"
+
+	"heartshield"
+)
+
+func run(loc int, high bool) {
+	sim := heartshield.NewSimulation(heartshield.SimOptions{
+		Seed: 11, Location: loc, HighPowerAdversary: high,
+	})
+	power := "FCC-limit"
+	if high {
+		power = "100x    "
+	}
+	const trials = 10
+	offOK, onOK, alarms := 0, 0, 0
+	for i := 0; i < trials; i++ {
+		if sim.Attack(heartshield.SetTherapy, false).TherapyChanged {
+			offOK++
+		}
+		rep := sim.Attack(heartshield.SetTherapy, true)
+		if rep.TherapyChanged {
+			onOK++
+		}
+		if rep.Alarmed {
+			alarms++
+		}
+	}
+	fmt.Printf("%-20s %-10s off:%2d/%d  on:%2d/%d  alarms:%2d/%d\n",
+		sim.Location(), power, offOK, trials, onOK, trials, alarms, trials)
+}
+
+func main() {
+	fmt.Println("therapy-modification attack outcomes (off = shield absent)")
+	fmt.Println()
+	fmt.Println("-- commercial programmer (FCC power) --")
+	for _, loc := range []int{1, 4, 8, 11} {
+		run(loc, false)
+	}
+	fmt.Println()
+	fmt.Println("-- custom hardware (100x power) --")
+	for _, loc := range []int{1, 4, 8, 13} {
+		run(loc, true)
+	}
+	fmt.Println()
+	fmt.Println("with the shield on, FCC-power attacks fail everywhere; the 100x")
+	fmt.Println("attacker only wins within arm's reach — and trips the alarm.")
+}

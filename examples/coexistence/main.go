@@ -1,0 +1,25 @@
+// Coexistence demo: the shield shares the MICS band with its primary
+// users. Meteorological (radiosonde) cross-traffic is never jammed, while
+// every packet addressed to the protected IMD is — and the shield backs
+// off within a fraction of a millisecond of the adversary stopping.
+// Reproduces Table 2, plus the Fig. 3 protocol-timing observation the
+// passive defense is built on.
+package main
+
+import (
+	"fmt"
+
+	"heartshield"
+)
+
+func main() {
+	for _, name := range []string{"fig3", "table2"} {
+		res, err := heartshield.RunExperiment(name, heartshield.ExperimentConfig{Seed: 3, Quick: true})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Print(res.Render())
+		fmt.Println()
+	}
+	fmt.Println("the shield jams only what threatens its IMD, exactly when it must.")
+}

@@ -1,0 +1,37 @@
+// Quickstart: bring up the simulated testbed, run one shield-protected
+// exchange with the implanted device, and show that the programmer gets
+// the data while a 20 cm eavesdropper gets noise.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heartshield"
+)
+
+func main() {
+	// One call wires the whole testbed: medium, IMD in its phantom, the
+	// shield worn over it, programmer, adversary, and eavesdropper.
+	sim := heartshield.NewSimulation(heartshield.SimOptions{Seed: 42})
+
+	fmt.Printf("protected device : %s\n", sim.IMDName())
+	fmt.Printf("eavesdropper at  : %s\n\n", sim.Location())
+
+	// The programmer (via the shield proxy) interrogates the IMD. The
+	// shield jams the response on the air and decodes it through its own
+	// jamming using the antidote.
+	rep, err := sim.ProtectedExchange(heartshield.Interrogate)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("shield decoded   : %s (%d bytes)\n", rep.ResponseCommand, len(rep.Response))
+	fmt.Printf("record prefix    : %q\n", rep.Response[:18])
+	fmt.Printf("antidote cancel  : %.1f dB\n", rep.CancellationDB)
+	fmt.Printf("eavesdropper BER : %.2f (0.5 = pure guessing)\n", rep.EavesdropperBER)
+
+	if rep.EavesdropperBER > 0.4 {
+		fmt.Println("\nthe shield and the IMD share a channel nobody else can read ✓")
+	}
+}

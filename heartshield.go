@@ -1,0 +1,256 @@
+// Package heartshield is a Go reproduction of "They Can Hear Your
+// Heartbeats: Non-Invasive Security for Implantable Medical Devices"
+// (Gollakota, Hassanieh, Ransford, Katabi, Fu — SIGCOMM 2011).
+//
+// The library simulates, at IQ-sample level, a MICS-band testbed with an
+// implanted medical device (IMD), the paper's contribution — the shield, a
+// wearable full-duplex jammer-cum-receiver — an authorized programmer, and
+// the passive/active adversaries of the threat model. The public API
+// exposes scenario construction, the protected command/response exchange,
+// attack trials, and runners for every table and figure of the paper's
+// evaluation.
+//
+// Quick start:
+//
+//	sim := heartshield.NewSimulation(heartshield.SimOptions{Seed: 1})
+//	rep, err := sim.ProtectedExchange(heartshield.Interrogate)
+//	// rep.Response holds the IMD's data; rep.EavesdropperBER ≈ 0.5
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package heartshield
+
+import (
+	"fmt"
+
+	"heartshield/internal/adversary"
+	"heartshield/internal/airlog"
+	"heartshield/internal/channel"
+	"heartshield/internal/imd"
+	"heartshield/internal/mics"
+	"heartshield/internal/phy"
+	"heartshield/internal/shieldcore"
+	"heartshield/internal/testbed"
+)
+
+// CommandKind selects the command a session or attack issues.
+type CommandKind int
+
+const (
+	// Interrogate asks the IMD to transmit its stored private data.
+	Interrogate CommandKind = iota
+	// SetTherapy modifies the IMD's therapy parameters.
+	SetTherapy
+)
+
+// SimOptions configures a simulation testbed.
+type SimOptions struct {
+	// Seed makes the run reproducible; equal seeds give equal runs.
+	Seed int64
+	// Location (1-based, 1..18) places the adversary and eavesdropper at
+	// one of the Fig. 6 testbed positions. Default 1 (20 cm).
+	Location int
+	// HighPowerAdversary gives the active adversary 100× the shield's
+	// transmit power (the Fig. 13 threat).
+	HighPowerAdversary bool
+	// FlatJam switches the shield to the constant-profile jamming of
+	// Fig. 5 instead of the default FSK-shaped profile.
+	FlatJam bool
+	// DigitalCancel enables the shield's digital residual cancellation
+	// stage in addition to the antenna-level antidote.
+	DigitalCancel bool
+	// Concerto protects the Concerto CRT profile instead of the default
+	// Virtuoso ICD.
+	Concerto bool
+}
+
+// Simulation is a fully wired testbed: medium, IMD, shield, programmer,
+// adversary, eavesdropper, and observer.
+type Simulation struct {
+	sc    *testbed.Scenario
+	eaves *adversary.Eavesdropper
+	adv   *adversary.Active
+}
+
+// NewSimulation builds the testbed and calibrates the shield (channel
+// estimation and IMD power measurement).
+func NewSimulation(opt SimOptions) *Simulation {
+	tOpt := testbed.Options{
+		Seed:     opt.Seed,
+		Location: opt.Location,
+	}
+	if opt.HighPowerAdversary {
+		tOpt.AdversaryPowerDBm = testbed.HighPowerAdvDBm
+	}
+	if opt.FlatJam {
+		tOpt.Shape = shieldcore.FlatJam
+	}
+	if opt.DigitalCancel {
+		tOpt.DigitalCancel = true
+	}
+	if opt.Concerto {
+		tOpt.Profile = imd.ConcertoCRT
+	}
+	sc := testbed.NewScenario(tOpt)
+	sc.CalibrateShieldRSSI()
+	cfo := testbed.IMDCFOHz
+	return &Simulation{
+		sc: sc,
+		eaves: &adversary.Eavesdropper{
+			Antenna: testbed.AntEavesdropper,
+			Medium:  sc.Medium,
+			RX:      sc.EavesRX,
+			Modem:   sc.FSK,
+			CFOHint: &cfo,
+		},
+		adv: &adversary.Active{
+			Antenna: testbed.AntAdversary,
+			Medium:  sc.Medium,
+			TX:      sc.AdvTX,
+			RX:      sc.AdvRX,
+			Modem:   sc.FSK,
+		},
+	}
+}
+
+// Location returns the adversary/eavesdropper placement in use.
+func (s *Simulation) Location() string { return s.sc.Location.String() }
+
+// IMDName returns the protected device's model name.
+func (s *Simulation) IMDName() string { return s.sc.IMD.Profile.Name }
+
+// Therapy returns the IMD's current therapy parameters (pacing rate BPM,
+// shock energy J, therapy-enabled flag).
+func (s *Simulation) Therapy() (rate, shock, enabled byte) {
+	th := s.sc.IMD.Therapy()
+	return th.PacingRateBPM, th.ShockEnergyJ, th.TherapyEnabled
+}
+
+func (s *Simulation) command(kind CommandKind) *phy.Frame {
+	if kind == SetTherapy {
+		return s.sc.SetTherapyFrame(200)
+	}
+	return s.sc.InterrogateFrame()
+}
+
+// ExchangeReport describes one protected (shield-proxied) exchange.
+type ExchangeReport struct {
+	// Response is the payload the IMD returned through the shield, nil if
+	// the exchange failed.
+	Response []byte
+	// ResponseCommand names the response type.
+	ResponseCommand string
+	// EavesdropperBER is the bit error rate an optimal eavesdropper
+	// achieved against the jammed response (≈0.5 when protected).
+	EavesdropperBER float64
+	// CancellationDB is the antidote cancellation measured this exchange.
+	CancellationDB float64
+}
+
+// ProtectedExchange runs one full shield-proxied exchange: the shield
+// transmits the command, jams the IMD's response window, decodes the
+// response through its own jamming, and the eavesdropper attempts the
+// same.
+func (s *Simulation) ProtectedExchange(kind CommandKind) (ExchangeReport, error) {
+	var rep ExchangeReport
+	sc := s.sc
+	sc.NewTrial()
+	sc.PrepareShield()
+	rep.CancellationDB = sc.Shield.CancellationDB(4096)
+
+	pending, err := sc.Shield.PlaceCommand(s.command(kind), 0)
+	if err != nil {
+		return rep, err
+	}
+	re := sc.IMD.ProcessWindow(0, 12000)
+	if !re.Responded {
+		return rep, fmt.Errorf("heartshield: IMD did not respond")
+	}
+	res := pending.Collect()
+	if res.Response == nil {
+		return rep, fmt.Errorf("heartshield: shield failed to decode the response")
+	}
+	rep.Response = res.Response.Payload
+	rep.ResponseCommand = res.Response.Command.String()
+	truth := re.Response.MarshalBits()
+	rep.EavesdropperBER = s.eaves.InterceptBER(sc.Channel(), re.ResponseBurst.Start, truth)
+	return rep, nil
+}
+
+// AttackReport describes one unauthorized-command attempt.
+type AttackReport struct {
+	// ShieldOn records whether the shield was active.
+	ShieldOn bool
+	// IMDResponded reports that the command elicited an IMD transmission.
+	IMDResponded bool
+	// TherapyChanged reports that a therapy-modification took effect.
+	TherapyChanged bool
+	// ShieldJammed reports that the shield jammed the command.
+	ShieldJammed bool
+	// Alarmed reports that the shield raised the high-power alarm.
+	Alarmed bool
+	// AdversaryRSSIDBm is the attack's power measured at the shield.
+	AdversaryRSSIDBm float64
+}
+
+// Attack replays an unauthorized command from the configured adversary
+// location, with the shield active or not, and reports the outcome.
+func (s *Simulation) Attack(kind CommandKind, shieldOn bool) AttackReport {
+	sc := s.sc
+	rep := AttackReport{ShieldOn: shieldOn}
+	sc.NewTrial()
+	alarmsBefore := len(sc.Shield.Alarms())
+	if shieldOn {
+		sc.PrepareShield()
+	}
+	b := s.adv.Replay(sc.Channel(), 1000, s.command(kind))
+	window := int(b.End()) + 2500
+	if shieldOn {
+		dr := sc.Shield.DefendWindow(0, window)
+		rep.ShieldJammed = dr.Jammed
+		rep.AdversaryRSSIDBm = dr.RSSIDBm
+		rep.Alarmed = len(sc.Shield.Alarms()) > alarmsBefore
+	}
+	re := sc.IMD.ProcessWindow(0, window)
+	rep.IMDResponded = re.Responded
+	rep.TherapyChanged = re.TherapyChanged
+	return rep
+}
+
+// CancellationDB measures the antidote's jamming cancellation at the
+// shield's receive antenna over one fresh estimate/drift cycle (the Fig. 7
+// micro-benchmark).
+func (s *Simulation) CancellationDB() float64 {
+	s.sc.NewTrial()
+	s.sc.PrepareShield()
+	return s.sc.Shield.CancellationDB(8192)
+}
+
+// AttackTrace runs one attack like Attack and additionally returns a
+// pcap-style timeline of every transmission that hit the air during the
+// trial — the adversary's command, the shield's jam segments and
+// antidote, and any IMD response.
+func (s *Simulation) AttackTrace(kind CommandKind, shieldOn bool) (AttackReport, string) {
+	rep := s.Attack(kind, shieldOn)
+	log := airlog.New(s.sc.FSK, s.sc.FSK.Config().SampleRate, airlog.Names{
+		testbed.AntIMD:        "imd",
+		testbed.AntShieldJam:  "shield-jam",
+		testbed.AntShieldRx:   "shield-rx",
+		testbed.AntProgrammer: "programmer",
+		testbed.AntAdversary:  "adversary",
+	})
+	log.RecordMedium(s.sc.Medium, mics.NumChannels, func(b *channel.Burst) (airlog.Kind, string) {
+		switch b.From {
+		case testbed.AntShieldJam:
+			return airlog.KindJam, ""
+		case testbed.AntShieldRx:
+			return airlog.KindAntidote, ""
+		case testbed.AntIMD:
+			return airlog.KindResponse, ""
+		case testbed.AntAdversary:
+			return airlog.KindCommand, "unauthorized"
+		}
+		return airlog.KindUnknown, ""
+	})
+	return rep, log.Timeline()
+}

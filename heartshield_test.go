@@ -1,0 +1,157 @@
+package heartshield
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProtectedExchangeQuickstart(t *testing.T) {
+	sim := NewSimulation(SimOptions{Seed: 1})
+	rep, err := sim.ProtectedExchange(Interrogate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(rep.Response), "PATIENT:") {
+		t.Fatalf("response payload = %q", rep.Response)
+	}
+	if rep.EavesdropperBER < 0.4 || rep.EavesdropperBER > 0.6 {
+		t.Fatalf("eavesdropper BER = %g, want ≈ 0.5", rep.EavesdropperBER)
+	}
+	if rep.CancellationDB < 20 {
+		t.Fatalf("cancellation = %g dB, want ≈ 32", rep.CancellationDB)
+	}
+	if rep.ResponseCommand != "data-response" {
+		t.Fatalf("response command = %q", rep.ResponseCommand)
+	}
+}
+
+func TestAttackBlockedOnlyWithShield(t *testing.T) {
+	sim := NewSimulation(SimOptions{Seed: 2, Location: 1})
+	off := sim.Attack(SetTherapy, false)
+	if !off.TherapyChanged {
+		t.Fatal("attack should succeed with the shield off at 20 cm")
+	}
+	on := sim.Attack(SetTherapy, true)
+	if on.TherapyChanged || on.IMDResponded {
+		t.Fatalf("attack succeeded despite the shield: %+v", on)
+	}
+	if !on.ShieldJammed {
+		t.Fatal("shield did not jam")
+	}
+}
+
+func TestHighPowerAdversaryAlarms(t *testing.T) {
+	sim := NewSimulation(SimOptions{Seed: 3, Location: 1, HighPowerAdversary: true})
+	on := sim.Attack(SetTherapy, true)
+	if !on.Alarmed {
+		t.Fatalf("no alarm for the 100× adversary: %+v", on)
+	}
+}
+
+func TestTherapyAccessor(t *testing.T) {
+	sim := NewSimulation(SimOptions{Seed: 4})
+	rate, shock, enabled := sim.Therapy()
+	if rate != 60 || shock != 35 || enabled != 1 {
+		t.Fatalf("default therapy = %d/%d/%d", rate, shock, enabled)
+	}
+	if sim.IMDName() == "" || sim.Location() == "" {
+		t.Fatal("accessors empty")
+	}
+}
+
+func TestConcertoProfile(t *testing.T) {
+	sim := NewSimulation(SimOptions{Seed: 5, Concerto: true})
+	if !strings.Contains(sim.IMDName(), "Concerto") {
+		t.Fatalf("IMD = %q", sim.IMDName())
+	}
+	if _, err := sim.ProtectedExchange(Interrogate); err != nil {
+		t.Fatalf("Concerto exchange failed: %v", err)
+	}
+}
+
+func TestCancellationHelper(t *testing.T) {
+	sim := NewSimulation(SimOptions{Seed: 6})
+	if g := sim.CancellationDB(); g < 15 {
+		t.Fatalf("cancellation = %g dB", g)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range Experiments() {
+		names[e.Name] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", e.Name)
+		}
+	}
+	for _, want := range []string{
+		"fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "table1", "table2", "mimo",
+		"ablation-antidote", "ablation-digital", "ablation-bthresh",
+		"battery", "ofdm",
+	} {
+		if !names[want] {
+			t.Fatalf("experiment %q missing from the registry", want)
+		}
+	}
+}
+
+func TestRunExperimentByName(t *testing.T) {
+	res, err := RunExperiment("fig4", ExperimentConfig{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Render(), "Fig. 4") {
+		t.Fatal("render output unexpected")
+	}
+	if _, err := RunExperiment("nope", ExperimentConfig{}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestLightExperimentsRunThroughRegistry(t *testing.T) {
+	// Smoke-run every low-cost experiment through the public registry so
+	// the wiring (not just the internals) is exercised.
+	cfg := ExperimentConfig{Seed: 2, Trials: 3}
+	for _, name := range []string{
+		"fig3", "fig5", "fig7", "battery", "ofdm", "mimo",
+		"ablation-probe", "ablation-antidote", "table2",
+	} {
+		res, err := RunExperiment(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Render()) == 0 {
+			t.Fatalf("%s: empty render", name)
+		}
+	}
+}
+
+func TestAttackTraceTimeline(t *testing.T) {
+	sim := NewSimulation(SimOptions{Seed: 8, Location: 1})
+	rep, timeline := sim.AttackTrace(SetTherapy, true)
+	if rep.TherapyChanged {
+		t.Fatal("attack should fail")
+	}
+	for _, want := range []string{"adversary", "shield-jam", "jam", "unauthorized"} {
+		if !strings.Contains(timeline, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, timeline)
+		}
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	a := NewSimulation(SimOptions{Seed: 7})
+	b := NewSimulation(SimOptions{Seed: 7})
+	ra, err := a.ProtectedExchange(Interrogate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.ProtectedExchange(Interrogate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.EavesdropperBER != rb.EavesdropperBER || ra.CancellationDB != rb.CancellationDB {
+		t.Fatal("same seed must reproduce identical results")
+	}
+}

@@ -1,0 +1,93 @@
+package airlog_test
+
+import (
+	"strings"
+	"testing"
+
+	"heartshield/internal/airlog"
+	"heartshield/internal/channel"
+	"heartshield/internal/mics"
+	"heartshield/internal/modem"
+	"heartshield/internal/testbed"
+)
+
+func TestLogRecordsAndRendersExchange(t *testing.T) {
+	sc := testbed.NewScenario(testbed.Options{Seed: 1})
+	sc.CalibrateShieldRSSI()
+	names := airlog.Names{
+		testbed.AntIMD:        "imd",
+		testbed.AntShieldRx:   "shield-rx",
+		testbed.AntShieldJam:  "shield-jam",
+		testbed.AntProgrammer: "programmer",
+	}
+	log := airlog.New(sc.FSK, sc.FSK.Config().SampleRate, names)
+
+	sc.NewTrial()
+	sc.PrepareShield()
+	pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.IMD.ProcessWindow(0, 12000)
+	pending.Collect()
+
+	log.RecordMedium(sc.Medium, mics.NumChannels, func(b *channel.Burst) (airlog.Kind, string) {
+		switch b.From {
+		case testbed.AntShieldJam:
+			return airlog.KindJam, ""
+		case testbed.AntIMD:
+			return airlog.KindResponse, ""
+		case testbed.AntShieldRx:
+			if len(b.IQ) > 5000 {
+				return airlog.KindAntidote, ""
+			}
+			return airlog.KindCommand, "relayed"
+		}
+		return airlog.KindUnknown, ""
+	})
+
+	if log.Len() < 4 { // command + jam + antidote + response
+		t.Fatalf("recorded %d bursts, want ≥ 4", log.Len())
+	}
+	if log.CountKind(airlog.KindJam) == 0 {
+		t.Fatal("no jam recorded")
+	}
+	if log.CountKind(airlog.KindResponse) != 1 {
+		t.Fatalf("responses = %d", log.CountKind(airlog.KindResponse))
+	}
+
+	tl := log.Timeline()
+	for _, want := range []string{"shield-jam", "imd", "data-response", "jam"} {
+		if !strings.Contains(tl, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, tl)
+		}
+	}
+
+	// Entries are time-ordered.
+	entries := log.Entries()
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Start < entries[i-1].Start {
+			t.Fatal("entries not sorted by start")
+		}
+	}
+
+	log.Reset()
+	if log.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestLogDecodesCleanFrames(t *testing.T) {
+	fsk := modem.NewFSK(modem.DefaultFSK)
+	log := airlog.New(fsk, modem.DefaultFSK.SampleRate, nil)
+	sc := testbed.NewScenario(testbed.Options{Seed: 2})
+	iq := fsk.ModulateFrame(sc.InterrogateFrame())
+	log.Record(&channel.Burst{Channel: 0, Start: 100, IQ: iq, From: 42}, airlog.KindCommand, "test")
+	e := log.Entries()[0]
+	if e.Frame == nil || e.Frame.Command.String() != "interrogate" {
+		t.Fatalf("frame not annotated: %+v", e)
+	}
+	if !strings.Contains(log.Timeline(), "ant42") {
+		t.Fatal("default antenna naming missing")
+	}
+}

@@ -1,0 +1,246 @@
+// Package channel simulates the wireless medium of the testbed: complex
+// per-link gains derived from path-loss models with shadowing and slow
+// drift, and a burst-level superposition engine that hands every receiver
+// the linear combination of all transmissions overlapping its observation
+// window — the physical property (eq. 1–5 of the paper) that both the
+// antidote cancellation and the one-time-pad jamming argument rest on.
+package channel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"heartshield/internal/stats"
+)
+
+// AntennaID identifies one antenna in the medium. Devices with multiple
+// antennas (the shield) own several IDs.
+type AntennaID int
+
+// Link describes the statistical model of one antenna-to-antenna channel.
+type Link struct {
+	// LossDB is the mean path loss (positive dB).
+	LossDB float64
+	// ShadowSigmaDB is the per-epoch log-normal shadowing deviation.
+	ShadowSigmaDB float64
+	// DriftStd is the fractional complex-gain drift applied per Perturb
+	// call, modelling channel variation between the shield's channel
+	// estimate and its use of the antidote (this floor bounds the
+	// achievable cancellation G).
+	DriftStd float64
+}
+
+type pair struct{ a, b AntennaID }
+
+func canon(tx, rx AntennaID) pair {
+	if tx > rx {
+		tx, rx = rx, tx
+	}
+	return pair{tx, rx}
+}
+
+type linkState struct {
+	cfg     Link
+	epochDB float64    // loss including this epoch's shadowing
+	gain    complex128 // instantaneous complex gain
+}
+
+// Burst is one transmission on the medium: baseband IQ (already scaled by
+// the TX chain to sqrt-milliwatt amplitude) starting at an absolute sample
+// index on a given MICS channel.
+type Burst struct {
+	Channel int
+	Start   int64
+	IQ      []complex128
+	From    AntennaID
+}
+
+// End returns the first sample index after the burst.
+func (b *Burst) End() int64 { return b.Start + int64(len(b.IQ)) }
+
+// Medium is the shared wireless channel. It is not safe for concurrent
+// use; experiments drive it from a single goroutine.
+type Medium struct {
+	fs    float64
+	rng   *stats.RNG
+	links map[pair]*linkState
+	burst map[int][]*Burst
+}
+
+// NewMedium creates an empty medium at the given baseband sample rate.
+func NewMedium(fs float64, rng *stats.RNG) *Medium {
+	return &Medium{
+		fs:    fs,
+		rng:   rng,
+		links: make(map[pair]*linkState),
+		burst: make(map[int][]*Burst),
+	}
+}
+
+// SampleRate returns the medium's baseband sample rate.
+func (m *Medium) SampleRate() float64 { return m.fs }
+
+// SetLink installs (or replaces) the reciprocal channel between two
+// antennas. Use tx == rx for a self-loop (the wire between the transmit
+// and receive chains sharing one antenna, Hself in the paper).
+func (m *Medium) SetLink(a, b AntennaID, cfg Link) {
+	st := &linkState{cfg: cfg}
+	m.links[canon(a, b)] = st
+	m.refreshLink(st)
+}
+
+// HasLink reports whether a link between the antennas exists.
+func (m *Medium) HasLink(a, b AntennaID) bool {
+	_, ok := m.links[canon(a, b)]
+	return ok
+}
+
+// LinkConfig returns the installed configuration for a link.
+func (m *Medium) LinkConfig(a, b AntennaID) (Link, bool) {
+	st, ok := m.links[canon(a, b)]
+	if !ok {
+		return Link{}, false
+	}
+	return st.cfg, true
+}
+
+func (m *Medium) refreshLink(st *linkState) {
+	st.epochDB = st.cfg.LossDB + m.rng.Normal(0, st.cfg.ShadowSigmaDB)
+	amp := math.Sqrt(math.Pow(10, -st.epochDB/10))
+	st.gain = complex(amp, 0) * m.rng.UnitPhasor()
+}
+
+// NewEpoch redraws shadowing and carrier phases for every link. Call it at
+// the start of each independent trial.
+func (m *Medium) NewEpoch() {
+	// Deterministic iteration keeps runs reproducible for a given seed.
+	pairs := make([]pair, 0, len(m.links))
+	for p := range m.links {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	for _, p := range pairs {
+		m.refreshLink(m.links[p])
+	}
+}
+
+// Perturb applies one step of slow channel drift to every link: the
+// complex gain acquires a random component DriftStd times its magnitude.
+// The shield calls this between channel estimation and antidote use; it is
+// the physical source of the finite cancellation in Fig. 7.
+func (m *Medium) Perturb() {
+	pairs := make([]pair, 0, len(m.links))
+	for p := range m.links {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	for _, p := range pairs {
+		st := m.links[p]
+		if st.cfg.DriftStd <= 0 {
+			continue
+		}
+		mag := math.Hypot(real(st.gain), imag(st.gain))
+		st.gain += m.rng.ComplexNormal(st.cfg.DriftStd * st.cfg.DriftStd * mag * mag)
+	}
+}
+
+// Gain returns the current complex gain between two antennas, or 0 if no
+// link is installed (no coupling).
+func (m *Medium) Gain(tx, rx AntennaID) complex128 {
+	st, ok := m.links[canon(tx, rx)]
+	if !ok {
+		return 0
+	}
+	return st.gain
+}
+
+// PathLossDB returns the link's current loss (mean + this epoch's
+// shadowing) in dB, or +inf when no link exists.
+func (m *Medium) PathLossDB(tx, rx AntennaID) float64 {
+	st, ok := m.links[canon(tx, rx)]
+	if !ok {
+		return math.Inf(1)
+	}
+	return st.epochDB
+}
+
+// AddBurst places a transmission on the medium.
+func (m *Medium) AddBurst(b *Burst) {
+	if len(b.IQ) == 0 {
+		return
+	}
+	m.burst[b.Channel] = append(m.burst[b.Channel], b)
+}
+
+// Bursts returns all bursts on a MICS channel (shared slice; do not
+// modify).
+func (m *Medium) Bursts(ch int) []*Burst { return m.burst[ch] }
+
+// ClearBursts removes all transmissions (start of a new trial).
+func (m *Medium) ClearBursts() {
+	m.burst = make(map[int][]*Burst)
+}
+
+// Observe returns the noiseless superposition seen by antenna rx on MICS
+// channel ch over the window [start, start+n): every overlapping burst is
+// added with the current complex gain of its source link. Bursts whose
+// source has no link to rx contribute nothing. The caller passes the
+// result through an RXChain for noise and front-end effects.
+func (m *Medium) Observe(rx AntennaID, ch int, start int64, n int) []complex128 {
+	if n < 0 {
+		panic(fmt.Sprintf("channel: negative observation length %d", n))
+	}
+	out := make([]complex128, n)
+	for _, b := range m.burst[ch] {
+		g := m.Gain(b.From, rx)
+		if g == 0 {
+			continue
+		}
+		lo := max64(start, b.Start)
+		hi := min64(start+int64(n), b.End())
+		for t := lo; t < hi; t++ {
+			out[t-start] += g * b.IQ[t-b.Start]
+		}
+	}
+	return out
+}
+
+// BusyAt reports whether any burst overlaps the given sample on channel
+// ch, optionally excluding bursts from one antenna (a transmitter ignoring
+// its own signal).
+func (m *Medium) BusyAt(ch int, sample int64, exclude AntennaID) bool {
+	for _, b := range m.burst[ch] {
+		if b.From == exclude {
+			continue
+		}
+		if sample >= b.Start && sample < b.End() {
+			return true
+		}
+	}
+	return false
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

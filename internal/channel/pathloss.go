@@ -1,0 +1,47 @@
+package channel
+
+import "math"
+
+// SpeedOfLight in m/s.
+const SpeedOfLight = 299792458.0
+
+// MICSCenterHz is the nominal carrier used for path-loss calculations:
+// the middle of the 402–405 MHz MICS band.
+const MICSCenterHz = 403.5e6
+
+// FreeSpaceLossDB returns the free-space path loss in dB at distance d
+// meters and frequency f Hz (Friis).
+func FreeSpaceLossDB(dMeters, fHz float64) float64 {
+	if dMeters <= 0 {
+		return 0
+	}
+	return 20*math.Log10(dMeters) + 20*math.Log10(fHz) + 20*math.Log10(4*math.Pi/SpeedOfLight)
+}
+
+// LogDistanceLossDB returns an indoor log-distance path loss: free space up
+// to the 1 m reference distance, then 10·n·log10(d) beyond it. This is the
+// standard model for indoor propagation at UHF and the one the testbed
+// calibration uses.
+func LogDistanceLossDB(dMeters, fHz, exponent float64) float64 {
+	ref := FreeSpaceLossDB(1, fHz)
+	if dMeters <= 0 {
+		return 0
+	}
+	if dMeters <= 1 {
+		return FreeSpaceLossDB(dMeters, fHz)
+	}
+	return ref + 10*exponent*math.Log10(dMeters)
+}
+
+// BodyLossDB is the default additional attenuation a signal suffers
+// crossing body tissue to or from an implanted device. Sayrafian-Pour et
+// al. (paper ref [47]) report implant-to-surface losses up to 40 dB; the
+// simulation default is 30 dB for a pectoral implant.
+const BodyLossDB = 30.0
+
+// AirLinkLossDB composes the standard air link: log-distance loss at the
+// MICS carrier with exponent n plus explicit obstruction loss (walls,
+// furniture — the testbed's NLOS locations).
+func AirLinkLossDB(dMeters, exponent, obstructionDB float64) float64 {
+	return LogDistanceLossDB(dMeters, MICSCenterHz, exponent) + obstructionDB
+}

@@ -1,0 +1,146 @@
+// Package dsp provides the baseband digital signal processing primitives
+// used throughout the shield simulator: complex vector math, FFT, window
+// functions, FIR filtering, tone detection, correlation, and power spectral
+// density estimation.
+//
+// All signals are complex baseband IQ sample slices ([]complex128) at an
+// explicit sample rate. The package is allocation-conscious: functions that
+// are on hot paths accept destination slices where it matters.
+package dsp
+
+import "math"
+
+// Scale multiplies every sample of x by the real factor a, in place,
+// and returns x for chaining.
+func Scale(x []complex128, a float64) []complex128 {
+	c := complex(a, 0)
+	for i := range x {
+		x[i] *= c
+	}
+	return x
+}
+
+// ScaleC multiplies every sample of x by the complex factor a, in place.
+func ScaleC(x []complex128, a complex128) []complex128 {
+	for i := range x {
+		x[i] *= a
+	}
+	return x
+}
+
+// AddTo adds src into dst element-wise: dst[i] += src[i]. The slices may be
+// different lengths; only the overlapping prefix is summed. It returns the
+// number of samples added.
+func AddTo(dst, src []complex128) int {
+	n := min(len(dst), len(src))
+	for i := 0; i < n; i++ {
+		dst[i] += src[i]
+	}
+	return n
+}
+
+// AddScaled adds a*src into dst element-wise over the overlapping prefix.
+func AddScaled(dst, src []complex128, a complex128) int {
+	n := min(len(dst), len(src))
+	for i := 0; i < n; i++ {
+		dst[i] += a * src[i]
+	}
+	return n
+}
+
+// Dot returns the complex inner product sum(x[i] * conj(y[i])) over the
+// overlapping prefix of x and y.
+func Dot(x, y []complex128) complex128 {
+	n := min(len(x), len(y))
+	var acc complex128
+	for i := 0; i < n; i++ {
+		yc := y[i]
+		acc += x[i] * complex(real(yc), -imag(yc))
+	}
+	return acc
+}
+
+// Energy returns the total energy of x: sum(|x[i]|^2).
+func Energy(x []complex128) float64 {
+	var e float64
+	for _, v := range x {
+		re, im := real(v), imag(v)
+		e += re*re + im*im
+	}
+	return e
+}
+
+// Power returns the mean sample power of x: Energy(x)/len(x).
+// It returns 0 for an empty slice.
+func Power(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Energy(x) / float64(len(x))
+}
+
+// Clone returns a copy of x.
+func Clone(x []complex128) []complex128 {
+	y := make([]complex128, len(x))
+	copy(y, x)
+	return y
+}
+
+// Mix multiplies x by a complex exponential of frequency freqHz (sample rate
+// fs, initial phase phase radians), in place, and returns the phase after the
+// last sample so callers can continue a phase-continuous mix across blocks.
+func Mix(x []complex128, freqHz, fs, phase float64) float64 {
+	if len(x) == 0 {
+		return phase
+	}
+	step := 2 * math.Pi * freqHz / fs
+	ph := phase
+	for i := range x {
+		s, c := math.Sincos(ph)
+		x[i] *= complex(c, s)
+		ph += step
+	}
+	// Keep the phase bounded so long streams do not lose precision.
+	return math.Mod(ph, 2*math.Pi)
+}
+
+// Tone synthesizes n samples of a unit-amplitude complex exponential at
+// freqHz with sample rate fs and initial phase phase.
+func Tone(n int, freqHz, fs, phase float64) []complex128 {
+	x := make([]complex128, n)
+	step := 2 * math.Pi * freqHz / fs
+	for i := range x {
+		s, c := math.Sincos(phase + float64(i)*step)
+		x[i] = complex(c, s)
+	}
+	return x
+}
+
+// DB converts a linear power ratio to decibels. Non-positive ratios map to
+// -inf, which keeps downstream comparisons well-defined.
+func DB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// DBm converts a power in milliwatts to dBm.
+func DBm(milliwatt float64) float64 { return DB(milliwatt) }
+
+// FromDBm converts dBm to milliwatts.
+func FromDBm(dbm float64) float64 { return FromDB(dbm) }
+
+// AmplitudeForPower returns the per-sample amplitude a such that a constant-
+// envelope signal a*e^{jθ} has mean power p (linear).
+func AmplitudeForPower(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return math.Sqrt(p)
+}

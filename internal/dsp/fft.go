@@ -1,0 +1,119 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two (and may be 0 or 1, in which
+// case x is returned unchanged). The transform is unnormalized:
+// X[k] = sum_n x[n] e^{-j 2π kn/N}.
+func FFT(x []complex128) {
+	fft(x, false)
+}
+
+// IFFT computes the in-place inverse FFT with 1/N normalization, so that
+// IFFT(FFT(x)) == x up to rounding.
+func IFFT(x []complex128) {
+	fft(x, true)
+	n := float64(len(x))
+	if n > 1 {
+		Scale(x, 1/n)
+	}
+}
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPowerOfTwo returns the smallest power of two >= n (n must be > 0).
+func NextPowerOfTwo(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+func fft(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		// Twiddle factor advanced by recurrence per butterfly group.
+		ws, wc := math.Sincos(step)
+		wBase := complex(wc, ws)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+}
+
+// FFTShift reorders FFT output so the zero-frequency bin is centered.
+// It operates on even-length slices in place.
+func FFTShift(x []complex128) {
+	n := len(x)
+	if n%2 != 0 {
+		panic("dsp: FFTShift requires even length")
+	}
+	h := n / 2
+	for i := 0; i < h; i++ {
+		x[i], x[i+h] = x[i+h], x[i]
+	}
+}
+
+// FFTShiftFloat is FFTShift for real-valued bin arrays (e.g. PSDs).
+func FFTShiftFloat(x []float64) {
+	n := len(x)
+	if n%2 != 0 {
+		panic("dsp: FFTShiftFloat requires even length")
+	}
+	h := n / 2
+	for i := 0; i < h; i++ {
+		x[i], x[i+h] = x[i+h], x[i]
+	}
+}
+
+// BinFrequencies returns the center frequency in Hz of each FFT bin for an
+// n-point transform at sample rate fs, in natural FFT order
+// (0, fs/n, ..., -fs/n).
+func BinFrequencies(n int, fs float64) []float64 {
+	f := make([]float64, n)
+	for k := range f {
+		if k <= n/2-1 || n == 1 {
+			f[k] = float64(k) * fs / float64(n)
+		} else {
+			f[k] = float64(k-n) * fs / float64(n)
+		}
+	}
+	return f
+}

@@ -1,0 +1,125 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIR is a finite-impulse-response filter with real or complex taps.
+type FIR struct {
+	taps []complex128
+}
+
+// NewFIR wraps taps in a FIR filter. The taps slice is not copied.
+func NewFIR(taps []complex128) *FIR {
+	if len(taps) == 0 {
+		panic("dsp: FIR requires at least one tap")
+	}
+	return &FIR{taps: taps}
+}
+
+// NewFIRReal builds a FIR filter from real-valued taps.
+func NewFIRReal(taps []float64) *FIR {
+	c := make([]complex128, len(taps))
+	for i, t := range taps {
+		c[i] = complex(t, 0)
+	}
+	return NewFIR(c)
+}
+
+// Len returns the number of taps.
+func (f *FIR) Len() int { return len(f.taps) }
+
+// Taps returns the filter taps (shared, not a copy).
+func (f *FIR) Taps() []complex128 { return f.taps }
+
+// Filter convolves x with the filter taps and returns the "same"-length
+// output aligned so that output[i] corresponds to input[i] with the filter's
+// group delay removed (for symmetric filters). Edges are zero-padded.
+func (f *FIR) Filter(x []complex128) []complex128 {
+	n := len(x)
+	m := len(f.taps)
+	y := make([]complex128, n)
+	delay := (m - 1) / 2
+	for i := 0; i < n; i++ {
+		var acc complex128
+		// y[i] = sum_k taps[k] * x[i + delay - k]
+		base := i + delay
+		kLo := 0
+		if base-(n-1) > 0 {
+			kLo = base - (n - 1)
+		}
+		kHi := m - 1
+		if base < kHi {
+			kHi = base
+		}
+		for k := kLo; k <= kHi; k++ {
+			acc += f.taps[k] * x[base-k]
+		}
+		y[i] = acc
+	}
+	return y
+}
+
+// LowPassFIR designs a windowed-sinc low-pass filter with the given cutoff
+// frequency (Hz), sample rate fs (Hz), tap count (odd preferred), and window.
+// The passband gain is normalized to unity at DC.
+func LowPassFIR(cutoffHz, fs float64, taps int, w Window) *FIR {
+	if cutoffHz <= 0 || cutoffHz >= fs/2 {
+		panic(fmt.Sprintf("dsp: low-pass cutoff %g Hz out of range (0, %g)", cutoffHz, fs/2))
+	}
+	if taps < 3 {
+		panic("dsp: low-pass filter needs at least 3 taps")
+	}
+	h := make([]float64, taps)
+	fc := cutoffHz / fs // normalized cutoff (cycles per sample)
+	mid := float64(taps-1) / 2
+	win := w.Coefficients(taps)
+	var sum float64
+	for i := range h {
+		t := float64(i) - mid
+		var v float64
+		if t == 0 {
+			v = 2 * fc
+		} else {
+			v = math.Sin(2*math.Pi*fc*t) / (math.Pi * t)
+		}
+		v *= win[i]
+		h[i] = v
+		sum += v
+	}
+	// Normalize DC gain to 1.
+	for i := range h {
+		h[i] /= sum
+	}
+	return NewFIRReal(h)
+}
+
+// BandPassFIR designs a complex band-pass filter centered at centerHz with
+// the given one-sided half bandwidth (Hz): the passband is
+// [centerHz-halfBandHz, centerHz+halfBandHz]. It is built by heterodyning a
+// low-pass prototype, so it works for negative center frequencies too.
+func BandPassFIR(centerHz, halfBandHz, fs float64, taps int, w Window) *FIR {
+	lp := LowPassFIR(halfBandHz, fs, taps, w)
+	c := make([]complex128, taps)
+	step := 2 * math.Pi * centerHz / fs
+	mid := float64(taps-1) / 2
+	for i := range c {
+		s, cos := math.Sincos(step * (float64(i) - mid))
+		c[i] = lp.taps[i] * complex(cos, s)
+	}
+	return NewFIR(c)
+}
+
+// Decimate returns every factor-th sample of x starting at offset 0.
+// The caller is responsible for prior anti-alias filtering.
+func Decimate(x []complex128, factor int) []complex128 {
+	if factor <= 0 {
+		panic("dsp: decimation factor must be positive")
+	}
+	y := make([]complex128, 0, (len(x)+factor-1)/factor)
+	for i := 0; i < len(x); i += factor {
+		y = append(y, x[i])
+	}
+	return y
+}

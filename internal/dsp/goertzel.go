@@ -1,0 +1,36 @@
+package dsp
+
+import "math"
+
+// Goertzel computes the DFT of x at a single arbitrary frequency freqHz
+// (sample rate fs) using the Goertzel recurrence generalized to complex
+// input. It is equivalent to sum_n x[n] e^{-j 2π f n / fs} but cheaper than
+// a full FFT when only a handful of bins are needed — exactly the shape of
+// an FSK tone detector.
+func Goertzel(x []complex128, freqHz, fs float64) complex128 {
+	// For complex input the classic real-input recurrence does not apply
+	// directly; use a numerically stable phase-accumulating correlation.
+	// The cost is one Sincos per sample, matching the correlator the
+	// noncoherent FSK detector uses.
+	var acc complex128
+	step := -2 * math.Pi * freqHz / fs
+	ph := 0.0
+	for _, v := range x {
+		s, c := math.Sincos(ph)
+		acc += v * complex(c, s)
+		ph += step
+	}
+	return acc
+}
+
+// TonePower returns |Goertzel|^2 normalized by the block length squared, an
+// estimate of the power of a complex exponential at freqHz present in x.
+func TonePower(x []complex128, freqHz, fs float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	g := Goertzel(x, freqHz, fs)
+	n := float64(len(x))
+	re, im := real(g), imag(g)
+	return (re*re + im*im) / (n * n)
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationAntidote(t *testing.T) {
+	r := AblationAntidote(quickCfg())
+	if r.DecodedWith < r.Trials-1 {
+		t.Fatalf("with antidote: decoded %d/%d, want nearly all", r.DecodedWith, r.Trials)
+	}
+	if r.DecodedWithout > r.Trials/4 {
+		t.Fatalf("without antidote: decoded %d/%d, the shield should be jamming itself blind",
+			r.DecodedWithout, r.Trials)
+	}
+	if !strings.Contains(r.Render(), "antidote") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestAblationDigitalCancel(t *testing.T) {
+	r := AblationDigitalCancel(quickCfg())
+	if r.LostDigital > r.LostPlain {
+		t.Fatalf("digital cancellation made things worse: %d vs %d lost",
+			r.LostDigital, r.LostPlain)
+	}
+	// At +30 dB relative jamming the plain antidote budget (≈32 dB) is
+	// exhausted; losses must appear without the digital stage.
+	if r.LostPlain == 0 {
+		t.Fatalf("expected losses at +%g dB without digital cancellation", r.RelJamDB)
+	}
+	if r.LostDigital != 0 {
+		t.Fatalf("digital cancellation should rescue all packets, lost %d", r.LostDigital)
+	}
+}
+
+func TestAblationBThresh(t *testing.T) {
+	r := AblationBThresh(quickCfg())
+	if len(r.Points) < 4 {
+		t.Fatal("too few sweep points")
+	}
+	// Miss rate must not increase with a looser threshold.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].MissRate > r.Points[i-1].MissRate+0.15 {
+			t.Fatalf("miss rate should fall as bthresh grows: %+v", r.Points)
+		}
+	}
+	// The paper's choice (4) must have no false jams; an absurd threshold
+	// (32) may have some. Find the bthresh=4 point.
+	for _, p := range r.Points {
+		if p.BThresh == 4 && p.FalseJams > 0 {
+			t.Fatalf("false jams at bthresh=4: %g", p.FalseJams)
+		}
+	}
+	if !strings.Contains(r.Render(), "bthresh") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestBatteryAnalysis(t *testing.T) {
+	r := Battery(quickCfg())
+	if r.JamSecPerExchange <= 0 || r.JamSecPerExchange > 0.1 {
+		t.Fatalf("jam air time per exchange = %g s, implausible", r.JamSecPerExchange)
+	}
+	if r.IdleDutyCycle > 0.01 {
+		t.Fatalf("attack-free duty cycle = %g, should be tiny (§7e)", r.IdleDutyCycle)
+	}
+	// The paper's claim: a day or longer even transmitting continuously.
+	if r.ContinuousJamHours < 24 {
+		t.Fatalf("continuous jamming life = %g h, want ≥ 24 (§7e)", r.ContinuousJamHours)
+	}
+	if r.IdleDays < 1 {
+		t.Fatalf("monitoring life = %g days, want ≥ 1", r.IdleDays)
+	}
+	if !strings.Contains(r.Render(), "battery life") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestProbeStaleness(t *testing.T) {
+	r := ProbeStaleness(quickCfg())
+	if len(r.Points) < 4 {
+		t.Fatal("too few staleness points")
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if last.MeanDB >= first.MeanDB-3 {
+		t.Fatalf("cancellation should decay with staleness: %g dB at %d steps vs %g dB at %d",
+			first.MeanDB, first.DriftSteps, last.MeanDB, last.DriftSteps)
+	}
+	if first.P10DB > first.MeanDB {
+		t.Fatal("P10 above mean")
+	}
+	if !strings.Contains(r.Render(), "drift steps") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestOFDMExtensionExperiment(t *testing.T) {
+	r := OFDMExtension(quickCfg())
+	flatNB := mean(r.FlatNarrowbandDB)
+	multiNB := mean(r.MultiNarrowbandDB)
+	multiOFDM := mean(r.MultiOFDMDB)
+	if flatNB < 35 {
+		t.Fatalf("narrowband on flat coupling = %g dB, want high", flatNB)
+	}
+	if multiNB > flatNB-10 {
+		t.Fatalf("narrowband should degrade on multipath: %g vs flat %g", multiNB, flatNB)
+	}
+	if multiOFDM < multiNB+10 {
+		t.Fatalf("per-subcarrier antidote should restore cancellation: %g vs %g",
+			multiOFDM, multiNB)
+	}
+}
+
+func mean(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

@@ -1,0 +1,108 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§10–§11) on the simulated testbed. Each experiment returns a
+// structured result with a Render method that prints the same rows/series
+// the paper reports; cmd/shieldsim and the repository benchmarks drive
+// them. Absolute numbers are testbed-specific (the substrate is a
+// simulator, not the authors' lab); the shapes — who wins, by what factor,
+// where the knees fall — are the reproduction targets (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"heartshield/internal/adversary"
+	"heartshield/internal/phy"
+	"heartshield/internal/testbed"
+)
+
+// Config controls experiment effort.
+type Config struct {
+	// Seed makes the run deterministic.
+	Seed int64
+	// Trials is the per-point trial count; 0 selects each experiment's
+	// default (paper-scale where feasible, reduced otherwise).
+	Trials int
+	// Quick reduces trial counts for CI/bench runs.
+	Quick bool
+}
+
+// trials resolves the effective trial count given defaults.
+func (c Config) trials(def, quick int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	if c.Quick {
+		return quick
+	}
+	return def
+}
+
+// newActive builds the standard active adversary for a scenario.
+func newActive(sc *testbed.Scenario) *adversary.Active {
+	return &adversary.Active{
+		Antenna: testbed.AntAdversary,
+		Medium:  sc.Medium,
+		TX:      sc.AdvTX,
+		RX:      sc.AdvRX,
+		Modem:   sc.FSK,
+	}
+}
+
+// newEaves builds the standard eavesdropper for a scenario: genie timing
+// plus perfect knowledge of the IMD's carrier offset — the strongest
+// single-antenna adversary the threat model admits.
+func newEaves(sc *testbed.Scenario) *adversary.Eavesdropper {
+	cfo := testbed.IMDCFOHz
+	return &adversary.Eavesdropper{
+		Antenna: testbed.AntEavesdropper,
+		Medium:  sc.Medium,
+		RX:      sc.EavesRX,
+		Modem:   sc.FSK,
+		CFOHint: &cfo,
+	}
+}
+
+// activeTrialOutcome is the result of one unauthorized-command attempt.
+type activeTrialOutcome struct {
+	Responded      bool
+	TherapyChanged bool
+	Alarmed        bool
+	ShieldJammed   bool
+	RSSIAtShield   float64
+}
+
+// runActiveTrial performs one replay attempt against the IMD with the
+// shield on or off, and reports what happened.
+func runActiveTrial(sc *testbed.Scenario, adv *adversary.Active, frame frameMaker, shieldOn bool) activeTrialOutcome {
+	var out activeTrialOutcome
+	sc.NewTrial()
+	alarmsBefore := len(sc.Shield.Alarms())
+	if shieldOn {
+		sc.PrepareShield()
+	}
+	b := adv.Replay(sc.Channel(), 1000, frame(sc))
+	window := int(b.End()) + 2500
+	if shieldOn {
+		rep := sc.Shield.DefendWindow(0, window)
+		out.ShieldJammed = rep.Jammed
+		out.RSSIAtShield = rep.RSSIDBm
+		out.Alarmed = len(sc.Shield.Alarms()) > alarmsBefore
+	}
+	re := sc.IMD.ProcessWindow(0, window)
+	out.Responded = re.Responded
+	out.TherapyChanged = re.TherapyChanged
+	return out
+}
+
+// frameMaker builds the unauthorized command for one trial.
+type frameMaker func(*testbed.Scenario) *phy.Frame
+
+// The concrete frame builders used by the attack experiments.
+func interrogateFrame(sc *testbed.Scenario) *phy.Frame { return sc.InterrogateFrame() }
+func therapyFrame(sc *testbed.Scenario) *phy.Frame     { return sc.SetTherapyFrame(200) }
+
+// renderHeader formats an experiment title banner.
+func renderHeader(title string) string {
+	return fmt.Sprintf("%s\n%s\n", title, strings.Repeat("-", len(title)))
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps the experiment tests fast while still exercising every
+// code path end-to-end. The benchmark harness runs larger counts.
+func quickCfg() Config { return Config{Seed: 42, Quick: true} }
+
+func TestFig3ShapeHolds(t *testing.T) {
+	r := Fig3(quickCfg())
+	if len(r.DelaysIdleMs) == 0 || len(r.DelaysBusyMs) == 0 {
+		t.Fatalf("missing delays: %d idle, %d busy", len(r.DelaysIdleMs), len(r.DelaysBusyMs))
+	}
+	if !r.AllWithinWindow() {
+		t.Fatalf("response delays leave the [T1,T2] window: %+v", r)
+	}
+	if r.RespondedBusy != r.TrialsPerArm {
+		t.Fatalf("IMD skipped responses on a busy medium: %d/%d (it must not carrier-sense)",
+			r.RespondedBusy, r.TrialsPerArm)
+	}
+	if !strings.Contains(r.Render(), "busy medium") {
+		t.Fatal("render output incomplete")
+	}
+}
+
+func TestFig4EnergyAtTones(t *testing.T) {
+	r := Fig4(quickCfg())
+	if r.ToneBandFraction < 0.8 {
+		t.Fatalf("tone-band energy fraction = %g, want > 0.8 (Fig. 4 shape)", r.ToneBandFraction)
+	}
+	if len(r.Spectrum.FreqKHz) == 0 || len(r.Render()) == 0 {
+		t.Fatal("empty spectrum")
+	}
+}
+
+func TestFig5ShapedProfileWins(t *testing.T) {
+	r := Fig5(quickCfg())
+	if r.ToneBandGainDB < 3 {
+		t.Fatalf("shaped jam tone-band gain = %g dB, want > 3", r.ToneBandGainDB)
+	}
+	if r.BERShaped < r.BERFlat+0.04 {
+		t.Fatalf("per-watt ablation: shaped BER %g should exceed flat %g", r.BERShaped, r.BERFlat)
+	}
+	if !strings.Contains(r.Render(), "shaped") {
+		t.Fatal("render output incomplete")
+	}
+}
+
+func TestFig7CancellationShape(t *testing.T) {
+	r := Fig7(quickCfg())
+	if r.MeanDB < 26 || r.MeanDB > 40 {
+		t.Fatalf("mean cancellation = %g dB, want ≈ 32 (paper)", r.MeanDB)
+	}
+	if r.CDF.Quantile(0.1) < 20 {
+		t.Fatalf("10th percentile cancellation = %g dB, too low", r.CDF.Quantile(0.1))
+	}
+}
+
+func TestFig8TradeoffShape(t *testing.T) {
+	r := Fig8(quickCfg())
+	if len(r.Points) < 4 {
+		t.Fatal("too few sweep points")
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	// BER rises with jamming power and saturates near 0.5.
+	if last.EavesBER < first.EavesBER {
+		t.Fatalf("eaves BER should rise with jam power: %g → %g", first.EavesBER, last.EavesBER)
+	}
+	op := r.OperatingPoint()
+	if op.EavesBER < 0.4 {
+		t.Fatalf("BER at the +20 dB operating point = %g, want ≈ 0.5", op.EavesBER)
+	}
+	// The shield still delivers packets at the operating point.
+	if op.ShieldPER > 0.15 {
+		t.Fatalf("shield PER at +20 dB = %g, want small", op.ShieldPER)
+	}
+	// At the weakest jamming the shield is essentially lossless.
+	if first.ShieldPER > 0.1 {
+		t.Fatalf("shield PER at +%g dB = %g, want ~0", first.RelJamDB, first.ShieldPER)
+	}
+}
+
+func TestFig9And10Shapes(t *testing.T) {
+	r := Fig9And10(Config{Seed: 42, Trials: 6})
+	// Fig. 9: BER ≈ 0.5 at every location (location independence).
+	if min := r.MinLocationBER(); min < 0.4 {
+		t.Fatalf("lowest per-location eavesdropper BER = %g, want ≥ 0.4", min)
+	}
+	// Fig. 10: the shield's loss rate stays small.
+	if r.MeanLoss > 0.1 {
+		t.Fatalf("mean shield loss = %g, want small", r.MeanLoss)
+	}
+	if r.Packets == 0 {
+		t.Fatal("no packets measured")
+	}
+	if !strings.Contains(r.Render(), "Fig. 10") {
+		t.Fatal("render output incomplete")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	r := Fig11(Config{Seed: 42, Trials: 8})
+	if got := r.MaxOnSuccess(); got != 0 {
+		t.Fatalf("shield-on success probability = %g at some location, want 0 (FCC adversary)", got)
+	}
+	// Shield off: near locations succeed, far locations fail.
+	if r.Points[0].ProbOff < 0.9 {
+		t.Fatalf("location 1 shield-off success = %g, want ≈ 1", r.Points[0].ProbOff)
+	}
+	last := r.Points[len(r.Points)-1]
+	if last.ProbOff > 0.2 {
+		t.Fatalf("location 14 shield-off success = %g, want ≈ 0", last.ProbOff)
+	}
+	knee := r.OffKneeLocation()
+	if knee < 5 || knee > 9 {
+		t.Fatalf("shield-off range knee at location %d, want ≈ 8 (14 m)", knee)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r := Fig12(Config{Seed: 43, Trials: 8})
+	if got := r.MaxOnSuccess(); got != 0 {
+		t.Fatalf("therapy change succeeded with shield on: %g", got)
+	}
+	if r.Points[0].ProbOff < 0.9 {
+		t.Fatalf("location 1 shield-off therapy change = %g, want ≈ 1", r.Points[0].ProbOff)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	r := Fig13(Config{Seed: 44, Trials: 8})
+	// Shield off: the 100× adversary reaches much farther than FCC power
+	// (knee near location 12–13 instead of 8).
+	knee := r.OffKneeLocation()
+	if knee < 10 {
+		t.Fatalf("high-power shield-off knee at location %d, want ≥ 10", knee)
+	}
+	// Shield on: success only at the nearest (LOS) locations.
+	for _, p := range r.Points {
+		if p.Location.Index >= 6 && p.ProbOn > 0 {
+			t.Fatalf("high-power adversary succeeded with shield on at %s", p.Location)
+		}
+	}
+	if r.Points[0].ProbOn < 0.5 {
+		t.Fatalf("closest location shield-on success = %g, want high (capture limit)", r.Points[0].ProbOn)
+	}
+	// Wherever the adversary can succeed, the alarm fires.
+	for _, p := range r.Points {
+		if p.ProbOn > 0 && p.ProbAlarm < p.ProbOn {
+			t.Fatalf("alarm prob %g below success prob %g at %s", p.ProbAlarm, p.ProbOn, p.Location)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := Table1(Config{Seed: 45, Trials: 6})
+	if len(r.SuccessRSSIs) == 0 {
+		t.Fatal("power sweep produced no successes; Pthresh cannot be calibrated")
+	}
+	if r.MinDBm >= r.AvgDBm {
+		t.Fatalf("min RSSI %g should lie below the average %g", r.MinDBm, r.AvgDBm)
+	}
+	if r.StdDBm <= 0 || r.StdDBm > 12 {
+		t.Fatalf("std = %g, implausible", r.StdDBm)
+	}
+	if r.PthreshDBm != r.MinDBm-3 {
+		t.Fatal("Pthresh derivation")
+	}
+	// There must also be a power region where attempts fail (the
+	// threshold is meaningful).
+	if len(r.SuccessRSSIs) == r.Attempts {
+		t.Fatal("every attempt succeeded; the sweep never crossed the threshold")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := Table2(Config{Seed: 46, Trials: 8})
+	if r.CrossJammed != 0 {
+		t.Fatalf("cross-traffic jammed %d/%d times, want 0", r.CrossJammed, r.CrossPackets)
+	}
+	if r.IMDJammed != r.IMDPackets {
+		t.Fatalf("IMD-addressed packets jammed %d/%d, want all", r.IMDJammed, r.IMDPackets)
+	}
+	if len(r.TurnaroundUs) == 0 {
+		t.Fatal("no turn-around samples")
+	}
+	// Sub-millisecond turn-around (paper: 270 ± 23 µs in software).
+	if r.TurnaroundMeanUs <= 0 || r.TurnaroundMeanUs > 1000 {
+		t.Fatalf("turn-around = %g µs, want sub-millisecond", r.TurnaroundMeanUs)
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"heartshield/internal/phy"
+	"heartshield/internal/stats"
+	"heartshield/internal/testbed"
+)
+
+// Fig7Result reproduces Fig. 7: the CDF of the jamming-signal reduction
+// achieved by the antidote at the shield's receive antenna.
+type Fig7Result struct {
+	CancellationsDB []float64
+	MeanDB, StdDB   float64
+	CDF             *stats.CDF
+}
+
+// Fig7 measures antenna cancellation over many independent trials, each
+// with fresh channel estimation followed by channel drift (100 kb of jam
+// with and without the antidote, per the paper's method).
+func Fig7(cfg Config) Fig7Result {
+	trials := cfg.trials(200, 40)
+	sc := testbed.NewScenario(testbed.Options{Seed: cfg.Seed + 7})
+	sc.CalibrateShieldRSSI()
+	var res Fig7Result
+	for i := 0; i < trials; i++ {
+		sc.NewTrial()
+		sc.PrepareShield()
+		res.CancellationsDB = append(res.CancellationsDB, sc.Shield.CancellationDB(8192))
+	}
+	res.MeanDB = stats.Mean(res.CancellationsDB)
+	res.StdDB = stats.Std(res.CancellationsDB)
+	res.CDF = stats.NewCDF(res.CancellationsDB)
+	return res
+}
+
+// Render prints the Fig. 7 CDF.
+func (r Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString(renderHeader("Fig. 7 — antidote cancellation at the receive antenna (CDF)"))
+	b.WriteString(r.CDF.Table(12, "cancel(dB)"))
+	fmt.Fprintf(&b, "mean %.1f dB, std %.1f dB over %d runs\n", r.MeanDB, r.StdDB, len(r.CancellationsDB))
+	return b.String()
+}
+
+// Fig8Point is one x-axis point of the Fig. 8 sweep.
+type Fig8Point struct {
+	RelJamDB      float64 // jamming power relative to the IMD's received power
+	EavesBER      float64 // (a): adversary's bit error rate
+	ShieldPER     float64 // (b): shield's packet loss rate
+	PacketsTried  int
+	PacketsLost   int
+	BitsCompared  int
+	BitErrorsSeen int
+}
+
+// Fig8Result is the jamming-power tradeoff sweep of Fig. 8(a)/(b).
+type Fig8Result struct {
+	Points []Fig8Point
+}
+
+// Fig8 sweeps the shield's relative jamming power and measures the
+// eavesdropper BER and shield PER at each setting. The eavesdropper sits
+// at location 1 (20 cm), per §10.1(b).
+func Fig8(cfg Config) Fig8Result {
+	perPoint := cfg.trials(60, 12)
+	var res Fig8Result
+	for _, rel := range []float64{1, 5, 10, 15, 20, 25} {
+		sc := testbed.NewScenario(testbed.Options{
+			Seed: cfg.Seed + 8 + int64(rel*10), Location: 1, JamPowerRelDB: rel,
+		})
+		sc.CalibrateShieldRSSI()
+		eaves := newEaves(sc)
+		pt := Fig8Point{RelJamDB: rel}
+		for i := 0; i < perPoint; i++ {
+			sc.NewTrial()
+			sc.PrepareShield()
+			pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
+			if err != nil {
+				continue
+			}
+			re := sc.IMD.ProcessWindow(0, 12000)
+			if !re.Responded {
+				continue
+			}
+			result := pending.Collect()
+			pt.PacketsTried++
+			if result.Response == nil {
+				pt.PacketsLost++
+			}
+			truth := re.Response.MarshalBits()
+			got := eaves.InterceptBits(sc.Channel(), re.ResponseBurst.Start, len(truth))
+			errs, n := phy.CountBitErrors(got, truth)
+			pt.BitErrorsSeen += errs
+			pt.BitsCompared += n
+		}
+		if pt.BitsCompared > 0 {
+			pt.EavesBER = float64(pt.BitErrorsSeen) / float64(pt.BitsCompared)
+		}
+		if pt.PacketsTried > 0 {
+			pt.ShieldPER = float64(pt.PacketsLost) / float64(pt.PacketsTried)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// Render prints the Fig. 8 sweep rows.
+func (r Fig8Result) Render() string {
+	var b strings.Builder
+	b.WriteString(renderHeader("Fig. 8 — BER at eavesdropper (a) and PER at shield (b) vs jamming power"))
+	fmt.Fprintf(&b, "%12s %14s %14s %10s\n", "rel jam(dB)", "eaves BER", "shield PER", "packets")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%12.1f %14.3f %14.4f %10d\n", p.RelJamDB, p.EavesBER, p.ShieldPER, p.PacketsTried)
+	}
+	b.WriteString("paper: BER≈0.5 and PER≈0.002 at +20 dB\n")
+	return b.String()
+}
+
+// OperatingPoint returns the sweep point closest to the paper's +20 dB
+// setting.
+func (r Fig8Result) OperatingPoint() Fig8Point {
+	best := r.Points[0]
+	for _, p := range r.Points {
+		if abs(p.RelJamDB-20) < abs(best.RelJamDB-20) {
+			best = p
+		}
+	}
+	return best
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

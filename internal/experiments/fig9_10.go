@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"heartshield/internal/stats"
+	"heartshield/internal/testbed"
+)
+
+// Fig9_10Result reproduces Fig. 9 (CDF of the eavesdropper's BER over all
+// testbed locations) and Fig. 10 (CDF of the shield's packet loss while
+// jamming), which the paper measures in the same runs.
+type Fig9_10Result struct {
+	// PerLocationBER holds each location's mean eavesdropper BER.
+	PerLocationBER map[int]float64
+	// BERCDF aggregates per-packet BERs across locations (Fig. 9).
+	BERCDF *stats.CDF
+	// LossCDF aggregates per-location packet loss rates (Fig. 10).
+	LossCDF *stats.CDF
+	// MeanLoss is the average shield packet loss rate.
+	MeanLoss float64
+	Packets  int
+}
+
+// Fig9And10 runs the confidentiality experiment: at every location the
+// shield triggers IMD transmissions, jams them, and decodes them, while
+// the eavesdropper attempts the same with an optimal decoder.
+func Fig9And10(cfg Config) Fig9_10Result {
+	perLoc := cfg.trials(100, 8)
+	res := Fig9_10Result{
+		PerLocationBER: make(map[int]float64),
+		BERCDF:         &stats.CDF{},
+		LossCDF:        &stats.CDF{},
+	}
+	totalLost, totalTried := 0, 0
+	for _, loc := range testbed.Locations {
+		sc := testbed.NewScenario(testbed.Options{
+			Seed: cfg.Seed + 9 + int64(loc.Index), Location: loc.Index,
+		})
+		sc.CalibrateShieldRSSI()
+		eaves := newEaves(sc)
+		var locBERs []float64
+		lost, tried := 0, 0
+		for i := 0; i < perLoc; i++ {
+			sc.NewTrial()
+			sc.PrepareShield()
+			pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
+			if err != nil {
+				continue
+			}
+			re := sc.IMD.ProcessWindow(0, 12000)
+			if !re.Responded {
+				continue
+			}
+			result := pending.Collect()
+			tried++
+			if result.Response == nil {
+				lost++
+			}
+			truth := re.Response.MarshalBits()
+			ber := eaves.InterceptBER(sc.Channel(), re.ResponseBurst.Start, truth)
+			locBERs = append(locBERs, ber)
+			res.BERCDF.Add(ber)
+		}
+		res.PerLocationBER[loc.Index] = stats.Mean(locBERs)
+		if tried > 0 {
+			res.LossCDF.Add(float64(lost) / float64(tried))
+		}
+		totalLost += lost
+		totalTried += tried
+	}
+	if totalTried > 0 {
+		res.MeanLoss = float64(totalLost) / float64(totalTried)
+	}
+	res.Packets = totalTried
+	return res
+}
+
+// Render prints both CDFs and the per-location table.
+func (r Fig9_10Result) Render() string {
+	var b strings.Builder
+	b.WriteString(renderHeader("Fig. 9 — eavesdropper BER over all locations (CDF)"))
+	b.WriteString(r.BERCDF.Table(10, "BER"))
+	fmt.Fprintf(&b, "%-18s %8s\n", "location", "meanBER")
+	for _, loc := range testbed.Locations {
+		fmt.Fprintf(&b, "%-18s %8.3f\n", loc.String(), r.PerLocationBER[loc.Index])
+	}
+	b.WriteString("\n")
+	b.WriteString(renderHeader("Fig. 10 — shield packet loss while jamming (CDF)"))
+	b.WriteString(r.LossCDF.Table(8, "loss rate"))
+	fmt.Fprintf(&b, "mean loss %.4f over %d packets (paper: ≈0.002)\n", r.MeanLoss, r.Packets)
+	return b.String()
+}
+
+// MinLocationBER returns the lowest per-location mean BER — the
+// location-independence check (paper: ≈0.5 everywhere).
+func (r Fig9_10Result) MinLocationBER() float64 {
+	min := 1.0
+	for _, v := range r.PerLocationBER {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}

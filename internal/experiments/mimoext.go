@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"heartshield/internal/mimo"
+	"heartshield/internal/stats"
+)
+
+// MIMOExtensionResult quantifies the §3.2 threat-model argument: a
+// two-antenna zero-forcing eavesdropper versus the IMD↔jammer separation.
+// Below ~λ/10 the sources look like one spatial point and nulling the jam
+// nulls the IMD; the eavesdropper only starts winning as the separation
+// approaches λ/2 — which is why the shield must be worn directly over the
+// implant.
+type MIMOExtensionResult struct {
+	Points []mimo.Result
+}
+
+// MIMOExtension sweeps the IMD↔jammer separation against the strongest
+// (genie-channel) zero-forcing eavesdropper.
+func MIMOExtension(cfg Config) MIMOExtensionResult {
+	rng := stats.NewRNG(cfg.Seed + 6000)
+	seps := []float64{0.02, 0.05, 0.10, 0.20, mimo.Wavelength / 2, mimo.Wavelength}
+	return MIMOExtensionResult{Points: mimo.Sweep(seps, rng)}
+}
+
+// Render prints the separation sweep.
+func (r MIMOExtensionResult) Render() string {
+	var b strings.Builder
+	b.WriteString(renderHeader("§3.2 extension — MIMO (zero-forcing) eavesdropper vs shield placement"))
+	fmt.Fprintf(&b, "%16s %14s %16s\n", "separation(m)", "eaves BER", "post-null SINR")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%16.3f %14.3f %13.1f dB\n", p.SeparationM, p.BER, p.ResidualSINRdB)
+	}
+	fmt.Fprintf(&b, "λ/2 = %.3f m; wearing the shield over the implant keeps the\n", mimo.Wavelength/2)
+	b.WriteString("sources spatially inseparable, defeating multi-antenna adversaries\n")
+	return b.String()
+}

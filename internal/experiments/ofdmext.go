@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"heartshield/internal/ofdm"
+	"heartshield/internal/stats"
+)
+
+// OFDMExtensionResult evaluates the §5 wideband note: over multipath
+// coupling channels the narrowband antidote degrades, while a
+// per-subcarrier (OFDM) antidote keeps cancelling.
+type OFDMExtensionResult struct {
+	Trials            int
+	FlatNarrowbandDB  []float64 // narrowband antidote, flat coupling
+	MultiNarrowbandDB []float64 // narrowband antidote, two-tap coupling
+	MultiOFDMDB       []float64 // per-subcarrier antidote, two-tap coupling
+}
+
+// OFDMExtension measures cancellation for both antidote strategies on
+// flat and frequency-selective coupling channels.
+func OFDMExtension(cfg Config) OFDMExtensionResult {
+	trials := cfg.trials(30, 8)
+	res := OFDMExtensionResult{Trials: trials}
+	rng := stats.NewRNG(cfg.Seed + 5000)
+	for i := 0; i < trials; i++ {
+		direct := complex(0.17, 0) * rng.UnitPhasor()
+		echo := complex(0.08, 0) * rng.UnitPhasor()
+		selfTap := complex(0.79, 0) * rng.UnitPhasor()
+
+		flat := &ofdm.JammerCumReceiver{
+			Modem:    ofdm.NewModem(ofdm.DefaultConfig),
+			HJamToRx: ofdm.Channel{Taps: []complex128{direct}},
+			HSelf:    ofdm.Channel{Taps: []complex128{selfTap}},
+			RNG:      rng.Split(),
+			NoiseVar: 1e-7,
+		}
+		fr := flat.Compare(16)
+		res.FlatNarrowbandDB = append(res.FlatNarrowbandDB, fr.NarrowbandDB)
+
+		multi := &ofdm.JammerCumReceiver{
+			Modem:    ofdm.NewModem(ofdm.DefaultConfig),
+			HJamToRx: ofdm.TwoTap(direct, echo, 6),
+			HSelf:    ofdm.Channel{Taps: []complex128{selfTap}},
+			RNG:      rng.Split(),
+			NoiseVar: 1e-7,
+		}
+		mr := multi.Compare(16)
+		res.MultiNarrowbandDB = append(res.MultiNarrowbandDB, mr.NarrowbandDB)
+		res.MultiOFDMDB = append(res.MultiOFDMDB, mr.PerSubcarrierDB)
+	}
+	return res
+}
+
+// Render prints the wideband-extension comparison.
+func (r OFDMExtensionResult) Render() string {
+	var b strings.Builder
+	b.WriteString(renderHeader("§5 wideband extension — per-subcarrier antidote on multipath"))
+	fmt.Fprintf(&b, "%-44s %8.1f dB\n", "narrowband antidote, flat coupling",
+		stats.Mean(r.FlatNarrowbandDB))
+	fmt.Fprintf(&b, "%-44s %8.1f dB\n", "narrowband antidote, two-tap coupling",
+		stats.Mean(r.MultiNarrowbandDB))
+	fmt.Fprintf(&b, "%-44s %8.1f dB\n", "per-subcarrier antidote, two-tap coupling",
+		stats.Mean(r.MultiOFDMDB))
+	b.WriteString("OFDM restores wideband cancellation on frequency-selective channels\n")
+	return b.String()
+}

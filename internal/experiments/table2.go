@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"heartshield/internal/channel"
+	"heartshield/internal/modem"
+	"heartshield/internal/stats"
+	"heartshield/internal/testbed"
+)
+
+// Table2Result reproduces Table 2: coexistence with legitimate MICS-band
+// users. Cross-traffic (a GMSK radiosonde, the band's primary user) must
+// never be jammed; packets addressed to the protected IMD must always be
+// jammed; and the shield must stop jamming promptly when the adversary
+// stops (turn-around time).
+type Table2Result struct {
+	CrossPackets     int
+	CrossJammed      int
+	IMDPackets       int
+	IMDDetected      int
+	IMDJammed        int
+	TurnaroundUs     []float64
+	TurnaroundMeanUs float64
+	TurnaroundStdUs  float64
+}
+
+// Table2 alternates radiosonde cross-traffic and IMD-addressed commands
+// and logs the shield's jam decisions. The command source sits at
+// location 1, close enough that the shield can hear the transmission end
+// through its own jam residual — the regime whose turn-around the paper
+// measures (weaker adversaries get the conservative max-packet backstop
+// instead).
+func Table2(cfg Config) Table2Result {
+	trials := cfg.trials(60, 12)
+	sc := testbed.NewScenario(testbed.Options{Seed: cfg.Seed + 2000, Location: 1})
+	sc.CalibrateShieldRSSI()
+	adv := newActive(sc)
+
+	// The radiosonde transmits GMSK at FCC power from its own antenna 3 m
+	// away (Vaisala RS92-AGP stand-in).
+	gmsk := modem.NewGMSK(modem.GMSKConfig{
+		SampleRate: sc.FSK.Config().SampleRate,
+		SymbolRate: 4800,
+		BT:         0.5,
+	})
+	sondeAnt := sc.NewAntennaAt(3.0, 0, 2)
+	sondeTX := sc.AdvTX // same power class; reuse the chain parameters
+
+	var res Table2Result
+	for i := 0; i < trials; i++ {
+		// Cross-traffic packet.
+		sc.NewTrial()
+		sc.PrepareShield()
+		sondeIQ := sondeTX.TransmitAt(gmsk.Modulate(sc.RNG.Bits(240)), testbed.FCCLimitDBm)
+		sb := &channel.Burst{Channel: sc.Channel(), Start: 800, IQ: sondeIQ, From: sondeAnt}
+		sc.Medium.AddBurst(sb)
+		rep := sc.Shield.DefendWindow(0, int(sb.End())+2000)
+		res.CrossPackets++
+		if rep.Jammed {
+			res.CrossJammed++
+		}
+
+		// IMD-addressed packet.
+		sc.NewTrial()
+		sc.PrepareShield()
+		ab := adv.Replay(sc.Channel(), 800, sc.InterrogateFrame())
+		rep = sc.Shield.DefendWindow(0, int(ab.End())+4000)
+		res.IMDPackets++
+		if rep.BurstDetected && rep.Matched {
+			res.IMDDetected++
+		}
+		if rep.Jammed {
+			res.IMDJammed++
+			// Turn-around: how long the jamming continued past the end of
+			// the adversary's transmission.
+			over := rep.JamEnd - ab.End()
+			if over > 0 {
+				res.TurnaroundUs = append(res.TurnaroundUs,
+					float64(over)/sc.FSK.Config().SampleRate*1e6)
+			}
+		}
+	}
+	res.TurnaroundMeanUs = stats.Mean(res.TurnaroundUs)
+	res.TurnaroundStdUs = stats.Std(res.TurnaroundUs)
+	return res
+}
+
+// Render prints the Table 2 rows.
+func (r Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString(renderHeader("Table 2 — coexistence with legitimate MICS users"))
+	fmt.Fprintf(&b, "%-46s %d/%d\n", "Cross-traffic packets jammed", r.CrossJammed, r.CrossPackets)
+	fmt.Fprintf(&b, "%-46s %d/%d\n", "IMD-addressed packets jammed", r.IMDJammed, r.IMDPackets)
+	fmt.Fprintf(&b, "%-46s %.0f ± %.0f µs\n", "Turn-around time (mean ± std)", r.TurnaroundMeanUs, r.TurnaroundStdUs)
+	b.WriteString("paper: 0 cross-traffic jammed, all IMD packets jammed, 270 ± 23 µs\n")
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package mics
+
+import (
+	"errors"
+	"fmt"
+
+	"heartshield/internal/channel"
+	"heartshield/internal/radio"
+)
+
+// Session tracks one programmer↔IMD pairing's use of a MICS channel, per
+// the FCC/ITU sharing rules of §2: acquire an unoccupied channel with a
+// 10 ms listen-before-talk, keep using it for the whole session, and move
+// to a new channel only on persistent interference.
+type Session struct {
+	// Medium, Antenna, and Chain are the radio used for the clear-channel
+	// assessments.
+	Medium  *channel.Medium
+	Antenna channel.AntennaID
+	Chain   *radio.RXChain
+	// ThresholdDBm is the CCA energy threshold.
+	ThresholdDBm float64
+	// InterferenceLimit is how many consecutive interfered exchanges the
+	// session tolerates before it abandons its channel (persistent
+	// interference, §2).
+	InterferenceLimit int
+
+	ch           int
+	active       bool
+	interference int
+	switches     int
+}
+
+// ErrNoChannel is returned when every MICS channel is occupied.
+var ErrNoChannel = errors.New("mics: no clear channel available")
+
+// DefaultInterferenceLimit tolerates three consecutive bad exchanges.
+const DefaultInterferenceLimit = 3
+
+// Acquire scans for a clear channel starting from preferred at sample
+// time start and locks the session to it.
+func (s *Session) Acquire(start int64, preferred int) (int, error) {
+	if s.ThresholdDBm == 0 {
+		s.ThresholdDBm = DefaultCCAThresholdDBm
+	}
+	ch := PickClearChannel(s.Medium, s.Antenna, s.Chain, start, preferred, s.ThresholdDBm)
+	if ch < 0 {
+		return -1, ErrNoChannel
+	}
+	s.ch = ch
+	s.active = true
+	s.interference = 0
+	return ch, nil
+}
+
+// Channel returns the locked channel; the session must be active.
+func (s *Session) Channel() int {
+	if !s.active {
+		panic("mics: session not acquired")
+	}
+	return s.ch
+}
+
+// Active reports whether the session holds a channel.
+func (s *Session) Active() bool { return s.active }
+
+// Switches returns how many times the session changed channels.
+func (s *Session) Switches() int { return s.switches }
+
+// ReportExchange records the outcome of one exchange on the session
+// channel. Consecutive failures beyond InterferenceLimit mark the channel
+// as suffering persistent interference: the session re-acquires a new
+// channel at sample time now, returning the (possibly new) channel.
+func (s *Session) ReportExchange(ok bool, now int64) (int, error) {
+	if !s.active {
+		return -1, errors.New("mics: session not acquired")
+	}
+	if ok {
+		s.interference = 0
+		return s.ch, nil
+	}
+	s.interference++
+	limit := s.InterferenceLimit
+	if limit == 0 {
+		limit = DefaultInterferenceLimit
+	}
+	if s.interference < limit {
+		return s.ch, nil
+	}
+	// Persistent interference: abandon and re-acquire, skipping the
+	// current channel first.
+	old := s.ch
+	ch, err := s.Acquire(now, (old+1)%NumChannels)
+	if err != nil {
+		s.active = false
+		return -1, err
+	}
+	if ch != old {
+		s.switches++
+	}
+	return ch, nil
+}
+
+// Release ends the session.
+func (s *Session) Release() { s.active = false }
+
+// String describes the session state.
+func (s *Session) String() string {
+	if !s.active {
+		return "session(inactive)"
+	}
+	return fmt.Sprintf("session(ch=%d, interference=%d, switches=%d)", s.ch, s.interference, s.switches)
+}

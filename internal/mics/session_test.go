@@ -1,0 +1,129 @@
+package mics
+
+import (
+	"math"
+	"testing"
+
+	"heartshield/internal/channel"
+	"heartshield/internal/radio"
+	"heartshield/internal/stats"
+)
+
+func sessionRig(seed int64) (*Session, *channel.Medium) {
+	rng := stats.NewRNG(seed)
+	m := channel.NewMedium(600e3, rng.Split())
+	m.SetLink(antListener, antOther, channel.Link{LossDB: 40})
+	m.NewEpoch()
+	s := &Session{
+		Medium:  m,
+		Antenna: antListener,
+		Chain: &radio.RXChain{
+			NoiseFloorDBm: radio.NoiseFloorDBm(300e3, 7),
+			ChannelBW:     300e3,
+			SampleRate:    600e3,
+			RNG:           rng.Split(),
+		},
+	}
+	return s, m
+}
+
+func occupy(m *channel.Medium, ch int, start int64) {
+	iq := make([]complex128, CCASamples(600e3)+500)
+	for i := range iq {
+		iq[i] = complex(math.Sqrt(math.Pow(10, -1.6)), 0) // -16 dBm
+	}
+	m.AddBurst(&channel.Burst{Channel: ch, Start: start, IQ: iq, From: antOther})
+}
+
+func TestSessionAcquire(t *testing.T) {
+	s, _ := sessionRig(1)
+	ch, err := s.Acquire(0, 3)
+	if err != nil || ch != 3 {
+		t.Fatalf("Acquire = %d, %v", ch, err)
+	}
+	if !s.Active() || s.Channel() != 3 {
+		t.Fatalf("session state: %s", s)
+	}
+}
+
+func TestSessionAcquireSkipsBusy(t *testing.T) {
+	s, m := sessionRig(2)
+	occupy(m, 3, 0)
+	ch, err := s.Acquire(0, 3)
+	if err != nil || ch != 4 {
+		t.Fatalf("Acquire = %d, %v (want 4)", ch, err)
+	}
+}
+
+func TestSessionAllChannelsBusy(t *testing.T) {
+	s, m := sessionRig(3)
+	for ch := 0; ch < NumChannels; ch++ {
+		occupy(m, ch, 0)
+	}
+	if _, err := s.Acquire(0, 0); err != ErrNoChannel {
+		t.Fatalf("err = %v, want ErrNoChannel", err)
+	}
+}
+
+func TestSessionPersistentInterferenceSwitches(t *testing.T) {
+	s, m := sessionRig(4)
+	if _, err := s.Acquire(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A couple of failures stay on channel...
+	for i := 0; i < DefaultInterferenceLimit-1; i++ {
+		ch, err := s.ReportExchange(false, 100)
+		if err != nil || ch != 0 {
+			t.Fatalf("early switch: ch=%d err=%v", ch, err)
+		}
+	}
+	// ...a success resets the counter...
+	if _, err := s.ReportExchange(true, 200); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the limit-th consecutive failure abandons the channel. Make
+	// channel 1 busy so the session lands on 2.
+	occupy(m, 1, 300)
+	for i := 0; i < DefaultInterferenceLimit; i++ {
+		if _, err := s.ReportExchange(false, 300); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Channel(); got != 2 {
+		t.Fatalf("after persistent interference ch = %d, want 2", got)
+	}
+	if s.Switches() != 1 {
+		t.Fatalf("switches = %d", s.Switches())
+	}
+}
+
+func TestSessionReleaseAndMisuse(t *testing.T) {
+	s, _ := sessionRig(5)
+	if _, err := s.ReportExchange(true, 0); err == nil {
+		t.Fatal("ReportExchange before Acquire should error")
+	}
+	if _, err := s.Acquire(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Release()
+	if s.Active() {
+		t.Fatal("still active after Release")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Channel() on inactive session should panic")
+		}
+	}()
+	s.Channel()
+}
+
+func TestSessionString(t *testing.T) {
+	s, _ := sessionRig(6)
+	if s.String() != "session(inactive)" {
+		t.Fatalf("inactive string = %q", s.String())
+	}
+	s.Acquire(0, 0)
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}

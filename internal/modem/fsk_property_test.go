@@ -1,0 +1,95 @@
+package modem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"heartshield/internal/dsp"
+	"heartshield/internal/phy"
+	"heartshield/internal/stats"
+)
+
+// Modulate/demodulate must round-trip for any bits, any moderate CFO, and
+// any initial carrier phase — the invariant every experiment relies on.
+func TestFSKRoundTripUnderCFOProperty(t *testing.T) {
+	m := NewFSK(DefaultFSK)
+	f := func(seed int64) bool {
+		g := stats.NewRNG(seed)
+		bits := g.Bits(96 + g.Intn(160))
+		cfo := (g.Float64()*2 - 1) * 3000 // ±3 kHz
+		x := m.Modulate(bits)
+		dsp.Mix(x, cfo, DefaultFSK.SampleRate, g.Float64()*6.28)
+		// Genie CFO knowledge (the demodulator handles estimation
+		// separately; here we isolate the detector).
+		got := m.DemodBits(x, len(bits), cfo)
+		errs, n := phy.CountBitErrors(got, bits)
+		return n == len(bits) && errs == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A channel phase rotation (complex gain) must not affect noncoherent
+// detection.
+func TestFSKPhaseInvarianceProperty(t *testing.T) {
+	m := NewFSK(DefaultFSK)
+	f := func(seed int64) bool {
+		g := stats.NewRNG(seed)
+		bits := g.Bits(128)
+		x := m.Modulate(bits)
+		dsp.ScaleC(x, g.UnitPhasor()*complex(0.01+g.Float64(), 0))
+		got := m.DemodBits(x, len(bits), 0)
+		errs, _ := phy.CountBitErrors(got, bits)
+		return errs == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sync must locate a frame at any placement within the buffer.
+func TestFSKSyncAnyOffsetProperty(t *testing.T) {
+	m := NewFSK(DefaultFSK)
+	frame := &phy.Frame{Command: phy.CmdInterrogate, Payload: []byte("xyz")}
+	copy(frame.Serial[:], "PZK600123H")
+	sig := m.ModulateFrame(frame)
+	f := func(seed int64) bool {
+		g := stats.NewRNG(seed)
+		offset := g.Intn(3000)
+		x := g.ComplexNormalVec(make([]complex128, offset+len(sig)+400), 1e-5)
+		dsp.AddTo(x[offset:], sig)
+		sr, ok := m.Sync(x, 0.5)
+		return ok && sr.Start == offset
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sync must stay quiet on pure noise at any variance (no false frames).
+func TestFSKSyncNoiseRejectionProperty(t *testing.T) {
+	m := NewFSK(DefaultFSK)
+	f := func(seed int64) bool {
+		g := stats.NewRNG(seed)
+		x := g.ComplexNormalVec(make([]complex128, 4000), g.Float64()*10+0.01)
+		_, ok := m.Sync(x, 0.6)
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSKAlternativeConfig(t *testing.T) {
+	// The modem must work at other rates too (e.g. a 25 kbaud profile).
+	cfg := FSKConfig{SampleRate: 600e3, SymbolRate: 25e3, Deviation: 25e3}
+	m := NewFSK(cfg)
+	g := stats.NewRNG(1)
+	bits := g.Bits(300)
+	got := m.DemodBits(m.Modulate(bits), len(bits), 0)
+	errs, _ := phy.CountBitErrors(got, bits)
+	if errs != 0 {
+		t.Fatalf("25 kbaud round trip: %d errors", errs)
+	}
+}

@@ -1,0 +1,153 @@
+package ofdm
+
+import (
+	"heartshield/internal/dsp"
+)
+
+// Footnote 2 of the paper sketches the time-domain alternative to the
+// OFDM antidote: "compute the multi-path channel and apply an equalizer
+// on the time-domain antidote signal that inverts the multi-path of the
+// jamming signal". TapEqualizer implements it: an FIR pre-filter w applied
+// to the jam before transmission from the receive antenna, chosen so that
+// HSelf * w ≈ -HJamToRx (convolution), i.e. the radiated antidote arrives
+// with the jam's own multipath already imprinted.
+
+// TapEqualizer is the FIR pre-filter for the time-domain antidote.
+type TapEqualizer struct {
+	Taps []complex128
+}
+
+// DesignEqualizer solves for nTaps filter coefficients minimizing
+// ||conv(hSelf, w) + hJamToRx||² by least squares on the tap domain
+// (normal equations solved with Gaussian elimination — the systems are
+// tiny). hSelf and hJam are impulse responses; nTaps should cover
+// len(hJam) - len(hSelf) + a few extra taps.
+func DesignEqualizer(hSelf, hJam []complex128, nTaps int) *TapEqualizer {
+	if nTaps <= 0 {
+		panic("ofdm: equalizer needs at least one tap")
+	}
+	// Build the convolution matrix A (len(hSelf)+nTaps-1 rows × nTaps
+	// cols): A[r][c] = hSelf[r-c], target b = -hJam (zero-padded).
+	rows := len(hSelf) + nTaps - 1
+	if rows < len(hJam) {
+		rows = len(hJam)
+	}
+	a := make([][]complex128, rows)
+	b := make([]complex128, rows)
+	for r := 0; r < rows; r++ {
+		a[r] = make([]complex128, nTaps)
+		for c := 0; c < nTaps; c++ {
+			if k := r - c; k >= 0 && k < len(hSelf) {
+				a[r][c] = hSelf[k]
+			}
+		}
+		if r < len(hJam) {
+			b[r] = -hJam[r]
+		}
+	}
+	// Normal equations: (AᴴA) w = Aᴴ b.
+	ata := make([][]complex128, nTaps)
+	atb := make([]complex128, nTaps)
+	for i := 0; i < nTaps; i++ {
+		ata[i] = make([]complex128, nTaps)
+		for j := 0; j < nTaps; j++ {
+			var s complex128
+			for r := 0; r < rows; r++ {
+				s += conj(a[r][i]) * a[r][j]
+			}
+			ata[i][j] = s
+		}
+		var s complex128
+		for r := 0; r < rows; r++ {
+			s += conj(a[r][i]) * b[r]
+		}
+		atb[i] = s
+	}
+	w := solveLinear(ata, atb)
+	return &TapEqualizer{Taps: w}
+}
+
+func conj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+// solveLinear solves M x = y by Gaussian elimination with partial
+// pivoting. M is modified in place.
+func solveLinear(m [][]complex128, y []complex128) []complex128 {
+	n := len(y)
+	x := append([]complex128(nil), y...)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		best, bestMag := col, magSqC(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if mg := magSqC(m[r][col]); mg > bestMag {
+				best, bestMag = r, mg
+			}
+		}
+		m[col], m[best] = m[best], m[col]
+		x[col], x[best] = x[best], x[col]
+		piv := m[col][col]
+		if piv == 0 {
+			continue
+		}
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / piv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	out := make([]complex128, n)
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for c := r + 1; c < n; c++ {
+			s -= m[r][c] * out[c]
+		}
+		if m[r][r] != 0 {
+			out[r] = s / m[r][r]
+		}
+	}
+	return out
+}
+
+func magSqC(c complex128) float64 { return real(c)*real(c) + imag(c)*imag(c) }
+
+// Apply pre-filters the jam samples with the equalizer taps (causal
+// convolution).
+func (e *TapEqualizer) Apply(jam []complex128) []complex128 {
+	out := make([]complex128, len(jam))
+	for i := range jam {
+		var acc complex128
+		for k, t := range e.Taps {
+			if i-k < 0 {
+				break
+			}
+			acc += t * jam[i-k]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// EqualizerCancellationDB measures the time-domain equalizer antidote on
+// the given channels: the jam goes through hJam; the equalized antidote
+// through hSelf; the residual power relative to the uncancelled jam gives
+// the cancellation. Complementary to Compare's per-subcarrier OFDM
+// antidote; footnote 2's approach achieves the same end in the time
+// domain.
+func EqualizerCancellationDB(hJam, hSelf Channel, nTaps, n int, rng interface {
+	ComplexNormalVec([]complex128, float64) []complex128
+}) float64 {
+	jam := rng.ComplexNormalVec(make([]complex128, n), 1)
+	eq := DesignEqualizer(hSelf.Taps, hJam.Taps, nTaps)
+	base := hJam.Apply(jam)
+	anti := hSelf.Apply(eq.Apply(jam))
+	resid := make([]complex128, n)
+	for i := range resid {
+		resid[i] = base[i] + anti[i]
+	}
+	return dsp.DB(dsp.Power(base) / dsp.Power(resid))
+}

@@ -1,0 +1,77 @@
+package ofdm
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"heartshield/internal/stats"
+)
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	// [2 1; 1 3] x = [5; 10] → x = (1, 3).
+	m := [][]complex128{{2, 1}, {1, 3}}
+	y := []complex128{5, 10}
+	x := solveLinear(m, y)
+	if cmplx.Abs(x[0]-1) > 1e-9 || cmplx.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("solveLinear = %v, want (1, 3)", x)
+	}
+}
+
+func TestDesignEqualizerFlatChannel(t *testing.T) {
+	// Flat channels reduce to the single-tap ratio of §5.
+	hSelf := []complex128{complex(0.8, 0.1)}
+	hJam := []complex128{complex(0.2, -0.05)}
+	eq := DesignEqualizer(hSelf, hJam, 1)
+	want := -hJam[0] / hSelf[0]
+	if cmplx.Abs(eq.Taps[0]-want) > 1e-9 {
+		t.Fatalf("flat equalizer tap = %v, want %v", eq.Taps[0], want)
+	}
+}
+
+func TestEqualizerCancelsMultipath(t *testing.T) {
+	// Footnote 2: the time-domain equalizer restores cancellation on a
+	// frequency-selective coupling channel where the single tap fails.
+	rng := stats.NewRNG(1)
+	hJam := TwoTap(complex(0.17, 0.05), complex(0.08, -0.06), 6)
+	hSelf := Channel{Taps: []complex128{complex(0.79, 0.02)}}
+
+	multi := EqualizerCancellationDB(hJam, hSelf, 12, 8192, rng)
+	if multi < 40 {
+		t.Fatalf("equalizer cancellation on multipath = %g dB, want > 40", multi)
+	}
+
+	// Compare with a single-tap "equalizer" (the narrowband antidote):
+	single := EqualizerCancellationDB(hJam, hSelf, 1, 8192, rng)
+	if single > multi-15 {
+		t.Fatalf("single tap %g dB should trail the equalizer %g dB", single, multi)
+	}
+}
+
+func TestEqualizerSelfMultipath(t *testing.T) {
+	// Even when the self-loop itself has structure (e.g. connector
+	// reflections), the equalizer inverts it.
+	rng := stats.NewRNG(2)
+	hJam := TwoTap(complex(0.15, 0), complex(0.06, 0.03), 4)
+	hSelf := TwoTap(complex(0.8, 0), complex(0.1, -0.02), 2)
+	g := EqualizerCancellationDB(hJam, hSelf, 16, 8192, rng)
+	if g < 30 {
+		t.Fatalf("cancellation with structured self-loop = %g dB, want > 30", g)
+	}
+}
+
+func TestDesignEqualizerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero taps should panic")
+		}
+	}()
+	DesignEqualizer([]complex128{1}, []complex128{1}, 0)
+}
+
+func TestEqualizerApplyCausal(t *testing.T) {
+	eq := &TapEqualizer{Taps: []complex128{1, 0.5}}
+	out := eq.Apply([]complex128{1, 0, 0})
+	if out[0] != 1 || out[1] != 0.5 || out[2] != 0 {
+		t.Fatalf("impulse response = %v", out)
+	}
+}

@@ -1,0 +1,56 @@
+// Package phy defines the bit-level physical-layer conventions shared by
+// the IMD, programmer, shield, and adversaries: bit/byte packing, the
+// CRC-16 frame check, the over-the-air frame layout, and the identifying
+// sequence (Sid) that the shield's active defense matches against.
+package phy
+
+// BytesToBits expands b into one byte per bit, MSB first.
+func BytesToBits(b []byte) []byte {
+	bits := make([]byte, 0, len(b)*8)
+	for _, x := range b {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, (x>>uint(i))&1)
+		}
+	}
+	return bits
+}
+
+// BitsToBytes packs a bit-per-byte slice (MSB first) into bytes. Trailing
+// bits that do not fill a byte are dropped.
+func BitsToBytes(bits []byte) []byte {
+	out := make([]byte, len(bits)/8)
+	for i := range out {
+		var x byte
+		for j := 0; j < 8; j++ {
+			x = x<<1 | (bits[i*8+j] & 1)
+		}
+		out[i] = x
+	}
+	return out
+}
+
+// HammingDistance counts positions where a and b differ, comparing the
+// overlapping prefix and counting any length difference as errors.
+func HammingDistance(a, b []byte) int {
+	n := min(len(a), len(b))
+	d := len(a) + len(b) - 2*n
+	for i := 0; i < n; i++ {
+		if a[i]&1 != b[i]&1 {
+			d++
+		}
+	}
+	return d
+}
+
+// CountBitErrors compares two bit slices over their overlapping prefix only
+// and returns (errors, compared). It is the BER primitive used by the
+// experiment harness.
+func CountBitErrors(got, want []byte) (errs, n int) {
+	n = min(len(got), len(want))
+	for i := 0; i < n; i++ {
+		if got[i]&1 != want[i]&1 {
+			errs++
+		}
+	}
+	return errs, n
+}

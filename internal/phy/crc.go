@@ -1,0 +1,20 @@
+package phy
+
+// CRC16 computes the CRC-16/CCITT-FALSE checksum (poly 0x1021, init 0xFFFF,
+// no reflection, no final XOR) over data. This is the frame check sequence
+// the IMD uses to discard corrupted commands — the property the shield's
+// active jamming relies on (§7 of the paper).
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}

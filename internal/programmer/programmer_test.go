@@ -1,0 +1,121 @@
+package programmer
+
+import (
+	"testing"
+
+	"heartshield/internal/channel"
+	"heartshield/internal/imd"
+	"heartshield/internal/mics"
+	"heartshield/internal/modem"
+	"heartshield/internal/phy"
+	"heartshield/internal/radio"
+	"heartshield/internal/stats"
+)
+
+const (
+	antIMD  channel.AntennaID = 1
+	antProg channel.AntennaID = 2
+)
+
+func newPair(seed int64) (*Programmer, *imd.Device, *channel.Medium) {
+	rng := stats.NewRNG(seed)
+	fsk := modem.NewFSK(modem.DefaultFSK)
+	med := channel.NewMedium(modem.DefaultFSK.SampleRate, rng.Split())
+	// Symmetric losses: programmer→IMD crosses the body.
+	med.SetLink(antIMD, antProg, channel.Link{LossDB: 60})
+	med.NewEpoch()
+
+	dev := imd.NewDevice(imd.Config{
+		Profile: imd.VirtuosoICD,
+		Antenna: antIMD,
+		Medium:  med,
+		TX:      &radio.TXChain{PowerDBm: -36, SampleRate: modem.DefaultFSK.SampleRate},
+		RX: &radio.RXChain{
+			NoiseFloorDBm: radio.NoiseFloorDBm(300e3, 10),
+			ChannelBW:     300e3,
+			SampleRate:    modem.DefaultFSK.SampleRate,
+			RNG:           rng.Split(),
+		},
+		Modem:   fsk,
+		Channel: 0,
+		RNG:     rng.Split(),
+	})
+	prog := &Programmer{
+		Antenna: antProg,
+		Medium:  med,
+		TX:      &radio.TXChain{PowerDBm: -16, SampleRate: modem.DefaultFSK.SampleRate},
+		RX: &radio.RXChain{
+			NoiseFloorDBm: radio.NoiseFloorDBm(300e3, 7),
+			ChannelBW:     300e3,
+			SampleRate:    modem.DefaultFSK.SampleRate,
+			RNG:           rng.Split(),
+		},
+		Modem:  fsk,
+		Target: imd.VirtuosoICD.Serial,
+	}
+	return prog, dev, med
+}
+
+func TestCommandBuilders(t *testing.T) {
+	p, _, _ := newPair(1)
+	if f := p.Interrogate(); f.Command != phy.CmdInterrogate || f.Serial != imd.VirtuosoICD.Serial {
+		t.Fatalf("Interrogate = %+v", f)
+	}
+	f := p.SetTherapy(imd.ParamPacingRate, 100)
+	if f.Command != phy.CmdSetTherapy || len(f.Payload) != 2 {
+		t.Fatalf("SetTherapy = %+v", f)
+	}
+	if f := p.ReadTherapy(); f.Command != phy.CmdReadTherapy {
+		t.Fatalf("ReadTherapy = %+v", f)
+	}
+}
+
+func TestFullSessionExchange(t *testing.T) {
+	p, dev, _ := newPair(2)
+	// LBT then transmit.
+	b := p.TransmitAfterLBT(0, 0, p.Interrogate())
+	if b == nil {
+		t.Fatal("LBT failed on an idle channel")
+	}
+	re := dev.ProcessWindow(b.Start, int(b.End()-b.Start)+1000)
+	if !re.Responded {
+		t.Fatal("IMD did not respond")
+	}
+	// Programmer hears the response.
+	rb := re.ResponseBurst
+	rx, ok := p.Receive(0, rb.Start-200, int(rb.End()-rb.Start)+400)
+	if !ok || rx.Frame == nil {
+		t.Fatalf("programmer failed to decode the response: ok=%v err=%v", ok, rx.Err)
+	}
+	if rx.Frame.Command != phy.CmdDataResponse {
+		t.Fatalf("response = %v", rx.Frame.Command)
+	}
+}
+
+func TestLBTBlocksOnBusyChannel(t *testing.T) {
+	p, _, med := newPair(3)
+	// Occupy the channel with a strong carrier.
+	iq := make([]complex128, mics.CCASamples(modem.DefaultFSK.SampleRate)+1000)
+	for i := range iq {
+		iq[i] = complex(0.1, 0) // -20 dBm
+	}
+	med.AddBurst(&channel.Burst{Channel: 0, Start: 0, IQ: iq, From: antIMD})
+	if b := p.TransmitAfterLBT(0, 0, p.Interrogate()); b != nil {
+		t.Fatal("programmer transmitted over an occupied channel")
+	}
+}
+
+func TestTransmitPlacesBurstAfterCCA(t *testing.T) {
+	p, _, med := newPair(4)
+	b := p.TransmitAfterLBT(0, 500, p.Interrogate())
+	if b == nil {
+		t.Fatal("transmit failed")
+	}
+	wantStart := int64(500 + mics.CCASamples(modem.DefaultFSK.SampleRate))
+	if b.Start != wantStart {
+		t.Fatalf("burst start = %d, want %d (after the 10 ms CCA)", b.Start, wantStart)
+	}
+	if len(med.Bursts(0)) != 1 {
+		t.Fatal("burst not on medium")
+	}
+}

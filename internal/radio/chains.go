@@ -1,0 +1,182 @@
+// Package radio models the software-radio transmit and receive chains of
+// every device in the simulation: power scaling and DAC quantization on
+// transmit; thermal noise, carrier frequency offset, ADC quantization, and
+// front-end overload on receive. These are the USRP2/RFX400 stand-ins for
+// the paper's prototype — the impairments they introduce (finite antidote
+// cancellation, saturation under high-power adversaries) bound the same
+// quantities the paper measures (G in Fig. 7, Pthresh in Table 1).
+package radio
+
+import (
+	"math"
+
+	"heartshield/internal/dsp"
+	"heartshield/internal/stats"
+)
+
+// TXChain converts unit-power baseband IQ into an over-the-air burst at
+// the configured transmit power, applying DAC quantization and the
+// transmitter's carrier frequency offset.
+type TXChain struct {
+	// PowerDBm is the transmit power a unit-power input is scaled to.
+	PowerDBm float64
+	// DACBits is the DAC resolution; 0 disables quantization.
+	DACBits int
+	// CFOHz is this transmitter's carrier offset from nominal.
+	CFOHz float64
+	// SampleRate is the baseband sample rate in Hz.
+	SampleRate float64
+}
+
+// Transmit returns a new slice: iq scaled to PowerDBm (assuming unit-power
+// input), quantized, and rotated by the chain's CFO. The input is not
+// modified.
+func (t *TXChain) Transmit(iq []complex128) []complex128 {
+	out := dsp.Clone(iq)
+	amp := math.Sqrt(dsp.FromDBm(t.PowerDBm))
+	dsp.Scale(out, amp)
+	if t.DACBits > 0 {
+		quantize(out, amp*1.25, t.DACBits)
+	}
+	if t.CFOHz != 0 {
+		dsp.Mix(out, t.CFOHz, t.SampleRate, 0)
+	}
+	return out
+}
+
+// TransmitAt is Transmit with an explicit power override in dBm, used when
+// a device changes power per burst (e.g. the shield's calibrated jamming
+// level or an adversary's power sweep).
+func (t *TXChain) TransmitAt(iq []complex128, powerDBm float64) []complex128 {
+	saved := t.PowerDBm
+	t.PowerDBm = powerDBm
+	defer func() { t.PowerDBm = saved }()
+	return t.Transmit(iq)
+}
+
+// quantize rounds I and Q to a bits-wide uniform quantizer with full scale
+// fullScale, clipping anything beyond.
+func quantize(x []complex128, fullScale float64, bits int) {
+	levels := float64(int64(1) << uint(bits-1))
+	step := fullScale / levels
+	q := func(v float64) float64 {
+		if v > fullScale {
+			v = fullScale
+		} else if v < -fullScale {
+			v = -fullScale
+		}
+		return math.Round(v/step) * step
+	}
+	for i, v := range x {
+		x[i] = complex(q(real(v)), q(imag(v)))
+	}
+}
+
+// RXChain models a receiver front end. Process adds thermal noise for the
+// configured noise floor, applies the receiver's carrier offset, models
+// front-end overload for strong inputs, and quantizes with the ADC.
+type RXChain struct {
+	// NoiseFloorDBm is the integrated thermal noise over ChannelBW.
+	NoiseFloorDBm float64
+	// ChannelBW is the bandwidth the noise floor is quoted over (Hz).
+	ChannelBW float64
+	// SampleRate is the baseband sample rate (Hz); noise is spread over it.
+	SampleRate float64
+	// CFOHz is the receiver's carrier offset from nominal.
+	CFOHz float64
+	// ADCBits is the ADC resolution; 0 disables quantization.
+	ADCBits int
+	// OverloadDBm is the input power at which the front end saturates.
+	// Inputs above it suffer rapidly growing distortion. Zero disables
+	// overload modelling (treated as +inf).
+	OverloadDBm float64
+	// OverloadMarginDB is the signal-to-distortion ratio right at the
+	// overload point; it shrinks ~2 dB per dB of additional input power.
+	OverloadMarginDB float64
+	// RNG drives the noise; it must be non-nil.
+	RNG *stats.RNG
+}
+
+// DefaultOverloadMarginDB is used when OverloadMarginDB is zero.
+const DefaultOverloadMarginDB = 12
+
+// Process returns a new slice containing iq as seen after the front end:
+// CFO-rotated, with thermal noise, overload distortion, and ADC
+// quantization applied. The input is not modified.
+func (r *RXChain) Process(iq []complex128) []complex128 {
+	out := dsp.Clone(iq)
+	if r.CFOHz != 0 {
+		dsp.Mix(out, -r.CFOHz, r.SampleRate, 0)
+	}
+	inPower := dsp.Power(out)
+
+	// Thermal noise: the floor is quoted over ChannelBW but the sample
+	// stream spans SampleRate, so scale the per-sample variance.
+	bwScale := 1.0
+	if r.ChannelBW > 0 && r.SampleRate > 0 {
+		bwScale = r.SampleRate / r.ChannelBW
+	}
+	noiseVar := dsp.FromDBm(r.NoiseFloorDBm) * bwScale
+	for i := range out {
+		out[i] += r.RNG.ComplexNormal(noiseVar)
+	}
+
+	// Front-end overload: above OverloadDBm the effective
+	// signal-to-noise-and-distortion ratio collapses. Model the
+	// intermodulation/AGC products as additional Gaussian distortion whose
+	// power grows 3 dB per dB of excess drive (2 dB margin loss + 1 dB
+	// input growth), plus hard clipping of the ADC.
+	if r.OverloadDBm != 0 && inPower > 0 {
+		inDBm := dsp.DBm(inPower)
+		excess := inDBm - r.OverloadDBm
+		if excess > 0 {
+			margin := r.OverloadMarginDB
+			if margin == 0 {
+				margin = DefaultOverloadMarginDB
+			}
+			sndrDB := margin - 2*excess
+			if sndrDB < 1 {
+				sndrDB = 1
+			}
+			distVar := inPower / dsp.FromDB(sndrDB)
+			for i := range out {
+				out[i] += r.RNG.ComplexNormal(distVar)
+			}
+			clip := math.Sqrt(dsp.FromDBm(r.OverloadDBm + 6))
+			for i, v := range out {
+				out[i] = complex(clamp(real(v), clip), clamp(imag(v), clip))
+			}
+		}
+	}
+
+	if r.ADCBits > 0 {
+		fs := math.Sqrt(dsp.FromDBm(r.OverloadDBm + 6))
+		if r.OverloadDBm == 0 {
+			fs = 4 * math.Sqrt(inPower+noiseVar)
+		}
+		quantize(out, fs, r.ADCBits)
+	}
+	return out
+}
+
+func clamp(v, lim float64) float64 {
+	if v > lim {
+		return lim
+	}
+	if v < -lim {
+		return -lim
+	}
+	return v
+}
+
+// RSSIdBm returns the mean power of iq expressed in dBm (assuming the
+// simulation's sqrt-milliwatt amplitude convention).
+func RSSIdBm(iq []complex128) float64 {
+	return dsp.DBm(dsp.Power(iq))
+}
+
+// NoiseFloorDBm computes the thermal noise floor for a bandwidth and noise
+// figure: -174 dBm/Hz + 10·log10(BW) + NF.
+func NoiseFloorDBm(bandwidthHz, noiseFigureDB float64) float64 {
+	return -174 + 10*math.Log10(bandwidthHz) + noiseFigureDB
+}

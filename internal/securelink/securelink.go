@@ -1,0 +1,96 @@
+// Package securelink implements the authenticated encrypted channel
+// between the shield and authorized programmers (§4 of the paper assumes
+// such a channel exists; the pairing itself can be in-band or out-of-band).
+// It provides AES-256-GCM sealing with directional keys derived from a
+// shared pairing secret and strictly monotonic sequence numbers for replay
+// protection.
+package securelink
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+)
+
+// Errors returned by Open.
+var (
+	ErrAuth   = errors.New("securelink: authentication failed")
+	ErrReplay = errors.New("securelink: replayed or reordered message")
+	ErrShort  = errors.New("securelink: ciphertext too short")
+)
+
+// Link is one directional pair of AEAD states: messages sealed by one end
+// open only at the peer, and each direction enforces a strictly increasing
+// sequence number.
+type Link struct {
+	send    cipher.AEAD
+	recv    cipher.AEAD
+	sendSeq uint64
+	recvSeq uint64 // highest sequence accepted so far + 1
+}
+
+// deriveKey expands the pairing secret into a directional 32-byte key.
+func deriveKey(secret []byte, label string) []byte {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte(label))
+	return mac.Sum(nil)
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// Pair derives the two ends of a shield↔programmer link from a shared
+// pairing secret. The first return value belongs to the shield, the second
+// to the programmer.
+func Pair(secret []byte) (*Link, *Link, error) {
+	s2p, err := newAEAD(deriveKey(secret, "shield->programmer"))
+	if err != nil {
+		return nil, nil, err
+	}
+	p2s, err := newAEAD(deriveKey(secret, "programmer->shield"))
+	if err != nil {
+		return nil, nil, err
+	}
+	shield := &Link{send: s2p, recv: p2s}
+	prog := &Link{send: p2s, recv: s2p}
+	return shield, prog, nil
+}
+
+// Seal encrypts and authenticates plaintext, framing it with the sequence
+// number used as the GCM nonce. The output is seq(8) || ciphertext.
+func (l *Link) Seal(plaintext []byte) []byte {
+	var nonce [12]byte
+	binary.BigEndian.PutUint64(nonce[4:], l.sendSeq)
+	out := make([]byte, 8, 8+len(plaintext)+l.send.Overhead())
+	binary.BigEndian.PutUint64(out, l.sendSeq)
+	l.sendSeq++
+	return l.send.Seal(out, nonce[:], plaintext, out[:8])
+}
+
+// Open authenticates and decrypts a message sealed by the peer, rejecting
+// replays and reordering (sequence numbers must strictly increase).
+func (l *Link) Open(msg []byte) ([]byte, error) {
+	if len(msg) < 8 {
+		return nil, ErrShort
+	}
+	seq := binary.BigEndian.Uint64(msg[:8])
+	if seq < l.recvSeq {
+		return nil, ErrReplay
+	}
+	var nonce [12]byte
+	binary.BigEndian.PutUint64(nonce[4:], seq)
+	pt, err := l.recv.Open(nil, nonce[:], msg[8:], msg[:8])
+	if err != nil {
+		return nil, ErrAuth
+	}
+	l.recvSeq = seq + 1
+	return pt, nil
+}

@@ -1,0 +1,104 @@
+package securelink
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func pairOrDie(t *testing.T) (*Link, *Link) {
+	t.Helper()
+	shield, prog, err := Pair([]byte("pairing-secret-0001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shield, prog
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	shield, prog := pairOrDie(t)
+	msg := []byte("interrogate")
+	ct := prog.Seal(msg)
+	pt, err := shield.Open(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Fatalf("round trip = %q", pt)
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	shield, prog := pairOrDie(t)
+	up := prog.Seal([]byte("cmd"))
+	if _, err := shield.Open(up); err != nil {
+		t.Fatal(err)
+	}
+	down := shield.Seal([]byte("data"))
+	if pt, err := prog.Open(down); err != nil || string(pt) != "data" {
+		t.Fatalf("downlink failed: %v %q", err, pt)
+	}
+}
+
+func TestRejectsTamper(t *testing.T) {
+	shield, prog := pairOrDie(t)
+	ct := prog.Seal([]byte("set therapy 120"))
+	ct[len(ct)-1] ^= 0x01
+	if _, err := shield.Open(ct); err != ErrAuth {
+		t.Fatalf("tampered open error = %v, want ErrAuth", err)
+	}
+}
+
+func TestRejectsReplay(t *testing.T) {
+	shield, prog := pairOrDie(t)
+	ct := prog.Seal([]byte("once"))
+	if _, err := shield.Open(ct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shield.Open(ct); err != ErrReplay {
+		t.Fatalf("replay error = %v, want ErrReplay", err)
+	}
+}
+
+func TestRejectsCrossDirection(t *testing.T) {
+	shield, _ := pairOrDie(t)
+	// A message the shield sealed must not open at the shield itself.
+	ct := shield.Seal([]byte("loopback"))
+	if _, err := shield.Open(ct); err == nil {
+		t.Fatal("directional keys must differ")
+	}
+}
+
+func TestRejectsShort(t *testing.T) {
+	shield, _ := pairOrDie(t)
+	if _, err := shield.Open([]byte{1, 2, 3}); err != ErrShort {
+		t.Fatalf("short error = %v", err)
+	}
+}
+
+func TestDifferentSecretsDoNotInterop(t *testing.T) {
+	_, progA, err := Pair([]byte("secret-A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shieldB, _, err := Pair([]byte("secret-B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := progA.Seal([]byte("hello"))
+	if _, err := shieldB.Open(ct); err == nil {
+		t.Fatal("links paired with different secrets must not interop")
+	}
+}
+
+func TestSequenceSurvivesManyMessagesProperty(t *testing.T) {
+	shield, prog := pairOrDie(t)
+	f := func(payload []byte) bool {
+		ct := prog.Seal(payload)
+		pt, err := shield.Open(ct)
+		return err == nil && bytes.Equal(pt, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

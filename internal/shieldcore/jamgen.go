@@ -1,0 +1,136 @@
+// Package shieldcore implements the paper's contribution: the shield, a
+// wearable jammer-cum-receiver that (a) jams every transmission of the
+// protected IMD while decoding it through its own jamming via an antidote
+// signal (full-duplex without antenna separation, §5), (b) shapes its
+// jamming to the IMD's FSK profile for maximum efficiency per watt (§6),
+// (c) detects and jams unauthorized commands addressed to the IMD (§7),
+// and (d) raises an alarm for high-powered adversaries it cannot stop.
+package shieldcore
+
+import (
+	"heartshield/internal/dsp"
+	"heartshield/internal/modem"
+	"heartshield/internal/stats"
+)
+
+// JamShape selects the spectral profile of the jamming signal.
+type JamShape int
+
+const (
+	// ShapedJam matches the jamming PSD to the IMD's FSK profile
+	// (Fig. 5, "shaped power profile") so the power lands on the
+	// frequencies that matter for decoding.
+	ShapedJam JamShape = iota
+	// FlatJam spreads the power uniformly across the 300 kHz channel
+	// (Fig. 5, "constant power profile") — the baseline an adversary can
+	// partially filter out.
+	FlatJam
+)
+
+// String names the shape.
+func (s JamShape) String() string {
+	if s == FlatJam {
+		return "flat"
+	}
+	return "shaped"
+}
+
+// jamFFTSize is the block size used for spectral shaping: 256 bins over
+// 600 kHz gives ~2.3 kHz resolution, plenty for a 300 kHz channel.
+const jamFFTSize = 256
+
+// JamGenerator produces random jamming signals with a chosen spectral
+// profile and unit mean power. The randomness makes the jam a one-time pad
+// over the air (Shannon): only the shield, which knows the exact samples,
+// can subtract it.
+type JamGenerator struct {
+	shape   JamShape
+	profile []float64 // per-bin variance, natural FFT order, sums to nfft
+	rng     *stats.RNG
+}
+
+// NewJamGenerator builds a generator for the given shape. The IMD profile
+// is derived from the modem's own modulation: the shield modulates a long
+// random bit sequence with the IMD's FSK parameters and measures its PSD —
+// exactly the "shape the noise to the IMD modulation" procedure of §6(a).
+func NewJamGenerator(shape JamShape, fskCfg modem.FSKConfig, rng *stats.RNG) *JamGenerator {
+	g := &JamGenerator{shape: shape, rng: rng}
+	switch shape {
+	case FlatJam:
+		g.profile = flatProfile(fskCfg.SampleRate)
+	default:
+		g.profile = fskProfile(fskCfg, rng.Split())
+	}
+	return g
+}
+
+// Shape returns the generator's spectral profile selection.
+func (g *JamGenerator) Shape() JamShape { return g.shape }
+
+// Profile returns the per-bin variance template in natural FFT order
+// (shared slice; do not modify).
+func (g *JamGenerator) Profile() []float64 { return g.profile }
+
+// fskProfile measures the PSD of a reference FSK transmission and converts
+// it into a per-bin variance template normalized to mean 1.
+func fskProfile(cfg modem.FSKConfig, rng *stats.RNG) []float64 {
+	m := modem.NewFSK(cfg)
+	ref := m.Modulate(rng.Bits(8192))
+	psd := dsp.PSD(ref, jamFFTSize, dsp.Hann) // centered order
+	dsp.FFTShiftFloat(psd)                    // back to natural order
+	return normalizeProfile(psd)
+}
+
+// flatProfile is uniform across the 300 kHz channel centered at DC and
+// zero outside (the jam must stay inside its MICS channel).
+func flatProfile(fs float64) []float64 {
+	p := make([]float64, jamFFTSize)
+	freqs := dsp.BinFrequencies(jamFFTSize, fs)
+	for i, f := range freqs {
+		if f >= -150e3 && f <= 150e3 {
+			p[i] = 1
+		}
+	}
+	return normalizeProfile(p)
+}
+
+// normalizeProfile scales the template so the generated time-domain signal
+// has unit mean power (bins sum to nfft).
+func normalizeProfile(p []float64) []float64 {
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	out := make([]float64, len(p))
+	if sum == 0 {
+		return out
+	}
+	scale := float64(len(p)) / sum
+	for i, v := range p {
+		out[i] = v * scale
+	}
+	return out
+}
+
+// Generate returns n samples of fresh random jamming with the generator's
+// spectral profile and unit mean power. Each call produces an independent
+// signal: per block, every FFT bin gets an independent complex Gaussian
+// with the template variance, and the IFFT yields the time-domain jam
+// (§6(a) of the paper, verbatim).
+func (g *JamGenerator) Generate(n int) []complex128 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]complex128, 0, n+jamFFTSize)
+	block := make([]complex128, jamFFTSize)
+	for len(out) < n {
+		for k := range block {
+			// Var per bin = profile[k]; IFFT's 1/N scaling means the bin
+			// amplitude must be sqrt(N * var) for unit output power.
+			block[k] = g.rng.ComplexNormal(g.profile[k] * float64(jamFFTSize))
+		}
+		dsp.IFFT(block)
+		out = append(out, block...)
+	}
+	return out[:n]
+}

@@ -1,0 +1,393 @@
+package shieldcore_test
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"heartshield/internal/adversary"
+	"heartshield/internal/channel"
+	"heartshield/internal/phy"
+	"heartshield/internal/securelink"
+	"heartshield/internal/shieldcore"
+	"heartshield/internal/stats"
+	"heartshield/internal/testbed"
+)
+
+func TestChannelEstimationAccuracy(t *testing.T) {
+	sc := testbed.NewScenario(testbed.Options{Seed: 1})
+	est := sc.Shield.EstimateChannels()
+	if !est.Valid {
+		t.Fatal("estimate invalid")
+	}
+	hTrue := sc.Medium.Gain(testbed.AntShieldJam, testbed.AntShieldRx)
+	hSelf := sc.Medium.Gain(testbed.AntShieldRx, testbed.AntShieldRx)
+	if rel := cmplx.Abs(est.HJamToRx-hTrue) / cmplx.Abs(hTrue); rel > 0.02 {
+		t.Fatalf("Hjam→rec relative error = %g, want < 2%%", rel)
+	}
+	if rel := cmplx.Abs(est.HSelf-hSelf) / cmplx.Abs(hSelf); rel > 0.02 {
+		t.Fatalf("Hself relative error = %g, want < 2%%", rel)
+	}
+}
+
+func TestCancellationAround32dB(t *testing.T) {
+	// Fig. 7: the antidote cancels ≈32 dB of jamming at the receive
+	// antenna, with modest spread.
+	sc := testbed.NewScenario(testbed.Options{Seed: 2})
+	sc.CalibrateShieldRSSI()
+	var g []float64
+	for trial := 0; trial < 60; trial++ {
+		sc.NewTrial()
+		sc.PrepareShield()
+		g = append(g, sc.Shield.CancellationDB(4096))
+	}
+	mean := stats.Mean(g)
+	if mean < 26 || mean > 40 {
+		t.Fatalf("mean cancellation = %g dB, want ≈ 32", mean)
+	}
+	if lo := stats.Min(g); lo < 15 {
+		t.Fatalf("worst-case cancellation = %g dB, implausibly low", lo)
+	}
+}
+
+func TestAntidoteDoesNotCancelAtEavesdropper(t *testing.T) {
+	// §5: cancellation happens only at the shield's receive antenna. At a
+	// remote location the jam power with and without antidote differs by
+	// at most a couple of dB.
+	sc := testbed.NewScenario(testbed.Options{Seed: 3, Location: 1})
+	sc.CalibrateShieldRSSI()
+	sc.PrepareShield()
+
+	jp := sc.Shield.PlaceJam(0, 4096)
+	// Power at the eavesdropper with both bursts present.
+	both := sc.EavesRX.Process(sc.Medium.Observe(testbed.AntEavesdropper, 0, 0, 4096))
+	pBoth := power(both)
+	// Remove the antidote burst and re-observe: only the jam burst.
+	sc.Medium.ClearBursts()
+	sc.Medium.AddBurst(jp.Jam)
+	only := sc.EavesRX.Process(sc.Medium.Observe(testbed.AntEavesdropper, 0, 0, 4096))
+	pOnly := power(only)
+
+	deltaDB := 10 * math.Abs(math.Log10(pBoth/pOnly))
+	if deltaDB > 3 {
+		t.Fatalf("antidote changed jam power at eavesdropper by %g dB, want < 3", deltaDB)
+	}
+	// Meanwhile at the shield's own antenna the same antidote removes
+	// ≈30 dB (verified by TestCancellationAround32dB).
+}
+
+func power(x []complex128) float64 {
+	var p float64
+	for _, v := range x {
+		p += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return p / float64(len(x))
+}
+
+func TestShieldDecodesIMDWhileJamming(t *testing.T) {
+	// §10.2 core claim: with jamming on, the shield still decodes the
+	// IMD's packets.
+	sc := testbed.NewScenario(testbed.Options{Seed: 4})
+	sc.CalibrateShieldRSSI()
+	ok := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		sc.NewTrial()
+		sc.PrepareShield()
+		pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.IMD.ProcessWindow(0, 12000)
+		res := pending.Collect()
+		if res.Response != nil && res.Response.Command == phy.CmdDataResponse {
+			ok++
+		}
+	}
+	if ok < trials-1 {
+		t.Fatalf("shield decoded %d/%d responses through its own jamming", ok, trials)
+	}
+}
+
+func TestEavesdropperBlindedByJamming(t *testing.T) {
+	// §10.2: the eavesdropper's BER on jammed IMD packets is ≈ 50%.
+	sc := testbed.NewScenario(testbed.Options{Seed: 5, Location: 1})
+	sc.CalibrateShieldRSSI()
+	eaves := &adversary.Eavesdropper{
+		Antenna: testbed.AntEavesdropper,
+		Medium:  sc.Medium,
+		RX:      sc.EavesRX,
+		Modem:   sc.FSK,
+	}
+	var bers []float64
+	for i := 0; i < 12; i++ {
+		sc.NewTrial()
+		sc.PrepareShield()
+		pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re := sc.IMD.ProcessWindow(0, 12000)
+		if !re.Responded {
+			t.Fatal("IMD did not respond")
+		}
+		pending.Collect()
+		truth := re.Response.MarshalBits()
+		bers = append(bers, eaves.InterceptBER(0, re.ResponseBurst.Start, truth))
+	}
+	mean := stats.Mean(bers)
+	if mean < 0.4 || mean > 0.6 {
+		t.Fatalf("eavesdropper BER = %g, want ≈ 0.5", mean)
+	}
+}
+
+func TestEavesdropperDecodesWithoutShield(t *testing.T) {
+	// Sanity: with no jamming the eavesdropper at 20 cm reads everything.
+	sc := testbed.NewScenario(testbed.Options{Seed: 6, Location: 1})
+	eaves := &adversary.Eavesdropper{
+		Antenna: testbed.AntEavesdropper,
+		Medium:  sc.Medium,
+		RX:      sc.EavesRX,
+		Modem:   sc.FSK,
+	}
+	sc.NewTrial()
+	b := sc.Prog.Transmit(0, 0, sc.InterrogateFrame())
+	re := sc.IMD.ProcessWindow(0, int(b.End())+2000)
+	if !re.Responded {
+		t.Fatal("IMD did not respond")
+	}
+	truth := re.Response.MarshalBits()
+	ber := eaves.InterceptBER(0, re.ResponseBurst.Start, truth)
+	if ber > 0.01 {
+		t.Fatalf("unjammed eavesdropper BER = %g, want ~0", ber)
+	}
+}
+
+func TestActiveDefenseJamsReplayedCommand(t *testing.T) {
+	// §10.3(a): with the shield on, a replayed FCC-power command never
+	// reaches the IMD.
+	sc := testbed.NewScenario(testbed.Options{Seed: 7, Location: 1})
+	sc.CalibrateShieldRSSI()
+	adv := &adversary.Active{
+		Antenna: testbed.AntAdversary,
+		Medium:  sc.Medium,
+		TX:      sc.AdvTX,
+		RX:      sc.AdvRX,
+		Modem:   sc.FSK,
+	}
+	succeeded := 0
+	for i := 0; i < 10; i++ {
+		sc.NewTrial()
+		sc.PrepareShield()
+		b := adv.Replay(0, 1000, sc.InterrogateFrame())
+		rep := sc.Shield.DefendWindow(0, int(b.End())+2000)
+		if !rep.BurstDetected || !rep.Matched || !rep.Jammed {
+			t.Fatalf("trial %d: shield failed to detect/jam: %+v", i, rep)
+		}
+		re := sc.IMD.ProcessWindow(0, int(b.End())+2000)
+		if re.Responded {
+			succeeded++
+		}
+	}
+	if succeeded != 0 {
+		t.Fatalf("adversary succeeded %d/10 times despite the shield", succeeded)
+	}
+}
+
+func TestAdversarySucceedsWithoutShield(t *testing.T) {
+	// Baseline for the same setup: shield off, the replay works.
+	sc := testbed.NewScenario(testbed.Options{Seed: 8, Location: 1})
+	adv := &adversary.Active{
+		Antenna: testbed.AntAdversary,
+		Medium:  sc.Medium,
+		TX:      sc.AdvTX,
+		RX:      sc.AdvRX,
+		Modem:   sc.FSK,
+	}
+	sc.NewTrial()
+	b := adv.Replay(0, 0, sc.InterrogateFrame())
+	re := sc.IMD.ProcessWindow(0, int(b.End())+2000)
+	if !re.Responded {
+		t.Fatal("adversary at 20 cm should succeed with the shield off")
+	}
+}
+
+func TestDefenseIgnoresOtherDevicesTraffic(t *testing.T) {
+	// A frame addressed to a different serial must not be jammed (the
+	// shield protects exactly its own IMD).
+	sc := testbed.NewScenario(testbed.Options{Seed: 9, Location: 1})
+	sc.CalibrateShieldRSSI()
+	sc.PrepareShield()
+	var other [phy.SerialBytes]byte
+	copy(other[:], "ZZZ9999999")
+	f := &phy.Frame{Serial: other, Command: phy.CmdInterrogate, Payload: testbed.CommandPayload()}
+	adv := &adversary.Active{Antenna: testbed.AntAdversary, Medium: sc.Medium, TX: sc.AdvTX, RX: sc.AdvRX, Modem: sc.FSK}
+	b := adv.Replay(0, 500, f)
+	rep := sc.Shield.DefendWindow(0, int(b.End())+1000)
+	if !rep.BurstDetected || !rep.SidChecked {
+		t.Fatalf("shield should have examined the burst: %+v", rep)
+	}
+	if rep.Matched || rep.Jammed {
+		t.Fatalf("shield jammed traffic for another device: %+v", rep)
+	}
+	if rep.SidErrors <= shieldcore.DefaultBThresh {
+		t.Fatalf("Sid distance = %d, should be far above bthresh", rep.SidErrors)
+	}
+}
+
+func TestAlarmOnHighPowerAdversary(t *testing.T) {
+	sc := testbed.NewScenario(testbed.Options{
+		Seed: 10, Location: 1, AdversaryPowerDBm: testbed.HighPowerAdvDBm,
+	})
+	sc.CalibrateShieldRSSI()
+	sc.PrepareShield()
+	adv := &adversary.Active{Antenna: testbed.AntAdversary, Medium: sc.Medium, TX: sc.AdvTX, RX: sc.AdvRX, Modem: sc.FSK}
+	b := adv.Replay(0, 500, sc.InterrogateFrame())
+	rep := sc.Shield.DefendWindow(0, int(b.End())+1000)
+	if !rep.Alarmed {
+		t.Fatalf("no alarm for a 100× adversary at 20 cm: %+v", rep)
+	}
+	if len(sc.Shield.Alarms()) != 1 {
+		t.Fatalf("alarm log = %v", sc.Shield.Alarms())
+	}
+	sc.Shield.ResetAlarms()
+	if len(sc.Shield.Alarms()) != 0 {
+		t.Fatal("ResetAlarms failed")
+	}
+}
+
+func TestNoAlarmForDistantFCCAdversary(t *testing.T) {
+	sc := testbed.NewScenario(testbed.Options{Seed: 11, Location: 8})
+	sc.CalibrateShieldRSSI()
+	sc.PrepareShield()
+	adv := &adversary.Active{Antenna: testbed.AntAdversary, Medium: sc.Medium, TX: sc.AdvTX, RX: sc.AdvRX, Modem: sc.FSK}
+	b := adv.Replay(0, 500, sc.InterrogateFrame())
+	rep := sc.Shield.DefendWindow(0, int(b.End())+1000)
+	if rep.Alarmed {
+		t.Fatalf("false alarm for an FCC-power adversary at 14 m: RSSI=%g", rep.RSSIDBm)
+	}
+	if !rep.Matched || !rep.Jammed {
+		t.Fatalf("the command should still be jammed: %+v", rep)
+	}
+}
+
+func TestConcurrentTransmissionBlocked(t *testing.T) {
+	// §7: an FCC-power adversary overlaying the shield's own transmission
+	// (capture attack) must be detected, met with jamming, and fail.
+	sc := testbed.NewScenario(testbed.Options{Seed: 12, Location: 1})
+	sc.CalibrateShieldRSSI()
+	sc.PrepareShield()
+	adv := &adversary.Active{Antenna: testbed.AntAdversary, Medium: sc.Medium, TX: sc.AdvTX, RX: sc.AdvRX, Modem: sc.FSK}
+
+	// Shield places its command; adversary overlays a therapy change on
+	// top of it; shield then runs its concurrent monitor.
+	cmd := sc.InterrogateFrame()
+	cb, _ := sc.Shield.TransmitAndMonitor(cmd, 0)
+	adv.OverlayOnShield(cb, 2000, sc.SetTherapyFrame(200))
+	mon := sc.Shield.MonitorOwnTransmission(cb, cb.IQ)
+	if !mon.Concurrent {
+		t.Fatal("overlay not detected")
+	}
+	if mon.Placement == nil {
+		t.Fatal("no jamming after detection")
+	}
+	// The overlay must not change the therapy.
+	re := sc.IMD.ProcessWindow(0, 20000)
+	if re.TherapyChanged {
+		t.Fatal("capture attack changed therapy despite the shield")
+	}
+}
+
+func TestHighPowerOverlayAtLeastAlarms(t *testing.T) {
+	// A 100× adversary at 20 cm can capture the IMD's receiver despite
+	// the jamming (the intrinsic limit §10.3(b) documents) — but the
+	// shield must detect the overlay and raise the alarm.
+	sc := testbed.NewScenario(testbed.Options{
+		Seed: 17, Location: 1, AdversaryPowerDBm: testbed.HighPowerAdvDBm,
+	})
+	sc.CalibrateShieldRSSI()
+	sc.PrepareShield()
+	adv := &adversary.Active{Antenna: testbed.AntAdversary, Medium: sc.Medium, TX: sc.AdvTX, RX: sc.AdvRX, Modem: sc.FSK}
+
+	cb, _ := sc.Shield.TransmitAndMonitor(sc.InterrogateFrame(), 0)
+	adv.OverlayOnShield(cb, 2000, sc.SetTherapyFrame(200))
+	mon := sc.Shield.MonitorOwnTransmission(cb, cb.IQ)
+	if !mon.Concurrent {
+		t.Fatal("high-power overlay not detected")
+	}
+	if len(sc.Shield.Alarms()) == 0 {
+		t.Fatal("no alarm for a high-power capture attempt")
+	}
+}
+
+func TestCleanTransmissionNotFlaggedConcurrent(t *testing.T) {
+	sc := testbed.NewScenario(testbed.Options{Seed: 13})
+	sc.CalibrateShieldRSSI()
+	sc.PrepareShield()
+	_, mon := sc.Shield.TransmitAndMonitor(sc.InterrogateFrame(), 0)
+	if mon.Concurrent {
+		t.Fatalf("false concurrent detection: %+v", mon)
+	}
+}
+
+func TestResponseWindowMath(t *testing.T) {
+	sc := testbed.NewScenario(testbed.Options{Seed: 14})
+	start, end := sc.Shield.ResponseWindow(10000)
+	fs := sc.FSK.Config().SampleRate
+	t1 := int64(2.8e-3 * fs)
+	dur := int64((3.7e-3 - 2.8e-3 + 21e-3) * fs)
+	if start != 10000+t1 {
+		t.Fatalf("window start = %d, want %d", start, 10000+t1)
+	}
+	if end-start != dur {
+		t.Fatalf("window length = %d, want %d (T2-T1+P)", end-start, dur)
+	}
+}
+
+func TestGatewaySessionEndToEnd(t *testing.T) {
+	// Programmer → secure link → shield → IMD → shield → secure link.
+	sc := testbed.NewScenario(testbed.Options{Seed: 15})
+	sc.CalibrateShieldRSSI()
+	sc.NewTrial()
+	shieldEnd, progEnd, err := securelink.Pair([]byte("pairing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := &shieldcore.GatewaySession{Shield: sc.Shield, Link: shieldEnd}
+
+	req := progEnd.Seal(sc.InterrogateFrame().Marshal())
+	sealed, err := gw.HandleRequest(req, 0, func(cmd *channel.Burst) {
+		sc.IMD.ProcessWindow(cmd.Start, int(cmd.End()-cmd.Start)+3000)
+	})
+	if err != nil {
+		t.Fatalf("HandleRequest: %v", err)
+	}
+	plain, err := progEnd.Open(sealed)
+	if err != nil {
+		t.Fatalf("programmer failed to open response: %v", err)
+	}
+	frame, err := phy.ParseFrame(plain)
+	if err != nil {
+		t.Fatalf("response parse: %v", err)
+	}
+	if frame.Command != phy.CmdDataResponse {
+		t.Fatalf("relayed response command = %v", frame.Command)
+	}
+}
+
+func TestGatewayRejectsGarbage(t *testing.T) {
+	sc := testbed.NewScenario(testbed.Options{Seed: 16})
+	shieldEnd, progEnd, err := securelink.Pair([]byte("pairing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := &shieldcore.GatewaySession{Shield: sc.Shield, Link: shieldEnd}
+	if _, err := gw.HandleRequest([]byte("junk"), 0, nil); err == nil {
+		t.Fatal("garbage request accepted")
+	}
+	// Sealed but not a frame.
+	bad := progEnd.Seal([]byte("not a frame"))
+	if _, err := gw.HandleRequest(bad, 0, nil); err != shieldcore.ErrBadRequest {
+		t.Fatalf("bad frame error = %v", err)
+	}
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of v, or NaN for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Std returns the sample standard deviation (n-1 denominator) of v.
+// It returns 0 for slices with fewer than two elements.
+func Std(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)-1))
+}
+
+// Min returns the minimum of v, or NaN for an empty slice.
+func Min(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of v, or NaN for an empty slice.
+func Max(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Welford is a streaming mean/variance accumulator (Welford's algorithm),
+// usable as a zero value.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples accumulated.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (NaN if empty).
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Std returns the running sample standard deviation.
+func (w *Welford) Std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of v using linear
+// interpolation between order statistics. It returns NaN for empty input.
+func Percentile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram counts samples into equal-width bins over [lo, hi). Samples
+// outside the range are clamped into the edge bins so no observation is
+// silently dropped.
+type Histogram struct {
+	lo, hi float64
+	counts []int
+	n      int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if hi <= lo || bins <= 0 {
+		panic("stats: invalid histogram range or bin count")
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, bins)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	bin := int(math.Floor((x - h.lo) / (h.hi - h.lo) * float64(len(h.counts))))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(h.counts) {
+		bin = len(h.counts) - 1
+	}
+	h.counts[bin]++
+	h.n++
+}
+
+// N returns the total number of samples recorded.
+func (h *Histogram) N() int { return h.n }
+
+// Counts returns the per-bin counts (shared slice).
+func (h *Histogram) Counts() []int { return h.counts }
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.counts))
+	return h.lo + w*(float64(i)+0.5)
+}
+
+// Fractions returns the normalized bin heights (summing to 1 when n > 0).
+func (h *Histogram) Fractions() []float64 {
+	f := make([]float64, len(h.counts))
+	if h.n == 0 {
+		return f
+	}
+	for i, c := range h.counts {
+		f[i] = float64(c) / float64(h.n)
+	}
+	return f
+}
+
+// Sparkline renders the histogram as an ASCII bar chart, one row per bin.
+func (h *Histogram) Sparkline(width int) string {
+	var b strings.Builder
+	maxC := 0
+	for _, c := range h.counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range h.counts {
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		fmt.Fprintf(&b, "%10.3g | %s %d\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+// Package stats provides the randomness and descriptive-statistics
+// machinery used by the simulator and its experiment harness: seeded RNG
+// plumbing, Gaussian/complex-Gaussian/log-normal sampling, streaming
+// moments, empirical CDFs, and histograms.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a seeded random source with the distributions the simulator needs.
+// It wraps math/rand so every experiment is reproducible from its seed.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns an RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent RNG from this one, for handing to parallel
+// or per-device sub-simulations without correlating their streams.
+func (g *RNG) Split() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform int in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Normal returns a Gaussian sample with the given mean and standard
+// deviation.
+func (g *RNG) Normal(mean, std float64) float64 {
+	return mean + std*g.r.NormFloat64()
+}
+
+// ComplexNormal returns a circularly-symmetric complex Gaussian sample with
+// total variance sigma2 (variance sigma2/2 per real dimension). This is the
+// CN(0, σ²) distribution used for thermal noise and the random jamming
+// signal.
+func (g *RNG) ComplexNormal(sigma2 float64) complex128 {
+	s := math.Sqrt(sigma2 / 2)
+	return complex(s*g.r.NormFloat64(), s*g.r.NormFloat64())
+}
+
+// ComplexNormalVec fills dst with CN(0, sigma2) samples and returns it.
+func (g *RNG) ComplexNormalVec(dst []complex128, sigma2 float64) []complex128 {
+	s := math.Sqrt(sigma2 / 2)
+	for i := range dst {
+		dst[i] = complex(s*g.r.NormFloat64(), s*g.r.NormFloat64())
+	}
+	return dst
+}
+
+// LogNormalDB returns a linear power factor whose dB value is Gaussian with
+// mean 0 and standard deviation sigmaDB — the standard model for shadow
+// fading.
+func (g *RNG) LogNormalDB(sigmaDB float64) float64 {
+	return math.Pow(10, g.Normal(0, sigmaDB)/10)
+}
+
+// Rayleigh returns a Rayleigh-distributed sample with scale sigma
+// (the magnitude of a CN(0, 2σ²) variable).
+func (g *RNG) Rayleigh(sigma float64) float64 {
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return sigma * math.Sqrt(-2*math.Log(u))
+}
+
+// UnitPhasor returns e^{jθ} with θ uniform in [0, 2π): a random carrier
+// phase.
+func (g *RNG) UnitPhasor() complex128 {
+	s, c := math.Sincos(2 * math.Pi * g.r.Float64())
+	return complex(c, s)
+}
+
+// Bernoulli returns true with probability p.
+func (g *RNG) Bernoulli(p float64) bool { return g.r.Float64() < p }
+
+// Bytes fills b with random bytes and returns it.
+func (g *RNG) Bytes(b []byte) []byte {
+	for i := range b {
+		b[i] = byte(g.r.Intn(256))
+	}
+	return b
+}
+
+// Bits returns n random bits as a byte-per-bit slice of 0s and 1s.
+func (g *RNG) Bits(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(g.r.Intn(2))
+	}
+	return b
+}

@@ -1,0 +1,278 @@
+package testbed
+
+import (
+	"heartshield/internal/channel"
+	"heartshield/internal/imd"
+	"heartshield/internal/modem"
+	"heartshield/internal/phy"
+	"heartshield/internal/programmer"
+	"heartshield/internal/radio"
+	"heartshield/internal/shieldcore"
+	"heartshield/internal/stats"
+)
+
+// Antenna identifiers for the fixed cast of the testbed.
+const (
+	AntIMD channel.AntennaID = iota + 1
+	AntShieldJam
+	AntShieldRx
+	AntProgrammer
+	AntAdversary
+	AntObserver
+	AntEavesdropper
+	antNextFree
+)
+
+// Options configures a scenario build.
+type Options struct {
+	// Seed makes the whole scenario deterministic.
+	Seed int64
+	// Location (1-based) places the adversary and eavesdropper; 0 means
+	// location 1.
+	Location int
+	// Profile selects the protected IMD model (default Virtuoso ICD).
+	Profile imd.Profile
+	// Shape selects the jamming spectral profile (default shaped).
+	Shape shieldcore.JamShape
+	// AdversaryPowerDBm defaults to the FCC limit.
+	AdversaryPowerDBm float64
+	// DigitalCancel enables the shield's digital residual cancellation.
+	DigitalCancel bool
+	// MICSChannel is the session channel (default 0).
+	MICSChannel int
+	// JamPowerRelDB overrides the shield's passive jamming level relative
+	// to the IMD's received power (default 20 dB, the Fig. 8 operating
+	// point). Used by the Fig. 8 sweep and the Fig. 5 ablation.
+	JamPowerRelDB float64
+}
+
+// Scenario wires a complete testbed: medium, IMD in the phantom, shield on
+// the body surface, authorized programmer, adversary and eavesdropper at a
+// Fig. 6 location, and an observer USRP sandwiched with the IMD.
+type Scenario struct {
+	Opt      Options
+	RNG      *stats.RNG
+	FSK      *modem.FSK
+	Medium   *channel.Medium
+	IMD      *imd.Device
+	Shield   *shieldcore.Shield
+	Prog     *programmer.Programmer
+	Location Location
+
+	// Adversary radio (driven by the adversary package).
+	AdvTX *radio.TXChain
+	AdvRX *radio.RXChain
+
+	// Eavesdropper and observer receive chains.
+	EavesRX    *radio.RXChain
+	ObserverRX *radio.RXChain
+
+	nextAnt channel.AntennaID
+}
+
+// NewScenario builds the testbed for the given options.
+func NewScenario(opt Options) *Scenario {
+	if opt.Location == 0 {
+		opt.Location = 1
+	}
+	if opt.Profile.Name == "" {
+		opt.Profile = imd.VirtuosoICD
+	}
+	if opt.AdversaryPowerDBm == 0 {
+		opt.AdversaryPowerDBm = FCCLimitDBm
+	}
+	rng := stats.NewRNG(opt.Seed)
+	fsk := modem.NewFSK(modem.DefaultFSK)
+	fs := modem.DefaultFSK.SampleRate
+	med := channel.NewMedium(fs, rng.Split())
+	loc := LocationByIndex(opt.Location)
+
+	sc := &Scenario{
+		Opt:      opt,
+		RNG:      rng,
+		FSK:      fsk,
+		Medium:   med,
+		Location: loc,
+		nextAnt:  antNextFree,
+	}
+
+	// --- Links ------------------------------------------------------------
+	shieldIMDAir := channel.FreeSpaceLossDB(ShieldIMDAirM, channel.MICSCenterHz)
+	med.SetLink(AntIMD, AntShieldRx, channel.Link{LossDB: shieldIMDAir + channel.BodyLossDB, DriftStd: 0.005})
+	med.SetLink(AntIMD, AntShieldJam, channel.Link{LossDB: shieldIMDAir + 0.4 + channel.BodyLossDB, DriftStd: 0.005})
+	med.SetLink(AntShieldJam, AntShieldRx, channel.Link{LossDB: JamToRxCouplingDB, DriftStd: JamToRxDrift})
+	med.SetLink(AntShieldRx, AntShieldRx, channel.Link{LossDB: SelfLoopLossDB, DriftStd: SelfDrift})
+
+	progAir := channel.AirLinkLossDB(ProgrammerDistM, PathLossExponent, 0)
+	med.SetLink(AntProgrammer, AntIMD, channel.Link{LossDB: progAir + channel.BodyLossDB})
+	med.SetLink(AntProgrammer, AntShieldRx, channel.Link{LossDB: progAir})
+	med.SetLink(AntProgrammer, AntShieldJam, channel.Link{LossDB: progAir})
+
+	advAir := loc.AirLossDB()
+	sigma := loc.ShadowSigmaDB()
+	med.SetLink(AntAdversary, AntIMD, channel.Link{LossDB: advAir + channel.BodyLossDB, ShadowSigmaDB: sigma})
+	med.SetLink(AntAdversary, AntShieldRx, channel.Link{LossDB: advAir, ShadowSigmaDB: sigma})
+	med.SetLink(AntAdversary, AntShieldJam, channel.Link{LossDB: advAir, ShadowSigmaDB: sigma})
+	med.SetLink(AntAdversary, AntObserver, channel.Link{LossDB: advAir + channel.BodyLossDB, ShadowSigmaDB: sigma})
+
+	med.SetLink(AntEavesdropper, AntIMD, channel.Link{LossDB: advAir + channel.BodyLossDB, ShadowSigmaDB: sigma})
+	med.SetLink(AntEavesdropper, AntShieldRx, channel.Link{LossDB: advAir, ShadowSigmaDB: sigma})
+	med.SetLink(AntEavesdropper, AntShieldJam, channel.Link{LossDB: advAir, ShadowSigmaDB: sigma})
+
+	// The adversary/eavesdropper also hear the programmer (needed to
+	// record commands for replay); the programmer sits next to the
+	// patient, so the distance is essentially the location's.
+	med.SetLink(AntAdversary, AntProgrammer, channel.Link{LossDB: advAir, ShadowSigmaDB: sigma})
+	med.SetLink(AntEavesdropper, AntProgrammer, channel.Link{LossDB: advAir, ShadowSigmaDB: sigma})
+
+	med.SetLink(AntObserver, AntIMD, channel.Link{LossDB: ObserverBodyLossDB})
+	med.SetLink(AntObserver, AntShieldRx, channel.Link{LossDB: shieldIMDAir + channel.BodyLossDB})
+	med.SetLink(AntObserver, AntShieldJam, channel.Link{LossDB: shieldIMDAir + channel.BodyLossDB})
+
+	med.NewEpoch()
+
+	// --- Devices ----------------------------------------------------------
+	noise := func(nf float64) float64 { return radio.NoiseFloorDBm(300e3, nf) }
+
+	sc.IMD = imd.NewDevice(imd.Config{
+		Profile: opt.Profile,
+		Antenna: AntIMD,
+		Medium:  med,
+		TX:      &radio.TXChain{PowerDBm: IMDTXPowerDBm, CFOHz: IMDCFOHz, SampleRate: fs, DACBits: 14},
+		RX: &radio.RXChain{
+			NoiseFloorDBm: noise(IMDNFDB), ChannelBW: 300e3, SampleRate: fs,
+			RNG: rng.Split(),
+		},
+		Modem:   fsk,
+		Channel: opt.MICSChannel,
+		RNG:     rng.Split(),
+	})
+
+	sc.Shield = shieldcore.NewShield(shieldcore.Config{
+		Protected:  opt.Profile,
+		JamAntenna: AntShieldJam,
+		RxAntenna:  AntShieldRx,
+		Medium:     med,
+		TXJam:      &radio.TXChain{PowerDBm: FCCLimitDBm, SampleRate: fs, DACBits: 14},
+		TXRx:       &radio.TXChain{PowerDBm: FCCLimitDBm, SampleRate: fs, DACBits: 14},
+		RX: &radio.RXChain{
+			NoiseFloorDBm: noise(ShieldNFDB), ChannelBW: 300e3, SampleRate: fs,
+			OverloadDBm: ShieldOverloadDBm, RNG: rng.Split(),
+		},
+		Modem:         fsk,
+		Channel:       opt.MICSChannel,
+		RNG:           rng.Split(),
+		Shape:         opt.Shape,
+		DigitalCancel: opt.DigitalCancel,
+		JamPowerRelDB: opt.JamPowerRelDB,
+	})
+
+	sc.Prog = &programmer.Programmer{
+		Antenna: AntProgrammer,
+		Medium:  med,
+		TX:      &radio.TXChain{PowerDBm: FCCLimitDBm, CFOHz: ProgrammerCFOHz, SampleRate: fs, DACBits: 14},
+		RX: &radio.RXChain{
+			NoiseFloorDBm: noise(AdversaryNFDB), ChannelBW: 300e3, SampleRate: fs,
+			RNG: rng.Split(),
+		},
+		Modem:  fsk,
+		Target: opt.Profile.Serial,
+	}
+
+	advCFO := (rng.Float64()*2 - 1) * AdvCFOMaxHz
+	sc.AdvTX = &radio.TXChain{PowerDBm: opt.AdversaryPowerDBm, CFOHz: advCFO, SampleRate: fs, DACBits: 14}
+	sc.AdvRX = &radio.RXChain{
+		NoiseFloorDBm: noise(AdversaryNFDB), ChannelBW: 300e3, SampleRate: fs,
+		RNG: rng.Split(),
+	}
+	sc.EavesRX = &radio.RXChain{
+		NoiseFloorDBm: noise(AdversaryNFDB), ChannelBW: 300e3, SampleRate: fs,
+		RNG: rng.Split(),
+	}
+	sc.ObserverRX = &radio.RXChain{
+		NoiseFloorDBm: noise(AdversaryNFDB), ChannelBW: 300e3, SampleRate: fs,
+		RNG: rng.Split(),
+	}
+	return sc
+}
+
+// Channel returns the session's MICS channel index.
+func (sc *Scenario) Channel() int { return sc.Opt.MICSChannel }
+
+// NewTrial starts an independent trial: fresh shadowing and phases, and a
+// clean medium.
+func (sc *Scenario) NewTrial() {
+	sc.Medium.NewEpoch()
+	sc.Medium.ClearBursts()
+	sc.IMD.SetTherapy(imd.DefaultTherapy)
+}
+
+// PrepareShield runs the shield's channel estimation and then lets the
+// physical channels drift one step, as happens between the estimate and
+// its use — the honest ordering that bounds the antidote cancellation.
+func (sc *Scenario) PrepareShield() {
+	sc.Shield.EstimateChannels()
+	sc.Medium.Perturb()
+}
+
+// CalibrateShieldRSSI runs one unjammed exchange so the shield can measure
+// the IMD's received power, then clears the medium. Call once per
+// scenario (the measurement survives trials).
+func (sc *Scenario) CalibrateShieldRSSI() float64 {
+	sc.Medium.ClearBursts()
+	cmd := &phy.Frame{Serial: sc.Opt.Profile.Serial, Command: phy.CmdInterrogate, Payload: CommandPayload()}
+	iq := sc.Shield.TXRx.Transmit(sc.FSK.ModulateFrame(cmd))
+	burst := &channel.Burst{Channel: sc.Channel(), Start: 0, IQ: iq, From: AntShieldRx}
+	sc.Medium.AddBurst(burst)
+	re := sc.IMD.ProcessWindow(0, int(burst.End())+2000)
+	rssi := sc.Shield.RX.NoiseFloorDBm
+	if re.Responded {
+		b := re.ResponseBurst
+		rssi = sc.Shield.MeasureIMDRSSI(b.Start, int(b.End()-b.Start))
+	}
+	sc.Medium.ClearBursts()
+	sc.IMD.ResetCounters()
+	return rssi
+}
+
+// CommandPayload is the standard 16-byte parameter block carried by
+// every session command (commands in the real protocol are not empty;
+// the block length also gives the shield's reactive jamming enough frame
+// tail to corrupt).
+func CommandPayload() []byte {
+	return []byte("SESSPARAM-000001")
+}
+
+// InterrogateFrame builds the data-readout command for the protected IMD.
+func (sc *Scenario) InterrogateFrame() *phy.Frame {
+	return &phy.Frame{Serial: sc.Opt.Profile.Serial, Command: phy.CmdInterrogate, Payload: CommandPayload()}
+}
+
+// SetTherapyFrame builds a therapy-modification command.
+func (sc *Scenario) SetTherapyFrame(rate byte) *phy.Frame {
+	payload := append([]byte{imd.ParamPacingRate, rate, imd.ParamEnabled, 0}, CommandPayload()[:12]...)
+	return &phy.Frame{Serial: sc.Opt.Profile.Serial, Command: phy.CmdSetTherapy, Payload: payload}
+}
+
+// NewAntennaAt registers an extra node (e.g. cross-traffic source) at the
+// given distance/obstruction, with links to the IMD, shield, and observer.
+func (sc *Scenario) NewAntennaAt(distM, obstructionDB, shadowSigma float64) channel.AntennaID {
+	id := sc.nextAnt
+	sc.nextAnt++
+	air := channel.AirLinkLossDB(distM, PathLossExponent, obstructionDB)
+	sc.Medium.SetLink(id, AntIMD, channel.Link{LossDB: air + channel.BodyLossDB, ShadowSigmaDB: shadowSigma})
+	sc.Medium.SetLink(id, AntShieldRx, channel.Link{LossDB: air, ShadowSigmaDB: shadowSigma})
+	sc.Medium.SetLink(id, AntShieldJam, channel.Link{LossDB: air, ShadowSigmaDB: shadowSigma})
+	sc.Medium.SetLink(id, AntObserver, channel.Link{LossDB: air + channel.BodyLossDB, ShadowSigmaDB: shadowSigma})
+	return id
+}
+
+// ObserverSeesResponse checks (at the in-phantom observer, like the
+// paper's sandwiched USRP) whether the IMD transmitted a response burst
+// in the window following a command that ended at cmdEnd.
+func (sc *Scenario) ObserverSeesResponse(cmdEnd int64) bool {
+	w1, w2 := sc.Shield.ResponseWindow(cmdEnd)
+	obs := sc.ObserverRX.Process(sc.Medium.Observe(AntObserver, sc.Channel(), w1, int(w2-w1)))
+	_, ok := sc.FSK.Sync(obs, 0.5)
+	return ok
+}

@@ -1,0 +1,113 @@
+package heartshield
+
+// Safety-property tests: the design requirements of §1 that motivated a
+// shield-external architecture in the first place.
+
+import (
+	"strings"
+	"testing"
+
+	"heartshield/internal/imd"
+	"heartshield/internal/modem"
+	"heartshield/internal/testbed"
+)
+
+// §1 "Safety": medical personnel must always be able to reach the IMD by
+// removing or powering off the shield — no credentials involved. With the
+// shield inactive, a plain programmer session works directly.
+func TestEmergencyAccessWhenShieldRemoved(t *testing.T) {
+	sc := testbed.NewScenario(testbed.Options{Seed: 200})
+	sc.NewTrial()
+	// No shield activity at all: the programmer talks straight to the IMD.
+	b := sc.Prog.TransmitAfterLBT(sc.Channel(), 0, sc.Prog.Interrogate())
+	if b == nil {
+		t.Fatal("LBT failed on an idle channel")
+	}
+	re := sc.IMD.ProcessWindow(b.Start, int(b.End()-b.Start)+2000)
+	if !re.Responded {
+		t.Fatal("direct access failed with the shield off — the safety property is broken")
+	}
+	rx, ok := sc.Prog.Receive(sc.Channel(), re.ResponseBurst.Start-100,
+		int(re.ResponseBurst.End()-re.ResponseBurst.Start)+300)
+	if !ok || rx.Frame == nil {
+		t.Fatal("programmer could not read the unjammed response")
+	}
+	if !strings.HasPrefix(string(rx.Frame.Payload), "PATIENT:") {
+		t.Fatalf("unexpected payload %q", rx.Frame.Payload)
+	}
+}
+
+// §3.1: if the IMD initiates an emergency transmission (life-threatening
+// condition), nothing blocks it — the shield makes no attempt to jam
+// unsolicited IMD transmissions it did not anticipate, so any nearby
+// receiver (e.g. an emergency responder's programmer) can read it.
+func TestEmergencyTransmissionReachable(t *testing.T) {
+	sc := testbed.NewScenario(testbed.Options{Seed: 201})
+	sc.CalibrateShieldRSSI()
+	sc.NewTrial()
+	burst := sc.IMD.EmergencyTransmit(5000)
+	rx, ok := sc.Prog.Receive(sc.Channel(), burst.Start-200,
+		int(burst.End()-burst.Start)+400)
+	if !ok || rx.Frame == nil {
+		t.Fatal("emergency transmission not received")
+	}
+	if !strings.HasPrefix(string(rx.Frame.Payload), "EMERGENCY:") {
+		t.Fatalf("payload %q", rx.Frame.Payload)
+	}
+}
+
+// Two independently protected patients share the band: each shield jams
+// only commands addressed to its own IMD, and both relays keep working on
+// their separate MICS channels.
+func TestTwoProtectedSystemsCoexist(t *testing.T) {
+	// Patient A on channel 0.
+	scA := testbed.NewScenario(testbed.Options{Seed: 202, MICSChannel: 0})
+	scA.CalibrateShieldRSSI()
+	// Patient B (Concerto) on channel 5 of the same conceptual band; the
+	// simulation uses separate scenario instances since the patients are
+	// far apart, which is exactly the MICS channel-separation assumption.
+	scB := testbed.NewScenario(testbed.Options{
+		Seed: 203, MICSChannel: 5, Profile: imd.ConcertoCRT,
+	})
+	scB.CalibrateShieldRSSI()
+
+	for i := 0; i < 3; i++ {
+		for _, sc := range []*testbed.Scenario{scA, scB} {
+			sc.NewTrial()
+			sc.PrepareShield()
+			pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.IMD.ProcessWindow(0, 12000)
+			if res := pending.Collect(); res.Response == nil {
+				t.Fatalf("round %d: relay failed for %s", i, sc.IMD.Profile.Name)
+			}
+		}
+	}
+
+	// Shield A must not jam traffic addressed to IMD B (different serial,
+	// even if it appeared on A's channel).
+	scA.NewTrial()
+	scA.PrepareShield()
+	frameB := scB.InterrogateFrame() // Concerto serial
+	burst := scA.Prog.Transmit(scA.Channel(), 500, frameB)
+	rep := scA.Shield.DefendWindow(0, int(burst.End())+1000)
+	if rep.Matched || rep.Jammed {
+		t.Fatalf("shield A jammed traffic for patient B's device: %+v", rep)
+	}
+}
+
+// The modem the whole system shares must agree on timing constants with
+// the IMD profiles (a drift here would silently break the jam window).
+func TestTimingConstantsConsistency(t *testing.T) {
+	cfg := modem.DefaultFSK
+	p := imd.VirtuosoICD
+	maxFrame := cfg.Duration(cfg.SamplesForBits(8 * (4 + 2 + 10 + 2 + 110 + 2)))
+	if maxFrame > p.MaxPacket {
+		t.Fatalf("longest frame %.4fs exceeds the profile's MaxPacket %.4fs — the jam window would be too short", maxFrame, p.MaxPacket)
+	}
+	if p.T1 >= p.T2 {
+		t.Fatal("T1 must precede T2")
+	}
+}
