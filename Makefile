@@ -1,0 +1,32 @@
+# Build, test, and benchmark entry points for the heartshield repo.
+#
+#   make test   - tier-1 gate: build everything, run every test
+#   make vet    - static checks
+#   make bench  - micro + end-to-end benchmarks; archives the run as
+#                 BENCH_latest.txt (raw) and BENCH_latest.json (parsed)
+#   make sim    - regenerate every paper table/figure (quick trial counts)
+
+GO ?= go
+
+.PHONY: all test vet bench sim clean
+
+all: test vet
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench=. -benchmem ./... | tee BENCH_latest.txt
+	$(GO) run ./cmd/benchjson < BENCH_latest.txt > BENCH_latest.json
+	@echo "wrote BENCH_latest.txt and BENCH_latest.json"
+
+sim:
+	$(GO) run ./cmd/shieldsim -run all -quick
+
+clean:
+	rm -f BENCH_latest.txt BENCH_latest.json
+	$(GO) clean -testcache

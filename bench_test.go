@@ -11,6 +11,7 @@ package heartshield
 // configuration so the whole suite finishes in minutes.
 
 import (
+	"runtime"
 	"testing"
 
 	"heartshield/internal/experiments"
@@ -79,7 +80,7 @@ func BenchmarkFig8Tradeoff(b *testing.B) {
 func BenchmarkFig9EavesdropperBER(b *testing.B) {
 	var last experiments.Fig9_10Result
 	for i := 0; i < b.N; i++ {
-		last = experiments.Fig9And10(experiments.Config{Seed: int64(1000 + i), Trials: 4})
+		last = experiments.Fig9And10(experiments.Config{Seed: int64(1000 + i), Trials: 4, Workers: runtime.NumCPU()})
 	}
 	b.ReportMetric(last.MinLocationBER(), "minLocBER")
 	b.ReportMetric(last.MeanLoss, "shieldLoss")
@@ -90,7 +91,7 @@ func BenchmarkFig9EavesdropperBER(b *testing.B) {
 func BenchmarkFig10ShieldLoss(b *testing.B) {
 	var last experiments.Fig9_10Result
 	for i := 0; i < b.N; i++ {
-		last = experiments.Fig9And10(experiments.Config{Seed: int64(2000 + i), Trials: 4})
+		last = experiments.Fig9And10(experiments.Config{Seed: int64(2000 + i), Trials: 4, Workers: runtime.NumCPU()})
 	}
 	b.ReportMetric(last.MeanLoss, "meanLoss")
 }
@@ -100,7 +101,7 @@ func BenchmarkFig10ShieldLoss(b *testing.B) {
 func BenchmarkFig11TriggerAttack(b *testing.B) {
 	var last experiments.AttackResult
 	for i := 0; i < b.N; i++ {
-		last = experiments.Fig11(experiments.Config{Seed: int64(1000 + i), Trials: 6})
+		last = experiments.Fig11(experiments.Config{Seed: int64(1000 + i), Trials: 6, Workers: runtime.NumCPU()})
 	}
 	b.ReportMetric(float64(last.OffKneeLocation()), "offKneeLoc")
 	b.ReportMetric(last.MaxOnSuccess(), "maxOnSuccess")
@@ -111,7 +112,7 @@ func BenchmarkFig11TriggerAttack(b *testing.B) {
 func BenchmarkFig12TherapyAttack(b *testing.B) {
 	var last experiments.AttackResult
 	for i := 0; i < b.N; i++ {
-		last = experiments.Fig12(experiments.Config{Seed: int64(1000 + i), Trials: 6})
+		last = experiments.Fig12(experiments.Config{Seed: int64(1000 + i), Trials: 6, Workers: runtime.NumCPU()})
 	}
 	b.ReportMetric(float64(last.OffKneeLocation()), "offKneeLoc")
 	b.ReportMetric(last.MaxOnSuccess(), "maxOnSuccess")
@@ -122,7 +123,7 @@ func BenchmarkFig12TherapyAttack(b *testing.B) {
 func BenchmarkFig13HighPower(b *testing.B) {
 	var last experiments.AttackResult
 	for i := 0; i < b.N; i++ {
-		last = experiments.Fig13(experiments.Config{Seed: int64(1000 + i), Trials: 6})
+		last = experiments.Fig13(experiments.Config{Seed: int64(1000 + i), Trials: 6, Workers: runtime.NumCPU()})
 	}
 	b.ReportMetric(float64(last.OffKneeLocation()), "offKneeLoc")
 	b.ReportMetric(last.MaxOnSuccess(), "maxOnSuccess")
@@ -133,7 +134,7 @@ func BenchmarkFig13HighPower(b *testing.B) {
 func BenchmarkTable1Pthresh(b *testing.B) {
 	var last experiments.Table1Result
 	for i := 0; i < b.N; i++ {
-		last = experiments.Table1(experiments.Config{Seed: int64(1000 + i), Trials: 4})
+		last = experiments.Table1(experiments.Config{Seed: int64(1000 + i), Trials: 4, Workers: runtime.NumCPU()})
 	}
 	b.ReportMetric(last.MinDBm, "minRSSI_dBm")
 	b.ReportMetric(last.AvgDBm, "avgRSSI_dBm")

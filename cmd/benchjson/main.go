@@ -1,0 +1,106 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON array on stdout, one object per benchmark result line, so CI can
+// archive and diff benchmark runs (see `make bench`, which writes
+// BENCH_latest.json).
+//
+// Each object carries the benchmark name, iteration count, ns/op, the
+// allocation metrics when -benchmem is on, and every custom metric
+// reported via b.ReportMetric (e.g. lossRate, meanCancel_dB).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson > BENCH_latest.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Package string             `json:"package,omitempty"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if r, ok := parseBenchLine(line, pkg); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one "BenchmarkX-8  123  456 ns/op  7 B/op ..."
+// line; value/unit pairs after the iteration count become metrics.
+func parseBenchLine(line, pkg string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:    trimCPUSuffix(fields[0]),
+		Package: pkg,
+		Iters:   iters,
+		Metrics: map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = val
+		} else {
+			r.Metrics[unit] = val
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true
+}
+
+// trimCPUSuffix drops the trailing -N GOMAXPROCS marker from a benchmark
+// name when present.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"heartshield"
@@ -20,11 +21,12 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		run    = flag.String("run", "", "experiment name, or 'all'")
-		seed   = flag.Int64("seed", 1, "deterministic seed")
-		trials = flag.Int("trials", 0, "per-point trials (0 = experiment default)")
-		quick  = flag.Bool("quick", false, "reduced trial counts")
+		list    = flag.Bool("list", false, "list available experiments")
+		run     = flag.String("run", "", "experiment name, or 'all'")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		trials  = flag.Int("trials", 0, "per-point trials (0 = experiment default)")
+		quick   = flag.Bool("quick", false, "reduced trial counts")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel scenario workers (output is identical for any value)")
 	)
 	flag.Parse()
 
@@ -39,7 +41,7 @@ func main() {
 		return
 	}
 
-	cfg := heartshield.ExperimentConfig{Seed: *seed, Trials: *trials, Quick: *quick}
+	cfg := heartshield.ExperimentConfig{Seed: *seed, Trials: *trials, Quick: *quick, Workers: *workers}
 	names := []string{*run}
 	if *run == "all" {
 		names = names[:0]

@@ -1,0 +1,3 @@
+module heartshield
+
+go 1.22

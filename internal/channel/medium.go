@@ -59,13 +59,57 @@ type Burst struct {
 // End returns the first sample index after the burst.
 func (b *Burst) End() int64 { return b.Start + int64(len(b.IQ)) }
 
+// burstSet holds one channel's transmissions sorted by start sample, with
+// a running prefix maximum of end samples so overlap queries can binary
+// search both ends of the candidate range instead of scanning every burst.
+type burstSet struct {
+	list []*Burst
+	// maxEnd[i] = max of list[:i+1] end samples; nondecreasing, so the
+	// first burst that can overlap a window is binary-searchable.
+	maxEnd []int64
+}
+
+// insert places b in start order (appends are O(1) for the common
+// chronological case) and maintains the end-prefix maxima.
+func (s *burstSet) insert(b *Burst) {
+	i := len(s.list)
+	for i > 0 && s.list[i-1].Start > b.Start {
+		i--
+	}
+	s.list = append(s.list, nil)
+	copy(s.list[i+1:], s.list[i:])
+	s.list[i] = b
+	s.maxEnd = append(s.maxEnd, 0)
+	for ; i < len(s.list); i++ {
+		e := s.list[i].End()
+		if i > 0 && s.maxEnd[i-1] > e {
+			e = s.maxEnd[i-1]
+		}
+		s.maxEnd[i] = e
+	}
+}
+
+// overlapRange returns the index range [lo, hi) of bursts that can overlap
+// [start, end); individual bursts inside it still need an overlap check.
+func (s *burstSet) overlapRange(start, end int64) (int, int) {
+	// First index whose prefix-max end exceeds start.
+	lo := sort.Search(len(s.list), func(i int) bool { return s.maxEnd[i] > start })
+	// First index whose start is >= end.
+	hi := sort.Search(len(s.list), func(i int) bool { return s.list[i].Start >= end })
+	return lo, hi
+}
+
 // Medium is the shared wireless channel. It is not safe for concurrent
 // use; experiments drive it from a single goroutine.
 type Medium struct {
 	fs    float64
 	rng   *stats.RNG
 	links map[pair]*linkState
-	burst map[int][]*Burst
+	// pairs is the sorted link-pair list NewEpoch and Perturb iterate; it
+	// is maintained incrementally by SetLink instead of being rebuilt and
+	// re-sorted on every call.
+	pairs []pair
+	burst map[int]*burstSet
 }
 
 // NewMedium creates an empty medium at the given baseband sample rate.
@@ -74,7 +118,7 @@ func NewMedium(fs float64, rng *stats.RNG) *Medium {
 		fs:    fs,
 		rng:   rng,
 		links: make(map[pair]*linkState),
-		burst: make(map[int][]*Burst),
+		burst: make(map[int]*burstSet),
 	}
 }
 
@@ -86,7 +130,19 @@ func (m *Medium) SampleRate() float64 { return m.fs }
 // and receive chains sharing one antenna, Hself in the paper).
 func (m *Medium) SetLink(a, b AntennaID, cfg Link) {
 	st := &linkState{cfg: cfg}
-	m.links[canon(a, b)] = st
+	p := canon(a, b)
+	if _, exists := m.links[p]; !exists {
+		i := sort.Search(len(m.pairs), func(i int) bool {
+			if m.pairs[i].a != p.a {
+				return m.pairs[i].a > p.a
+			}
+			return m.pairs[i].b >= p.b
+		})
+		m.pairs = append(m.pairs, pair{})
+		copy(m.pairs[i+1:], m.pairs[i:])
+		m.pairs[i] = p
+	}
+	m.links[p] = st
 	m.refreshLink(st)
 }
 
@@ -112,20 +168,11 @@ func (m *Medium) refreshLink(st *linkState) {
 }
 
 // NewEpoch redraws shadowing and carrier phases for every link. Call it at
-// the start of each independent trial.
+// the start of each independent trial. The cached sorted pair list keeps
+// the iteration order (and therefore the RNG stream) reproducible for a
+// given seed.
 func (m *Medium) NewEpoch() {
-	// Deterministic iteration keeps runs reproducible for a given seed.
-	pairs := make([]pair, 0, len(m.links))
-	for p := range m.links {
-		pairs = append(pairs, p)
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].a != pairs[j].a {
-			return pairs[i].a < pairs[j].a
-		}
-		return pairs[i].b < pairs[j].b
-	})
-	for _, p := range pairs {
+	for _, p := range m.pairs {
 		m.refreshLink(m.links[p])
 	}
 }
@@ -135,17 +182,7 @@ func (m *Medium) NewEpoch() {
 // The shield calls this between channel estimation and antidote use; it is
 // the physical source of the finite cancellation in Fig. 7.
 func (m *Medium) Perturb() {
-	pairs := make([]pair, 0, len(m.links))
-	for p := range m.links {
-		pairs = append(pairs, p)
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].a != pairs[j].a {
-			return pairs[i].a < pairs[j].a
-		}
-		return pairs[i].b < pairs[j].b
-	})
-	for _, p := range pairs {
+	for _, p := range m.pairs {
 		st := m.links[p]
 		if st.cfg.DriftStd <= 0 {
 			continue
@@ -180,16 +217,27 @@ func (m *Medium) AddBurst(b *Burst) {
 	if len(b.IQ) == 0 {
 		return
 	}
-	m.burst[b.Channel] = append(m.burst[b.Channel], b)
+	s := m.burst[b.Channel]
+	if s == nil {
+		s = &burstSet{}
+		m.burst[b.Channel] = s
+	}
+	s.insert(b)
 }
 
-// Bursts returns all bursts on a MICS channel (shared slice; do not
-// modify).
-func (m *Medium) Bursts(ch int) []*Burst { return m.burst[ch] }
+// Bursts returns all bursts on a MICS channel, sorted by start sample
+// (shared slice; do not modify).
+func (m *Medium) Bursts(ch int) []*Burst {
+	s := m.burst[ch]
+	if s == nil {
+		return nil
+	}
+	return s.list
+}
 
 // ClearBursts removes all transmissions (start of a new trial).
 func (m *Medium) ClearBursts() {
-	m.burst = make(map[int][]*Burst)
+	m.burst = make(map[int]*burstSet)
 }
 
 // Observe returns the noiseless superposition seen by antenna rx on MICS
@@ -202,15 +250,25 @@ func (m *Medium) Observe(rx AntennaID, ch int, start int64, n int) []complex128 
 		panic(fmt.Sprintf("channel: negative observation length %d", n))
 	}
 	out := make([]complex128, n)
-	for _, b := range m.burst[ch] {
+	s := m.burst[ch]
+	if s == nil {
+		return out
+	}
+	blo, bhi := s.overlapRange(start, start+int64(n))
+	for _, b := range s.list[blo:bhi] {
 		g := m.Gain(b.From, rx)
 		if g == 0 {
 			continue
 		}
 		lo := max64(start, b.Start)
 		hi := min64(start+int64(n), b.End())
-		for t := lo; t < hi; t++ {
-			out[t-start] += g * b.IQ[t-b.Start]
+		if hi <= lo {
+			continue
+		}
+		dst := out[lo-start : hi-start]
+		src := b.IQ[lo-b.Start : hi-b.Start]
+		for i := range dst {
+			dst[i] += g * src[i]
 		}
 	}
 	return out
@@ -220,7 +278,12 @@ func (m *Medium) Observe(rx AntennaID, ch int, start int64, n int) []complex128 
 // ch, optionally excluding bursts from one antenna (a transmitter ignoring
 // its own signal).
 func (m *Medium) BusyAt(ch int, sample int64, exclude AntennaID) bool {
-	for _, b := range m.burst[ch] {
+	s := m.burst[ch]
+	if s == nil {
+		return false
+	}
+	blo, bhi := s.overlapRange(sample, sample+1)
+	for _, b := range s.list[blo:bhi] {
 		if b.From == exclude {
 			continue
 		}

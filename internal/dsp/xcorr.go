@@ -1,0 +1,220 @@
+package dsp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PrefixEnergy writes the running energy of x into dst: dst[i] holds
+// sum_{j<i} |x[j]|^2, so dst has len(x)+1 entries and the energy of any
+// window x[a:b] is dst[b]-dst[a]. dst is grown as needed and returned.
+func PrefixEnergy(dst []float64, x []complex128) []float64 {
+	n := len(x) + 1
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	var acc float64
+	dst[0] = 0
+	for i, v := range x {
+		re, im := real(v), imag(v)
+		acc += re*re + im*im
+		dst[i+1] = acc
+	}
+	return dst
+}
+
+// SlidingEnergy writes into dst the energy of every length-m window of x:
+// dst[k] = sum_{j<m} |x[k+j]|^2 for k = 0 .. len(x)-m. It uses a prefix sum,
+// so the whole sweep costs O(len(x)) instead of O(len(x)·m). Windows whose
+// energy rounds slightly negative are clamped to 0. dst is grown as needed
+// and returned; it returns nil when m is 0 or longer than x.
+func SlidingEnergy(dst []float64, x []complex128, m int) []float64 {
+	if m <= 0 || m > len(x) {
+		return nil
+	}
+	out := len(x) - m + 1
+	if cap(dst) < out {
+		dst = make([]float64, out)
+	}
+	dst = dst[:out]
+	var acc float64
+	for i := 0; i < m; i++ {
+		re, im := real(x[i]), imag(x[i])
+		acc += re*re + im*im
+	}
+	for k := 0; ; k++ {
+		e := acc
+		if e < 0 {
+			e = 0
+		}
+		dst[k] = e
+		if k+m >= len(x) {
+			break
+		}
+		old, nw := x[k], x[k+m]
+		acc += real(nw)*real(nw) + imag(nw)*imag(nw) - (real(old)*real(old) + imag(old)*imag(old))
+	}
+	return dst
+}
+
+// XCorrPlan computes sliding cross-correlations of long inputs against one
+// or more fixed equal-length references by FFT overlap-save: the input is
+// processed in power-of-two blocks whose forward transform is shared across
+// all references, multiplied by each reference's precomputed conjugate
+// spectrum, and inverse-transformed to yield block-1+1 valid lags per block.
+//
+// Output semantics match CrossCorrelate: for reference r,
+// c[k] = sum_n x[k+n] * conj(ref_r[n]), k = 0 .. len(x)-m.
+//
+// The plan is safe for concurrent use: the reference spectra are read-only
+// after construction and per-call scratch comes from an internal pool.
+type XCorrPlan struct {
+	m     int // reference length
+	block int // FFT size
+	hop   int // valid lags produced per block = block - m + 1
+	fft   *FFTPlan
+	refF  [][]complex128 // conj(FFT(ref_r zero-padded to block))
+	pool  sync.Pool      // *xcorrScratch
+}
+
+type xcorrScratch struct {
+	x []complex128 // forward-transformed input block
+	y []complex128 // per-reference product / inverse transform
+}
+
+// NewXCorrPlan builds a plan for the given references, which must all have
+// the same nonzero length. The FFT block size is chosen so each block
+// yields at least three reference-lengths of valid lags.
+func NewXCorrPlan(refs ...[]complex128) *XCorrPlan {
+	if len(refs) == 0 {
+		panic("dsp: NewXCorrPlan needs at least one reference")
+	}
+	m := len(refs[0])
+	if m == 0 {
+		panic("dsp: NewXCorrPlan reference must be nonzero length")
+	}
+	for _, r := range refs {
+		if len(r) != m {
+			panic(fmt.Sprintf("dsp: NewXCorrPlan references differ in length (%d vs %d)", len(r), m))
+		}
+	}
+	block := NextPowerOfTwo(4 * m)
+	if block < 64 {
+		block = 64
+	}
+	p := &XCorrPlan{
+		m:     m,
+		block: block,
+		hop:   block - m + 1,
+		fft:   NewFFTPlan(block),
+	}
+	p.refF = make([][]complex128, len(refs))
+	invN := 1 / float64(block)
+	for r, ref := range refs {
+		spec := make([]complex128, block)
+		copy(spec, ref)
+		p.fft.Forward(spec)
+		// Conjugate for correlation, with the inverse transform's 1/N
+		// folded in so the per-block inverse skips its scaling pass.
+		for i, v := range spec {
+			spec[i] = complex(real(v)*invN, -imag(v)*invN)
+		}
+		p.refF[r] = spec
+	}
+	p.pool.New = func() any {
+		return &xcorrScratch{
+			x: make([]complex128, block),
+			y: make([]complex128, block),
+		}
+	}
+	return p
+}
+
+// RefLen returns the reference length m.
+func (p *XCorrPlan) RefLen() int { return p.m }
+
+// NumRefs returns how many references the plan correlates against.
+func (p *XCorrPlan) NumRefs() int { return len(p.refF) }
+
+// Lags returns the number of output lags for an input of n samples.
+func (p *XCorrPlan) Lags(n int) int {
+	if n < p.m {
+		return 0
+	}
+	return n - p.m + 1
+}
+
+// Correlate computes the sliding correlation of x against reference r,
+// writing Lags(len(x)) values into dst (grown as needed) and returning it.
+// It returns nil when x is shorter than the reference.
+func (p *XCorrPlan) Correlate(dst []complex128, x []complex128, r int) []complex128 {
+	res := p.CorrelateAll([][]complex128{dst}, x, r, r+1)
+	if res == nil {
+		return nil
+	}
+	return res[0]
+}
+
+// CorrelateAll computes the sliding correlation of x against references
+// [rLo, rHi), sharing one forward FFT per input block across all of them.
+// dst[i] receives the lags for reference rLo+i (slices are grown as
+// needed); dst itself is grown if it has fewer than rHi-rLo entries. It
+// returns nil when x is shorter than the reference.
+func (p *XCorrPlan) CorrelateAll(dst [][]complex128, x []complex128, rLo, rHi int) [][]complex128 {
+	nOut := p.Lags(len(x))
+	if nOut == 0 {
+		return nil
+	}
+	nRef := rHi - rLo
+	for len(dst) < nRef {
+		dst = append(dst, nil)
+	}
+	dst = dst[:nRef]
+	for i := range dst {
+		if cap(dst[i]) < nOut {
+			dst[i] = make([]complex128, nOut)
+		}
+		dst[i] = dst[i][:nOut]
+	}
+
+	sc := p.pool.Get().(*xcorrScratch)
+	defer p.pool.Put(sc)
+
+	for base := 0; base < nOut; base += p.hop {
+		// Load one block of input, zero-padding past the end of x.
+		avail := len(x) - base
+		if avail > p.block {
+			avail = p.block
+		}
+		copy(sc.x, x[base:base+avail])
+		for i := avail; i < p.block; i++ {
+			sc.x[i] = 0
+		}
+		p.fft.Forward(sc.x)
+
+		nv := nOut - base
+		if nv > p.hop {
+			nv = p.hop
+		}
+		for r := rLo; r < rHi; r++ {
+			spec := p.refF[r]
+			for i := range sc.y {
+				sc.y[i] = sc.x[i] * spec[i]
+			}
+			p.fft.InverseRaw(sc.y)
+			copy(dst[r-rLo][base:base+nv], sc.y[:nv])
+		}
+	}
+	return dst
+}
+
+// XCorrFFT is the one-shot convenience form of XCorrPlan: it computes
+// CrossCorrelate(x, ref) via FFT overlap-save. Callers with a fixed
+// reference and many inputs should build a plan instead.
+func XCorrFFT(x, ref []complex128) []complex128 {
+	if len(ref) == 0 || len(ref) > len(x) {
+		return nil
+	}
+	return NewXCorrPlan(ref).Correlate(nil, x, 0)
+}

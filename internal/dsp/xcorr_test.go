@@ -1,0 +1,189 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxAbsErrC(a, b []complex128) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a {
+		d := a[i] - b[i]
+		if e := math.Hypot(real(d), imag(d)); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// TestFFTPlanMatchesFFT checks the cached-plan transform against the
+// one-shot FFT/IFFT across sizes.
+func TestFFTPlanMatchesFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 4, 8, 64, 256, 1024} {
+		p := NewFFTPlan(n)
+		x := randComplex(rng, n)
+		want := Clone(x)
+		FFT(want)
+		got := Clone(x)
+		p.Forward(got)
+		if e := maxAbsErrC(got, want); e > 1e-9 {
+			t.Fatalf("n=%d: plan forward differs from FFT by %g", n, e)
+		}
+		p.Inverse(got)
+		if e := maxAbsErrC(got, x); e > 1e-9 {
+			t.Fatalf("n=%d: plan round-trip error %g", n, e)
+		}
+	}
+}
+
+// TestXCorrFFTMatchesNaive is the property test required of the
+// FFT-accelerated correlation: on random inputs it must agree with the
+// brute-force CrossCorrelate to within 1e-9 absolute.
+func TestXCorrFFTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []struct{ n, m int }{
+		{1, 1}, {5, 5}, {16, 3}, {100, 48}, {1000, 48},
+		{4096, 576}, {777, 129}, {12000, 576},
+	}
+	for _, c := range cases {
+		x := randComplex(rng, c.n)
+		ref := randComplex(rng, c.m)
+		want := CrossCorrelate(x, ref)
+		got := XCorrFFT(x, ref)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d m=%d: got %d lags, want %d", c.n, c.m, len(got), len(want))
+		}
+		if e := maxAbsErrC(got, want); e > 1e-9 {
+			t.Fatalf("n=%d m=%d: FFT correlation differs from naive by %g", c.n, c.m, e)
+		}
+	}
+}
+
+// TestXCorrPlanMultiRef checks the shared-forward-FFT multi-reference path
+// and scratch reuse across calls.
+func TestXCorrPlanMultiRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const m = 48
+	refs := [][]complex128{randComplex(rng, m), randComplex(rng, m), randComplex(rng, m)}
+	p := NewXCorrPlan(refs...)
+	var dst [][]complex128
+	for trial := 0; trial < 3; trial++ {
+		x := randComplex(rng, 2000+137*trial)
+		dst = p.CorrelateAll(dst, x, 0, len(refs))
+		for r, ref := range refs {
+			want := CrossCorrelate(x, ref)
+			if e := maxAbsErrC(dst[r], want); e > 1e-9 {
+				t.Fatalf("trial %d ref %d: error %g", trial, r, e)
+			}
+		}
+	}
+}
+
+// TestXCorrPlanEdgeCases covers too-short inputs and single-lag outputs.
+func TestXCorrPlanEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := randComplex(rng, 10)
+	p := NewXCorrPlan(ref)
+	if got := p.Correlate(nil, randComplex(rng, 9), 0); got != nil {
+		t.Fatalf("short input should return nil, got %d lags", len(got))
+	}
+	if XCorrFFT(randComplex(rng, 4), randComplex(rng, 9)) != nil {
+		t.Fatal("XCorrFFT with ref longer than x should return nil")
+	}
+	x := randComplex(rng, 10)
+	got := p.Correlate(nil, x, 0)
+	want := CrossCorrelate(x, ref)
+	if len(got) != 1 || maxAbsErrC(got, want) > 1e-9 {
+		t.Fatalf("single-lag correlation wrong: %v vs %v", got, want)
+	}
+}
+
+// TestSlidingEnergyMatchesNaive checks the prefix-sum window energies.
+func TestSlidingEnergyMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range []struct{ n, m int }{{1, 1}, {10, 3}, {1000, 48}, {12000, 576}} {
+		x := randComplex(rng, c.n)
+		got := SlidingEnergy(nil, x, c.m)
+		if len(got) != c.n-c.m+1 {
+			t.Fatalf("n=%d m=%d: %d windows, want %d", c.n, c.m, len(got), c.n-c.m+1)
+		}
+		for k := range got {
+			want := Energy(x[k : k+c.m])
+			if math.Abs(got[k]-want) > 1e-9 {
+				t.Fatalf("n=%d m=%d k=%d: %g vs %g", c.n, c.m, k, got[k], want)
+			}
+		}
+	}
+	if SlidingEnergy(nil, randComplex(rng, 4), 5) != nil {
+		t.Fatal("window longer than input should return nil")
+	}
+	if SlidingEnergy(nil, nil, 0) != nil {
+		t.Fatal("zero window should return nil")
+	}
+}
+
+// TestPrefixEnergy checks the running-energy helper.
+func TestPrefixEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := randComplex(rng, 500)
+	pre := PrefixEnergy(nil, x)
+	if len(pre) != len(x)+1 {
+		t.Fatalf("prefix length %d, want %d", len(pre), len(x)+1)
+	}
+	for _, w := range [][2]int{{0, 0}, {0, 500}, {13, 61}, {499, 500}} {
+		want := Energy(x[w[0]:w[1]])
+		if got := pre[w[1]] - pre[w[0]]; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("window %v: %g vs %g", w, got, want)
+		}
+	}
+}
+
+// BenchmarkXCorrFFT and BenchmarkXCorrNaive track the tentpole primitive at
+// the shield's sync dimensions (12000-sample window, 576-sample reference).
+func BenchmarkXCorrFFT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randComplex(rng, 12000)
+	ref := randComplex(rng, 576)
+	p := NewXCorrPlan(ref)
+	var dst []complex128
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = p.Correlate(dst, x, 0)
+	}
+}
+
+func BenchmarkXCorrNaive(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randComplex(rng, 12000)
+	ref := randComplex(rng, 576)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CrossCorrelate(x, ref)
+	}
+}
+
+func BenchmarkFFTPlan1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randComplex(rng, 1024)
+	p := NewFFTPlan(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}

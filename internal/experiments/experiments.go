@@ -10,6 +10,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"heartshield/internal/adversary"
 	"heartshield/internal/phy"
@@ -25,6 +27,12 @@ type Config struct {
 	Trials int
 	// Quick reduces trial counts for CI/bench runs.
 	Quick bool
+	// Workers bounds the number of concurrent scenario workers for the
+	// per-location/per-point experiments; 0 or 1 runs serially. Every work
+	// item owns its scenario and derives its RNG stream from the same seed
+	// arithmetic the serial loop uses, and results are merged in item
+	// order, so the output is byte-identical for any worker count.
+	Workers int
 }
 
 // trials resolves the effective trial count given defaults.
@@ -36,6 +44,48 @@ func (c Config) trials(def, quick int) int {
 		return quick
 	}
 	return def
+}
+
+// workers resolves the effective worker count.
+func (c Config) workers() int {
+	if c.Workers > 1 {
+		return c.Workers
+	}
+	return 1
+}
+
+// parallelMap runs fn(i) for i in [0, n) across w workers and returns the
+// results in index order. fn must be self-contained per index (build its
+// own scenario, seeded exactly as the serial loop would); the ordered
+// merge then makes the outcome independent of scheduling.
+func parallelMap[T any](w, n int, fn func(int) T) []T {
+	out := make([]T, n)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // newActive builds the standard active adversary for a scenario.

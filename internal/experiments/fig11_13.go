@@ -25,11 +25,13 @@ type AttackResult struct {
 }
 
 // runAttackExperiment measures per-location success probabilities for a
-// replayed command with the shield off and on.
+// replayed command with the shield off and on. Locations are independent
+// scenarios, so they fan out over cfg.Workers and merge in location order.
 func runAttackExperiment(cfg Config, title string, maker frameMaker, success func(activeTrialOutcome) bool, locations int, powerDBm float64) AttackResult {
 	trials := cfg.trials(100, 12)
 	res := AttackResult{Title: title, HighPower: powerDBm > testbed.FCCLimitDBm}
-	for idx := 1; idx <= locations; idx++ {
+	res.Points = parallelMap(cfg.workers(), locations, func(li int) AttackPoint {
+		idx := li + 1
 		sc := testbed.NewScenario(testbed.Options{
 			Seed:              cfg.Seed + int64(100*idx),
 			Location:          idx,
@@ -54,8 +56,8 @@ func runAttackExperiment(cfg Config, title string, maker frameMaker, success fun
 		pt.ProbOff = float64(offOK) / float64(trials)
 		pt.ProbOn = float64(onOK) / float64(trials)
 		pt.ProbAlarm = float64(alarms) / float64(trials)
-		res.Points = append(res.Points, pt)
-	}
+		return pt
+	})
 	return res
 }
 

@@ -63,11 +63,13 @@ type Fig8Result struct {
 
 // Fig8 sweeps the shield's relative jamming power and measures the
 // eavesdropper BER and shield PER at each setting. The eavesdropper sits
-// at location 1 (20 cm), per §10.1(b).
+// at location 1 (20 cm), per §10.1(b). Sweep points are independent
+// scenarios, so they fan out over cfg.Workers and merge in sweep order.
 func Fig8(cfg Config) Fig8Result {
 	perPoint := cfg.trials(60, 12)
-	var res Fig8Result
-	for _, rel := range []float64{1, 5, 10, 15, 20, 25} {
+	rels := []float64{1, 5, 10, 15, 20, 25}
+	points := parallelMap(cfg.workers(), len(rels), func(ri int) Fig8Point {
+		rel := rels[ri]
 		sc := testbed.NewScenario(testbed.Options{
 			Seed: cfg.Seed + 8 + int64(rel*10), Location: 1, JamPowerRelDB: rel,
 		})
@@ -102,9 +104,9 @@ func Fig8(cfg Config) Fig8Result {
 		if pt.PacketsTried > 0 {
 			pt.ShieldPER = float64(pt.PacketsLost) / float64(pt.PacketsTried)
 		}
-		res.Points = append(res.Points, pt)
-	}
-	return res
+		return pt
+	})
+	return Fig8Result{Points: points}
 }
 
 // Render prints the Fig. 8 sweep rows.

@@ -23,25 +23,28 @@ type Fig9_10Result struct {
 	Packets  int
 }
 
+// fig9LocOutcome is one location's worth of trials, produced by a worker
+// and merged in location order.
+type fig9LocOutcome struct {
+	bers        []float64 // per-packet eavesdropper BERs, in trial order
+	lost, tried int
+}
+
 // Fig9And10 runs the confidentiality experiment: at every location the
 // shield triggers IMD transmissions, jams them, and decodes them, while
-// the eavesdropper attempts the same with an optimal decoder.
+// the eavesdropper attempts the same with an optimal decoder. Locations
+// are independent scenarios (each seeded from cfg.Seed and its index), so
+// they fan out over cfg.Workers and merge deterministically.
 func Fig9And10(cfg Config) Fig9_10Result {
 	perLoc := cfg.trials(100, 8)
-	res := Fig9_10Result{
-		PerLocationBER: make(map[int]float64),
-		BERCDF:         &stats.CDF{},
-		LossCDF:        &stats.CDF{},
-	}
-	totalLost, totalTried := 0, 0
-	for _, loc := range testbed.Locations {
+	outs := parallelMap(cfg.workers(), len(testbed.Locations), func(li int) fig9LocOutcome {
+		loc := testbed.Locations[li]
 		sc := testbed.NewScenario(testbed.Options{
 			Seed: cfg.Seed + 9 + int64(loc.Index), Location: loc.Index,
 		})
 		sc.CalibrateShieldRSSI()
 		eaves := newEaves(sc)
-		var locBERs []float64
-		lost, tried := 0, 0
+		var out fig9LocOutcome
 		for i := 0; i < perLoc; i++ {
 			sc.NewTrial()
 			sc.PrepareShield()
@@ -54,21 +57,33 @@ func Fig9And10(cfg Config) Fig9_10Result {
 				continue
 			}
 			result := pending.Collect()
-			tried++
+			out.tried++
 			if result.Response == nil {
-				lost++
+				out.lost++
 			}
 			truth := re.Response.MarshalBits()
-			ber := eaves.InterceptBER(sc.Channel(), re.ResponseBurst.Start, truth)
-			locBERs = append(locBERs, ber)
+			out.bers = append(out.bers, eaves.InterceptBER(sc.Channel(), re.ResponseBurst.Start, truth))
+		}
+		return out
+	})
+
+	res := Fig9_10Result{
+		PerLocationBER: make(map[int]float64),
+		BERCDF:         &stats.CDF{},
+		LossCDF:        &stats.CDF{},
+	}
+	totalLost, totalTried := 0, 0
+	for li, out := range outs {
+		loc := testbed.Locations[li]
+		for _, ber := range out.bers {
 			res.BERCDF.Add(ber)
 		}
-		res.PerLocationBER[loc.Index] = stats.Mean(locBERs)
-		if tried > 0 {
-			res.LossCDF.Add(float64(lost) / float64(tried))
+		res.PerLocationBER[loc.Index] = stats.Mean(out.bers)
+		if out.tried > 0 {
+			res.LossCDF.Add(float64(out.lost) / float64(out.tried))
 		}
-		totalLost += lost
-		totalTried += tried
+		totalLost += out.lost
+		totalTried += out.tried
 	}
 	if totalTried > 0 {
 		res.MeanLoss = float64(totalLost) / float64(totalTried)

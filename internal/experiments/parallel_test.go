@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The parallel runner's contract: for a fixed seed, any worker count
+// produces byte-identical Render output to the serial run, because every
+// work item owns its scenario (seeded by index) and results merge in item
+// order. Worker counts above GOMAXPROCS are included so the test
+// exercises real goroutine interleaving even on a single-CPU machine.
+func workerCounts() []int {
+	w := []int{4, 7}
+	if n := runtime.NumCPU(); n > 1 {
+		w = append(w, n)
+	}
+	return w
+}
+
+func TestFig9And10ParallelEquivalence(t *testing.T) {
+	serial := Fig9And10(Config{Seed: 42, Trials: 2, Workers: 1}).Render()
+	for _, w := range workerCounts() {
+		got := Fig9And10(Config{Seed: 42, Trials: 2, Workers: w}).Render()
+		if got != serial {
+			t.Fatalf("Fig9And10 with %d workers diverges from serial output:\n--- serial ---\n%s\n--- workers=%d ---\n%s", w, serial, w, got)
+		}
+	}
+}
+
+func TestFig11ParallelEquivalence(t *testing.T) {
+	serial := Fig11(Config{Seed: 42, Trials: 3, Workers: 1}).Render()
+	for _, w := range workerCounts() {
+		got := Fig11(Config{Seed: 42, Trials: 3, Workers: w}).Render()
+		if got != serial {
+			t.Fatalf("Fig11 with %d workers diverges from serial output", w)
+		}
+	}
+}
+
+func TestTable1ParallelEquivalence(t *testing.T) {
+	serial := Table1(Config{Seed: 42, Trials: 3, Workers: 1}).Render()
+	for _, w := range workerCounts() {
+		got := Table1(Config{Seed: 42, Trials: 3, Workers: w}).Render()
+		if got != serial {
+			t.Fatalf("Table1 with %d workers diverges from serial output", w)
+		}
+	}
+}
+
+func TestFig8ParallelEquivalence(t *testing.T) {
+	serial := Fig8(Config{Seed: 42, Trials: 3, Workers: 1}).Render()
+	for _, w := range workerCounts() {
+		got := Fig8(Config{Seed: 42, Trials: 3, Workers: w}).Render()
+		if got != serial {
+			t.Fatalf("Fig8 with %d workers diverges from serial output", w)
+		}
+	}
+}

@@ -24,13 +24,25 @@ type Table1Result struct {
 	Attempts   int
 }
 
+// table1Point is one power setting's worth of trials, merged in sweep
+// order.
+type table1Point struct {
+	successRSSIs []float64
+	attempts     int
+}
+
 // Table1 sweeps the adversary's transmit power at location 1 with the
 // shield jamming, and records the RSSI of every attempt that still
-// triggered the IMD.
+// triggered the IMD. Power points are independent scenarios, so they fan
+// out over cfg.Workers and merge in sweep order.
 func Table1(cfg Config) Table1Result {
 	perPower := cfg.trials(20, 5)
-	var res Table1Result
+	var powers []float64
 	for power := -12.0; power <= 16.0; power += 2 {
+		powers = append(powers, power)
+	}
+	outs := parallelMap(cfg.workers(), len(powers), func(pi int) table1Point {
+		power := powers[pi]
 		sc := testbed.NewScenario(testbed.Options{
 			Seed:              cfg.Seed + 1000 + int64(power*10),
 			Location:          1,
@@ -38,13 +50,20 @@ func Table1(cfg Config) Table1Result {
 		})
 		sc.CalibrateShieldRSSI()
 		adv := newActive(sc)
+		var pt table1Point
 		for i := 0; i < perPower; i++ {
 			out := runActiveTrial(sc, adv, interrogateFrame, true)
-			res.Attempts++
+			pt.attempts++
 			if out.Responded {
-				res.SuccessRSSIs = append(res.SuccessRSSIs, out.RSSIAtShield)
+				pt.successRSSIs = append(pt.successRSSIs, out.RSSIAtShield)
 			}
 		}
+		return pt
+	})
+	var res Table1Result
+	for _, pt := range outs {
+		res.Attempts += pt.attempts
+		res.SuccessRSSIs = append(res.SuccessRSSIs, pt.successRSSIs...)
 	}
 	if len(res.SuccessRSSIs) > 0 {
 		res.MinDBm = stats.Min(res.SuccessRSSIs)

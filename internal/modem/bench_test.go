@@ -1,0 +1,209 @@
+package modem
+
+import (
+	"math"
+	"testing"
+
+	"heartshield/internal/dsp"
+	"heartshield/internal/phy"
+	"heartshield/internal/stats"
+)
+
+// naiveSyncMetric is the pre-FFT brute-force metric the accelerated
+// syncMetric must reproduce: per lag, each reference segment is correlated
+// directly and its energy recomputed from scratch.
+func naiveSyncMetric(m *FSK, x []complex128) []float64 {
+	ref := m.syncRef
+	n := len(ref)
+	if n == 0 || n > len(x) {
+		return nil
+	}
+	segLen := 4 * m.sps
+	if segLen > n {
+		segLen = n
+	}
+	nSeg := n / segLen
+	refE := make([]float64, nSeg)
+	for s := 0; s < nSeg; s++ {
+		refE[s] = dsp.Energy(ref[s*segLen : (s+1)*segLen])
+	}
+	out := make([]float64, len(x)-n+1)
+	for k := range out {
+		var metric float64
+		for s := 0; s < nSeg; s++ {
+			seg := x[k+s*segLen : k+(s+1)*segLen]
+			r := ref[s*segLen : (s+1)*segLen]
+			var acc complex128
+			var segE float64
+			for i := 0; i < segLen; i++ {
+				rv := r[i]
+				acc += seg[i] * complex(real(rv), -imag(rv))
+				segE += real(seg[i])*real(seg[i]) + imag(seg[i])*imag(seg[i])
+			}
+			if den := segE * refE[s]; den > 0 {
+				metric += magSq(acc) / den
+			}
+		}
+		out[k] = metric / float64(nSeg)
+	}
+	return out
+}
+
+// naiveDemodBits is the pre-table demodulator: two Sincos per sample with
+// brute-force phase accumulation.
+func naiveDemodBits(m *FSK, x []complex128, nbits int, cfoHz float64) []byte {
+	avail := len(x) / m.sps
+	if nbits > avail {
+		nbits = avail
+	}
+	if nbits <= 0 {
+		return nil
+	}
+	bits := make([]byte, nbits)
+	fs := m.cfg.SampleRate
+	stepHi := -2 * math.Pi * (m.cfg.Deviation + cfoHz) / fs
+	stepLo := -2 * math.Pi * (-m.cfg.Deviation + cfoHz) / fs
+	for k := 0; k < nbits; k++ {
+		seg := x[k*m.sps : (k+1)*m.sps]
+		var cHi, cLo complex128
+		phHi := stepHi * float64(k*m.sps)
+		phLo := stepLo * float64(k*m.sps)
+		for n, v := range seg {
+			sH, cH := math.Sincos(phHi + stepHi*float64(n))
+			sL, cL := math.Sincos(phLo + stepLo*float64(n))
+			cHi += v * complex(cH, sH)
+			cLo += v * complex(cL, sL)
+		}
+		if magSq(cHi) > magSq(cLo) {
+			bits[k] = 1
+		}
+	}
+	return bits
+}
+
+// syncTestSignal builds a frame-bearing noisy window like the ones the
+// shield and IMD receive.
+func syncTestSignal(m *FSK, g *stats.RNG, n, offset int, cfo float64) []complex128 {
+	frame := &phy.Frame{Command: phy.CmdInterrogate, Payload: []byte("private-telemetry")}
+	copy(frame.Serial[:], "PZK600123H")
+	sig := m.ModulateFrame(frame)
+	x := g.ComplexNormalVec(make([]complex128, n), 0.02)
+	dsp.AddScaled(x[offset:], sig, complex(0.7, 0.4))
+	if cfo != 0 {
+		dsp.Mix(x, cfo, m.cfg.SampleRate, 0)
+	}
+	return x
+}
+
+// TestSyncMetricMatchesNaive is the modem-level equivalence test: the FFT
+// metric must match the brute-force metric within 1e-9 at every lag, on
+// both frame-bearing and pure-noise windows.
+func TestSyncMetricMatchesNaive(t *testing.T) {
+	for _, cfg := range []FSKConfig{DefaultFSK, {SampleRate: 600e3, SymbolRate: 25e3, Deviation: 25e3}} {
+		m := NewFSK(cfg)
+		g := stats.NewRNG(99)
+		cases := [][]complex128{
+			syncTestSignal(m, g, 6000, 1234, 0),
+			syncTestSignal(m, g, 6000, 17, 2100),
+			g.ComplexNormalVec(make([]complex128, 3000), 1),
+			g.ComplexNormalVec(make([]complex128, len(m.syncRef)), 1), // single lag
+		}
+		for ci, x := range cases {
+			want := naiveSyncMetric(m, x)
+			got := m.syncMetric(x)
+			if len(got) != len(want) {
+				t.Fatalf("case %d: %d lags, want %d", ci, len(got), len(want))
+			}
+			for k := range got {
+				if math.Abs(got[k]-want[k]) > 1e-9 {
+					t.Fatalf("case %d lag %d: metric %g vs naive %g", ci, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestDemodBitsMatchesNaive checks the phasor-table demodulator against the
+// Sincos-per-sample reference, across CFO values and noise levels.
+func TestDemodBitsMatchesNaive(t *testing.T) {
+	m := NewFSK(DefaultFSK)
+	g := stats.NewRNG(5)
+	for trial := 0; trial < 20; trial++ {
+		bits := g.Bits(200)
+		cfo := (g.Float64()*2 - 1) * 3000
+		x := m.Modulate(bits)
+		dsp.Mix(x, cfo, DefaultFSK.SampleRate, g.Float64()*6.28)
+		dsp.AddTo(x, g.ComplexNormalVec(make([]complex128, len(x)), g.Float64()))
+		want := naiveDemodBits(m, x, len(bits), cfo)
+		got := m.DemodBits(x, len(bits), cfo)
+		if de, n := phy.CountBitErrors(got, want); n != len(bits) || de != 0 {
+			t.Fatalf("trial %d: table demod disagrees with naive on %d/%d bits", trial, de, n)
+		}
+	}
+}
+
+// TestEstimateCFOMatchesReference checks the allocation-free estimator and
+// its zero-allocation property.
+func TestEstimateCFOMatchesReference(t *testing.T) {
+	m := NewFSK(DefaultFSK)
+	g := stats.NewRNG(8)
+	x := syncTestSignal(m, g, 4000, 500, 1800)
+	got := m.EstimateCFO(x, 500)
+	if math.Abs(got-1800) > 150 {
+		t.Fatalf("CFO estimate %g Hz, want ≈ 1800", got)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { m.EstimateCFO(x, 500) }); allocs != 0 {
+		t.Fatalf("EstimateCFO allocates %g times per call, want 0", allocs)
+	}
+}
+
+func BenchmarkFSKSync(b *testing.B) {
+	m := NewFSK(DefaultFSK)
+	g := stats.NewRNG(1)
+	x := syncTestSignal(m, g, 12000, 2000, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Sync(x, 0.5); !ok {
+			b.Fatal("sync lost the frame")
+		}
+	}
+}
+
+func BenchmarkFSKSyncNaive(b *testing.B) {
+	m := NewFSK(DefaultFSK)
+	g := stats.NewRNG(1)
+	x := syncTestSignal(m, g, 12000, 2000, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		corr := naiveSyncMetric(m, x)
+		if peak := dsp.PeakIndex(corr); peak != 2000 {
+			b.Fatalf("naive sync peak at %d", peak)
+		}
+	}
+}
+
+func BenchmarkFSKDemodBits(b *testing.B) {
+	m := NewFSK(DefaultFSK)
+	g := stats.NewRNG(2)
+	bits := g.Bits(512)
+	x := m.Modulate(bits)
+	dsp.AddTo(x, g.ComplexNormalVec(make([]complex128, len(x)), 0.05))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.DemodBits(x, len(bits), 700)
+	}
+}
+
+func BenchmarkFSKEstimateCFO(b *testing.B) {
+	m := NewFSK(DefaultFSK)
+	g := stats.NewRNG(3)
+	x := syncTestSignal(m, g, 4000, 0, 900)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EstimateCFO(x, 0)
+	}
+}

@@ -8,6 +8,7 @@ package modem
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"heartshield/internal/dsp"
 	"heartshield/internal/phy"
@@ -57,19 +58,100 @@ func (c FSKConfig) SamplesForDuration(sec float64) int {
 func (c FSKConfig) Duration(samples int) float64 { return float64(samples) / c.SampleRate }
 
 // FSK is a binary FSK modem. It is safe for concurrent use by multiple
-// goroutines after construction: all methods are read-only on the struct.
+// goroutines after construction: the precomputed tables are read-only and
+// per-call scratch comes from an internal pool.
 type FSK struct {
 	cfg     FSKConfig
 	sps     int
 	syncRef []complex128 // modulated preamble+sync, the timing reference
+
+	// Sync acceleration: the reference is split into segLen-sample
+	// segments correlated by FFT overlap-save. Equal segments (the
+	// preamble repeats one 4-bit pattern) share one correlation, so the
+	// plan holds only the unique segment waveforms.
+	segLen  int
+	nSeg    int
+	refSegE []float64 // per-segment reference energy
+	segRef  []int     // segment index -> unique reference index
+	xcPlan  *dsp.XCorrPlan
+
+	// Demod acceleration: tone[n] = e^{-j 2π Deviation n / fs}, the
+	// cfo-free +Deviation matched phasor; the -Deviation hypothesis is its
+	// conjugate and the CFO de-rotation is applied by complex recurrence.
+	tone []complex128
+
+	syncPool sync.Pool // *syncScratch
+}
+
+type syncScratch struct {
+	corr   [][]complex128
+	prefix []float64
+	out    []float64 // per-chunk metric buffer for the streaming scan
 }
 
 // NewFSK builds a modem for the given configuration.
 func NewFSK(cfg FSKConfig) *FSK {
 	m := &FSK{cfg: cfg, sps: cfg.SamplesPerSymbol()}
+	m.tone = make([]complex128, m.sps)
+	step := -2 * math.Pi * cfg.Deviation / cfg.SampleRate
+	for n := range m.tone {
+		s, c := math.Sincos(step * float64(n))
+		m.tone[n] = complex(c, s)
+	}
+
 	syncBits := phy.BytesToBits(syncRefBytes())
 	m.syncRef = m.Modulate(syncBits)
+
+	m.buildSyncPlan()
+	m.syncPool.New = func() any { return &syncScratch{} }
 	return m
+}
+
+// buildSyncPlan slices the sync reference into the noncoherent-combining
+// segments and prepares the FFT correlation plan over the unique ones.
+func (m *FSK) buildSyncPlan() {
+	n := len(m.syncRef)
+	if n == 0 {
+		return
+	}
+	m.segLen = 4 * m.sps
+	if m.segLen > n {
+		m.segLen = n
+	}
+	m.nSeg = n / m.segLen
+	m.refSegE = make([]float64, m.nSeg)
+	m.segRef = make([]int, m.nSeg)
+	var uniq [][]complex128
+	for s := 0; s < m.nSeg; s++ {
+		seg := m.syncRef[s*m.segLen : (s+1)*m.segLen]
+		m.refSegE[s] = dsp.Energy(seg)
+		m.segRef[s] = -1
+		for u, ur := range uniq {
+			if segAlmostEqual(seg, ur) {
+				m.segRef[s] = u
+				break
+			}
+		}
+		if m.segRef[s] < 0 {
+			m.segRef[s] = len(uniq)
+			uniq = append(uniq, seg)
+		}
+	}
+	m.xcPlan = dsp.NewXCorrPlan(uniq...)
+}
+
+// segAlmostEqual reports whether two modulated segments are the same
+// waveform. Phase-continuous modulation accumulates rounding, so repeats of
+// the same bit pattern differ at the 1e-15 level; sharing one correlation
+// among them perturbs the sync metric far below its noise floor.
+func segAlmostEqual(a, b []complex128) bool {
+	for i := range a {
+		d := a[i] - b[i]
+		if math.Abs(real(d)) > 1e-9 || math.Abs(imag(d)) > 1e-9 {
+			return false
+		}
+	}
+	return true
 }
 
 func syncRefBytes() []byte {
@@ -91,21 +173,29 @@ func (m *FSK) SyncRefLen() int { return len(m.syncRef) }
 // given bits (one byte per bit, LSB significant).
 func (m *FSK) Modulate(bits []byte) []complex128 {
 	out := make([]complex128, len(bits)*m.sps)
+	// One Sincos per bit: the carrier phase is tracked exactly across bit
+	// boundaries and the within-bit ramp comes from the precomputed tone
+	// table (m.tone is the -Deviation ramp; its conjugate is +Deviation).
 	phase := 0.0
-	stepHi := 2 * math.Pi * m.cfg.Deviation / m.cfg.SampleRate
-	stepLo := -stepHi
+	stepBit := 2 * math.Pi * m.cfg.Deviation / m.cfg.SampleRate * float64(m.sps)
 	i := 0
 	for _, b := range bits {
-		step := stepLo
+		sin, cos := math.Sincos(phase)
+		w := complex(cos, sin)
 		if b&1 == 1 {
-			step = stepHi
+			for _, t := range m.tone {
+				out[i] = w * complex(real(t), -imag(t))
+				i++
+			}
+			phase += stepBit
+		} else {
+			for _, t := range m.tone {
+				out[i] = w * t
+				i++
+			}
+			phase -= stepBit
 		}
-		for s := 0; s < m.sps; s++ {
-			sin, cos := math.Sincos(phase)
-			out[i] = complex(cos, sin)
-			phase += step
-			i++
-		}
+		phase = math.Mod(phase, 2*math.Pi)
 	}
 	return out
 }
@@ -129,21 +219,34 @@ func (m *FSK) DemodBits(x []complex128, nbits int, cfoHz float64) []byte {
 		return nil
 	}
 	bits := make([]byte, nbits)
-	fs := m.cfg.SampleRate
-	stepHi := -2 * math.Pi * (m.cfg.Deviation + cfoHz) / fs
-	stepLo := -2 * math.Pi * (-m.cfg.Deviation + cfoHz) / fs
+	// The two tone hypotheses are the precomputed ±Deviation phasor table
+	// (conjugates of each other); the CFO de-rotation advances by complex
+	// recurrence, costing one Sincos per call instead of two per sample.
+	// Each envelope differs from the brute-force phase accumulation only by
+	// a per-symbol global rotation, which noncoherent detection ignores.
+	ws, wc := math.Sincos(-2 * math.Pi * cfoHz / m.cfg.SampleRate)
+	wStep := complex(wc, ws)
+	tone := m.tone
 	for k := 0; k < nbits; k++ {
 		seg := x[k*m.sps : (k+1)*m.sps]
-		var cHi, cLo complex128
-		phHi := stepHi * float64(k*m.sps)
-		phLo := stepLo * float64(k*m.sps)
+		// With u = de-rotated sample and tone[n] = c+js, the hypotheses are
+		// cHi = Σu·(c+js) = P+jQ and cLo = Σu·(c-js) = P-jQ for
+		// P = Σu·c, Q = Σu·s — so one pass of two real-scalar
+		// accumulations decides the bit: |P+jQ|² > |P-jQ|² iff
+		// Im(conj(P)·Q) < 0.
+		var pr, pi, qr, qi float64
+		w := complex(1, 0)
 		for n, v := range seg {
-			sH, cH := math.Sincos(phHi + stepHi*float64(n))
-			sL, cL := math.Sincos(phLo + stepLo*float64(n))
-			cHi += v * complex(cH, sH)
-			cLo += v * complex(cL, sL)
+			u := v * w
+			c, s := real(tone[n]), imag(tone[n])
+			ur, ui := real(u), imag(u)
+			pr += ur * c
+			pi += ui * c
+			qr += ur * s
+			qi += ui * s
+			w *= wStep
 		}
-		if magSq(cHi) > magSq(cLo) {
+		if pr*qi-pi*qr < 0 {
 			bits[k] = 1
 		}
 	}
@@ -166,60 +269,119 @@ type SyncResult struct {
 // reasonable default). The metric combines the reference in short segments
 // noncoherently so that a carrier frequency offset of a few kHz does not
 // destroy the peak. It then estimates the CFO over the sync reference.
+//
+// The scan is streaming, like the hardware it models: the metric is
+// evaluated in fixed chunks of lags and the search stops once an
+// above-threshold peak has been confirmed by a full reference length of
+// later lags none of which beat it. The guard covers the ±2-bit sidelobe
+// comb the periodic preamble produces around the true alignment, so the
+// returned lag is the same argmax an exhaustive sweep finds whenever the
+// first confirmed peak is the frame (a later *stronger* spurious peak in a
+// pure-noise tail can no longer steal the lock, which is the causal
+// receiver's behaviour anyway).
 func (m *FSK) Sync(x []complex128, threshold float64) (SyncResult, bool) {
-	corr := m.syncMetric(x)
-	if corr == nil {
+	n := len(m.syncRef)
+	if n == 0 || n > len(x) {
 		return SyncResult{}, false
 	}
-	peak := dsp.PeakIndex(corr)
-	if peak < 0 || corr[peak] < threshold {
+	nLags := len(x) - n + 1
+
+	sc := m.syncPool.Get().(*syncScratch)
+	defer m.syncPool.Put(sc)
+	if cap(sc.out) < syncChunkLags {
+		sc.out = make([]float64, syncChunkLags)
+	}
+
+	best, bestV := -1, 0.0
+	for lo := 0; lo < nLags; lo += syncChunkLags {
+		hi := lo + syncChunkLags
+		if hi > nLags {
+			hi = nLags
+		}
+		out := sc.out[:hi-lo]
+		m.syncChunk(x, lo, hi, out, sc)
+		for i, v := range out {
+			if v > bestV {
+				bestV = v
+				best = lo + i
+			}
+		}
+		if best >= 0 && bestV >= threshold && hi-best >= n {
+			break
+		}
+	}
+	if best < 0 || bestV < threshold {
 		return SyncResult{}, false
 	}
-	res := SyncResult{Start: peak, Metric: corr[peak]}
-	res.CFOHz = m.EstimateCFO(x, peak)
+	res := SyncResult{Start: best, Metric: bestV}
+	res.CFOHz = m.EstimateCFO(x, best)
 	return res, true
 }
+
+// syncChunkLags is the fixed lag-range granule of the metric sweep. Each
+// chunk correlates its own slice of x, so the streaming scan in Sync can
+// stop as soon as a peak is confirmed instead of sweeping the whole
+// window; the fixed grid keeps the computed values bit-identical no matter
+// where the scan stops or what machine runs it.
+const syncChunkLags = 1024
 
 // syncMetric returns, per candidate lag, the CFO-tolerant normalized
 // correlation against the sync reference: the reference is split into
 // 4-bit segments whose correlation magnitudes are combined noncoherently,
-// then normalized by segment energies so the metric stays in [0,1].
+// then normalized by segment energies so the metric stays in [0,1]. This
+// is the exhaustive sweep over every lag; Sync itself scans chunk by chunk
+// and stops early once it has a confirmed peak.
 func (m *FSK) syncMetric(x []complex128) []float64 {
-	ref := m.syncRef
-	n := len(ref)
+	n := len(m.syncRef)
 	if n == 0 || n > len(x) {
 		return nil
 	}
-	segLen := 4 * m.sps
-	if segLen > n {
-		segLen = n
-	}
-	nSeg := n / segLen
-	refE := make([]float64, nSeg)
-	for s := 0; s < nSeg; s++ {
-		refE[s] = dsp.Energy(ref[s*segLen : (s+1)*segLen])
-	}
-	out := make([]float64, len(x)-n+1)
-	for k := range out {
-		var metric float64
-		for s := 0; s < nSeg; s++ {
-			seg := x[k+s*segLen : k+(s+1)*segLen]
-			r := ref[s*segLen : (s+1)*segLen]
-			var acc complex128
-			var segE float64
-			for i := 0; i < segLen; i++ {
-				rv := r[i]
-				acc += seg[i] * complex(real(rv), -imag(rv))
-				segE += real(seg[i])*real(seg[i]) + imag(seg[i])*imag(seg[i])
-			}
-			den := segE * refE[s]
-			if den > 0 {
-				metric += magSq(acc) / den
-			}
+	nLags := len(x) - n + 1
+	out := make([]float64, nLags)
+	sc := m.syncPool.Get().(*syncScratch)
+	defer m.syncPool.Put(sc)
+	for lo := 0; lo < nLags; lo += syncChunkLags {
+		hi := lo + syncChunkLags
+		if hi > nLags {
+			hi = nLags
 		}
-		out[k] = metric / float64(nSeg)
+		m.syncChunk(x, lo, hi, out[lo:hi], sc)
 	}
 	return out
+}
+
+// syncChunk fills out (hi-lo entries) with the metric for lags [lo, hi):
+// one FFT correlation sweep per unique segment waveform (the block forward
+// transforms are shared across them), and O(1) sliding segment energies
+// from a prefix sum, replacing the former per-lag recomputation.
+func (m *FSK) syncChunk(x []complex128, lo, hi int, out []float64, sc *syncScratch) {
+	span := m.nSeg * m.segLen
+	sub := x[lo : hi-1+span]
+
+	sc.corr = m.xcPlan.CorrelateAll(sc.corr, sub, 0, m.xcPlan.NumRefs())
+	sc.prefix = dsp.PrefixEnergy(sc.prefix, sub)
+
+	for i := range out {
+		out[i] = 0
+	}
+	for s := 0; s < m.nSeg; s++ {
+		cs := sc.corr[m.segRef[s]]
+		pre := sc.prefix
+		off := s * m.segLen
+		refE := m.refSegE[s]
+		for i := range out {
+			c := cs[i+off]
+			segE := pre[i+off+m.segLen] - pre[i+off]
+			if den := segE * refE; den > 0 {
+				re, im := real(c), imag(c)
+				out[i] += (re*re + im*im) / den
+			}
+		}
+	}
+	inv := 1 / float64(m.nSeg)
+	for i := range out {
+		out[i] *= inv
+	}
 }
 
 // EstimateCFO estimates the carrier frequency offset of a transmission
@@ -231,15 +393,15 @@ func (m *FSK) EstimateCFO(x []complex128, start int) float64 {
 	if start < 0 || start+n > len(x) {
 		return 0
 	}
-	z := make([]complex128, n)
-	for i := 0; i < n; i++ {
-		r := m.syncRef[i]
-		z[i] = x[start+i] * complex(real(r), -imag(r))
-	}
 	lag := m.sps
 	var acc complex128
+	// Streaming form of acc += z[i+lag]*conj(z[i]) with
+	// z[i] = x[start+i]*conj(ref[i]), so no de-rotated copy is allocated.
 	for i := 0; i+lag < n; i++ {
-		acc += z[i+lag] * complex(real(z[i]), -imag(z[i]))
+		ra, rb := m.syncRef[i+lag], m.syncRef[i]
+		za := x[start+i+lag] * complex(real(ra), -imag(ra))
+		zb := x[start+i] * complex(real(rb), -imag(rb))
+		acc += za * complex(real(zb), -imag(zb))
 	}
 	if acc == 0 {
 		return 0

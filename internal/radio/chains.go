@@ -65,7 +65,10 @@ func quantize(x []complex128, fullScale float64, bits int) {
 		} else if v < -fullScale {
 			v = -fullScale
 		}
-		return math.Round(v/step) * step
+		// Floor(x+0.5) is the hardware-intrinsic round-half-up; it differs
+		// from round-half-away only on exact half-codes, which continuous
+		// signals hit with probability zero.
+		return math.Floor(v/step+0.5) * step
 	}
 	for i, v := range x {
 		x[i] = complex(q(real(v)), q(imag(v)))
@@ -117,9 +120,7 @@ func (r *RXChain) Process(iq []complex128) []complex128 {
 		bwScale = r.SampleRate / r.ChannelBW
 	}
 	noiseVar := dsp.FromDBm(r.NoiseFloorDBm) * bwScale
-	for i := range out {
-		out[i] += r.RNG.ComplexNormal(noiseVar)
-	}
+	r.RNG.AddComplexNormal(out, noiseVar)
 
 	// Front-end overload: above OverloadDBm the effective
 	// signal-to-noise-and-distortion ratio collapses. Model the
@@ -139,9 +140,7 @@ func (r *RXChain) Process(iq []complex128) []complex128 {
 				sndrDB = 1
 			}
 			distVar := inPower / dsp.FromDB(sndrDB)
-			for i := range out {
-				out[i] += r.RNG.ComplexNormal(distVar)
-			}
+			r.RNG.AddComplexNormal(out, distVar)
 			clip := math.Sqrt(dsp.FromDBm(r.OverloadDBm + 6))
 			for i, v := range out {
 				out[i] = complex(clamp(real(v), clip), clamp(imag(v), clip))

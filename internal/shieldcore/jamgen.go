@@ -8,6 +8,8 @@
 package shieldcore
 
 import (
+	"math"
+
 	"heartshield/internal/dsp"
 	"heartshield/internal/modem"
 	"heartshield/internal/stats"
@@ -39,6 +41,10 @@ func (s JamShape) String() string {
 // 600 kHz gives ~2.3 kHz resolution, plenty for a 300 kHz channel.
 const jamFFTSize = 256
 
+// jamFFT is the shared transform plan for jam synthesis; plans are
+// read-only and safe for concurrent use.
+var jamFFT = dsp.NewFFTPlan(jamFFTSize)
+
 // JamGenerator produces random jamming signals with a chosen spectral
 // profile and unit mean power. The randomness makes the jam a one-time pad
 // over the air (Shannon): only the shield, which knows the exact samples,
@@ -46,7 +52,11 @@ const jamFFTSize = 256
 type JamGenerator struct {
 	shape   JamShape
 	profile []float64 // per-bin variance, natural FFT order, sums to nfft
-	rng     *stats.RNG
+	// binAmp[k] is the per-real-dimension amplitude drawn per spectral bin
+	// with the inverse transform's 1/N folded in, so synthesis can use the
+	// unnormalized inverse FFT and skip a scaling pass per block.
+	binAmp []float64
+	rng    *stats.RNG
 }
 
 // NewJamGenerator builds a generator for the given shape. The IMD profile
@@ -60,6 +70,14 @@ func NewJamGenerator(shape JamShape, fskCfg modem.FSKConfig, rng *stats.RNG) *Ja
 		g.profile = flatProfile(fskCfg.SampleRate)
 	default:
 		g.profile = fskProfile(fskCfg, rng.Split())
+	}
+	g.binAmp = make([]float64, len(g.profile))
+	for k, v := range g.profile {
+		// The bin amplitude for unit output power is sqrt(N·var); the raw
+		// (unnormalized) inverse transform omits the 1/N, so the drawn
+		// variance is N·var/N² = var/N, i.e. amplitude sqrt(var/(2N)) per
+		// real dimension.
+		g.binAmp[k] = math.Sqrt(v / (2 * float64(jamFFTSize)))
 	}
 	return g
 }
@@ -125,11 +143,9 @@ func (g *JamGenerator) Generate(n int) []complex128 {
 	block := make([]complex128, jamFFTSize)
 	for len(out) < n {
 		for k := range block {
-			// Var per bin = profile[k]; IFFT's 1/N scaling means the bin
-			// amplitude must be sqrt(N * var) for unit output power.
-			block[k] = g.rng.ComplexNormal(g.profile[k] * float64(jamFFTSize))
+			block[k] = g.rng.ComplexNormalAmp(g.binAmp[k])
 		}
-		dsp.IFFT(block)
+		jamFFT.InverseRaw(block)
 		out = append(out, block...)
 	}
 	return out[:n]

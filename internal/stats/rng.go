@@ -59,6 +59,24 @@ func (g *RNG) ComplexNormalVec(dst []complex128, sigma2 float64) []complex128 {
 	return dst
 }
 
+// AddComplexNormal adds an independent CN(0, sigma2) sample to every
+// element of dst. It draws the same sequence as per-sample ComplexNormal
+// calls but hoists the per-call scale computation out of the loop — the
+// receiver noise path runs this for every observed sample.
+func (g *RNG) AddComplexNormal(dst []complex128, sigma2 float64) {
+	s := math.Sqrt(sigma2 / 2)
+	for i := range dst {
+		dst[i] += complex(s*g.r.NormFloat64(), s*g.r.NormFloat64())
+	}
+}
+
+// ComplexNormalAmp returns amp*(N1 + jN2) with independent standard
+// normals — ComplexNormal with the sqrt(sigma2/2) scale precomputed by the
+// caller (the jam synthesizer draws per-bin variances from a template).
+func (g *RNG) ComplexNormalAmp(amp float64) complex128 {
+	return complex(amp*g.r.NormFloat64(), amp*g.r.NormFloat64())
+}
+
 // LogNormalDB returns a linear power factor whose dB value is Gaussian with
 // mean 0 and standard deviation sigmaDB — the standard model for shadow
 // fading.

@@ -22,10 +22,14 @@ type ExperimentConfig struct {
 	Trials int
 	// Quick selects reduced trial counts for smoke runs.
 	Quick bool
+	// Workers fans the per-location/per-point experiments out over a
+	// worker pool (0 or 1 = serial). Output is byte-identical for any
+	// worker count at a given seed.
+	Workers int
 }
 
 func (c ExperimentConfig) internal() experiments.Config {
-	return experiments.Config{Seed: c.Seed, Trials: c.Trials, Quick: c.Quick}
+	return experiments.Config{Seed: c.Seed, Trials: c.Trials, Quick: c.Quick, Workers: c.Workers}
 }
 
 // ExperimentInfo describes one reproducible paper result.
