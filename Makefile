@@ -2,13 +2,28 @@
 #
 #   make test   - tier-1 gate: build everything, run every test
 #   make vet    - static checks
+#   make race   - race detector over the concurrent packages
+#   make fuzz   - FUZZTIME smoke of every fuzz target
+#   make ci     - what .github/workflows/ci.yml runs: vet + build + test
+#                 + race + fuzz smoke
 #   make bench  - micro + end-to-end benchmarks; archives the run as
 #                 BENCH_latest.txt (raw) and BENCH_latest.json (parsed)
 #   make sim    - regenerate every paper table/figure (quick trial counts)
+#   make golden - re-record testdata/golden after an intentional physics
+#                 change (review the diff!)
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all test vet bench sim clean
+# Every fuzz target in the repo as package:Fuzzname pairs.
+FUZZ_TARGETS = \
+	./internal/phy:FuzzParseFrame \
+	./internal/phy:FuzzBitsRoundTrip \
+	./internal/modem:FuzzReceiveFrame \
+	./internal/wire:FuzzWireDecode \
+	./internal/securelink:FuzzSecurelinkOpen
+
+.PHONY: all test vet race fuzz ci bench sim golden clean
 
 all: test vet
 
@@ -19,6 +34,18 @@ test:
 vet:
 	$(GO) vet ./...
 
+race:
+	$(GO) test -race ./internal/shieldd/... ./internal/experiments/...
+
+fuzz:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "fuzzing $$fn in $$pkg for $(FUZZTIME)"; \
+		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) $$pkg; \
+	done
+
+ci: vet test race fuzz
+
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./... | tee BENCH_latest.txt
 	$(GO) run ./cmd/benchjson < BENCH_latest.txt > BENCH_latest.json
@@ -26,6 +53,9 @@ bench:
 
 sim:
 	$(GO) run ./cmd/shieldsim -run all -quick
+
+golden:
+	$(GO) test -run TestGoldenExperimentOutputs -update .
 
 clean:
 	rm -f BENCH_latest.txt BENCH_latest.json

@@ -1,0 +1,68 @@
+// Command shieldd runs the concurrent shield session server: a long-lived
+// daemon serving protected exchanges, attack trials, and experiment runs
+// over the securelink-sealed wire protocol, one recycled testbed scenario
+// per active session.
+//
+// Usage:
+//
+//	shieldd -listen :7700 -secret swordfish
+//	shieldd -listen 127.0.0.1:7700 -secret-file /etc/shieldd.secret -max-sessions 128
+//
+// Drive it with cmd/shieldsim's client mode:
+//
+//	shieldsim -server 127.0.0.1:7700 -secret swordfish -run fig7 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+
+	"heartshield"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":7700", "TCP listen address")
+		secret      = flag.String("secret", "", "master pairing secret (shared with clients)")
+		secretFile  = flag.String("secret-file", "", "file holding the master pairing secret")
+		maxSessions = flag.Int("max-sessions", 64, "concurrently active session bound")
+		expWorkers  = flag.Int("exp-workers", runtime.NumCPU(), "worker cap for remotely requested experiments")
+		maxExtra    = flag.Int("max-extra-imds", 8, "largest multi-IMD batch a session may request")
+	)
+	flag.Parse()
+
+	key := []byte(*secret)
+	if *secretFile != "" {
+		b, err := os.ReadFile(*secretFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		key = []byte(strings.TrimSpace(string(b)))
+	}
+	if len(key) == 0 {
+		fmt.Fprintln(os.Stderr, "error: provide -secret or -secret-file")
+		os.Exit(2)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("shieldd listening on %s (max %d sessions, %d experiment workers)\n",
+		l.Addr(), *maxSessions, *expWorkers)
+
+	err = heartshield.Serve(l, heartshield.ServeOptions{
+		Secret:            key,
+		MaxSessions:       *maxSessions,
+		ExperimentWorkers: *expWorkers,
+		MaxExtraIMDs:      *maxExtra,
+	})
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,5 +1,6 @@
 // Command shieldsim regenerates the paper's tables and figures on the
-// simulated testbed and prints the same rows/series the paper reports.
+// simulated testbed and prints the same rows/series the paper reports —
+// locally, or remotely against a running shieldd session server.
 //
 // Usage:
 //
@@ -7,6 +8,7 @@
 //	shieldsim -run fig7
 //	shieldsim -run all -quick
 //	shieldsim -run fig11 -trials 100 -seed 7
+//	shieldsim -server 127.0.0.1:7700 -secret swordfish -run fig7 -quick
 package main
 
 import (
@@ -27,6 +29,8 @@ func main() {
 		trials  = flag.Int("trials", 0, "per-point trials (0 = experiment default)")
 		quick   = flag.Bool("quick", false, "reduced trial counts")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel scenario workers (output is identical for any value)")
+		server  = flag.String("server", "", "run experiments remotely on this shieldd address")
+		secret  = flag.String("secret", "", "pairing secret for -server")
 	)
 	flag.Parse()
 
@@ -57,14 +61,38 @@ func main() {
 		}
 	}
 
-	for _, name := range names {
-		start := time.Now()
-		res, err := heartshield.RunExperiment(name, cfg)
+	var remote *heartshield.RemoteSimulation
+	if *server != "" {
+		var err error
+		remote, err = heartshield.Dial(*server, []byte(*secret),
+			heartshield.DialOptions{SimOptions: heartshield.SimOptions{Seed: *seed}})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		fmt.Print(res.Render())
+		defer remote.Close()
+		fmt.Printf("[session %d on %s]\n\n", remote.SessionID(), *server)
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		var rendered string
+		if remote != nil {
+			out, err := remote.RunExperiment(name, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			rendered = out
+		} else {
+			res, err := heartshield.RunExperiment(name, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			rendered = res.Render()
+		}
+		fmt.Print(rendered)
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 }

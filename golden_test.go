@@ -1,0 +1,52 @@
+package heartshield
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden from this run's output")
+
+// goldenConfig is the fixed configuration every golden file is recorded
+// at: seed 1, Quick trial counts. Workers is deliberately > 1 — the
+// parallel runner's byte-identical contract means the files must match at
+// any worker count, and running them parallel keeps the suite honest
+// about that claim on every CI run.
+func goldenConfig() ExperimentConfig {
+	return ExperimentConfig{Seed: 1, Quick: true, Workers: 4}
+}
+
+// TestGoldenExperimentOutputs locks every registry experiment's rendered
+// output at seed 1 Quick mode byte-for-byte. A perf or refactor PR that
+// drifts any figure metric — even in the last printed digit — fails this
+// test instead of relying on by-hand comparison of 4 significant digits;
+// an intentional physics change re-records with `go test -run Golden
+// -update .` and reviews the diff.
+func TestGoldenExperimentOutputs(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			got := e.Run(goldenConfig()).Render()
+			path := filepath.Join("testdata", "golden", e.Name+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (record with `go test -run Golden -update .`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s",
+					e.Name, path, got, want)
+			}
+		})
+	}
+}

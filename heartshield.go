@@ -153,27 +153,14 @@ type ExchangeReport struct {
 // same.
 func (s *Simulation) ProtectedExchange(kind CommandKind) (ExchangeReport, error) {
 	var rep ExchangeReport
-	sc := s.sc
-	sc.NewTrial()
-	sc.PrepareShield()
-	rep.CancellationDB = sc.Shield.CancellationDB(4096)
-
-	pending, err := sc.Shield.PlaceCommand(s.command(kind), 0)
+	out, err := s.sc.RunProtectedExchange(s.eaves, 0, s.command(kind))
+	rep.CancellationDB = out.CancellationDB
 	if err != nil {
-		return rep, err
+		return rep, fmt.Errorf("heartshield: %w", err)
 	}
-	re := sc.IMD.ProcessWindow(0, 12000)
-	if !re.Responded {
-		return rep, fmt.Errorf("heartshield: IMD did not respond")
-	}
-	res := pending.Collect()
-	if res.Response == nil {
-		return rep, fmt.Errorf("heartshield: shield failed to decode the response")
-	}
-	rep.Response = res.Response.Payload
-	rep.ResponseCommand = res.Response.Command.String()
-	truth := re.Response.MarshalBits()
-	rep.EavesdropperBER = s.eaves.InterceptBER(sc.Channel(), re.ResponseBurst.Start, truth)
+	rep.Response = out.Response.Payload
+	rep.ResponseCommand = out.Response.Command.String()
+	rep.EavesdropperBER = out.EavesdropperBER
 	return rep, nil
 }
 
@@ -196,25 +183,15 @@ type AttackReport struct {
 // Attack replays an unauthorized command from the configured adversary
 // location, with the shield active or not, and reports the outcome.
 func (s *Simulation) Attack(kind CommandKind, shieldOn bool) AttackReport {
-	sc := s.sc
-	rep := AttackReport{ShieldOn: shieldOn}
-	sc.NewTrial()
-	alarmsBefore := len(sc.Shield.Alarms())
-	if shieldOn {
-		sc.PrepareShield()
+	out := s.sc.RunAttackTrial(s.adv, s.command(kind), shieldOn)
+	return AttackReport{
+		ShieldOn:         shieldOn,
+		IMDResponded:     out.Responded,
+		TherapyChanged:   out.TherapyChanged,
+		ShieldJammed:     out.Jammed,
+		Alarmed:          out.Alarmed,
+		AdversaryRSSIDBm: out.RSSIAtShieldDBm,
 	}
-	b := s.adv.Replay(sc.Channel(), 1000, s.command(kind))
-	window := int(b.End()) + 2500
-	if shieldOn {
-		dr := sc.Shield.DefendWindow(0, window)
-		rep.ShieldJammed = dr.Jammed
-		rep.AdversaryRSSIDBm = dr.RSSIDBm
-		rep.Alarmed = len(sc.Shield.Alarms()) > alarmsBefore
-	}
-	re := sc.IMD.ProcessWindow(0, window)
-	rep.IMDResponded = re.Responded
-	rep.TherapyChanged = re.TherapyChanged
-	return rep
 }
 
 // CancellationDB measures the antidote's jamming cancellation at the

@@ -109,7 +109,10 @@ type Medium struct {
 	// is maintained incrementally by SetLink instead of being rebuilt and
 	// re-sorted on every call.
 	pairs []pair
-	burst map[int]*burstSet
+	// installed records the pairs in first-SetLink order, so ResetRNG can
+	// replay the install-time gain draws of a fresh build exactly.
+	installed []pair
+	burst     map[int]*burstSet
 }
 
 // NewMedium creates an empty medium at the given baseband sample rate.
@@ -141,9 +144,23 @@ func (m *Medium) SetLink(a, b AntennaID, cfg Link) {
 		m.pairs = append(m.pairs, pair{})
 		copy(m.pairs[i+1:], m.pairs[i:])
 		m.pairs[i] = p
+		m.installed = append(m.installed, p)
 	}
 	m.links[p] = st
 	m.refreshLink(st)
+}
+
+// ResetRNG swaps in a fresh random source and replays the install-time
+// gain draw of every link in its original SetLink order. After it (plus a
+// NewEpoch call, mirroring scenario construction) the medium's RNG stream
+// is positioned exactly where a freshly built medium with the same link
+// set and the same source would be — the contract scenario recycling
+// relies on. It assumes each link pair was installed exactly once.
+func (m *Medium) ResetRNG(rng *stats.RNG) {
+	m.rng = rng
+	for _, p := range m.installed {
+		m.refreshLink(m.links[p])
+	}
 }
 
 // HasLink reports whether a link between the antennas exists.

@@ -123,26 +123,17 @@ type activeTrialOutcome struct {
 }
 
 // runActiveTrial performs one replay attempt against the IMD with the
-// shield on or off, and reports what happened.
+// shield on or off, and reports what happened. The trial sequence itself
+// is the canonical one shared with the public API and the session server.
 func runActiveTrial(sc *testbed.Scenario, adv *adversary.Active, frame frameMaker, shieldOn bool) activeTrialOutcome {
-	var out activeTrialOutcome
-	sc.NewTrial()
-	alarmsBefore := len(sc.Shield.Alarms())
-	if shieldOn {
-		sc.PrepareShield()
+	out := sc.RunAttackTrial(adv, frame(sc), shieldOn)
+	return activeTrialOutcome{
+		Responded:      out.Responded,
+		TherapyChanged: out.TherapyChanged,
+		Alarmed:        out.Alarmed,
+		ShieldJammed:   out.Jammed,
+		RSSIAtShield:   out.RSSIAtShieldDBm,
 	}
-	b := adv.Replay(sc.Channel(), 1000, frame(sc))
-	window := int(b.End()) + 2500
-	if shieldOn {
-		rep := sc.Shield.DefendWindow(0, window)
-		out.ShieldJammed = rep.Jammed
-		out.RSSIAtShield = rep.RSSIDBm
-		out.Alarmed = len(sc.Shield.Alarms()) > alarmsBefore
-	}
-	re := sc.IMD.ProcessWindow(0, window)
-	out.Responded = re.Responded
-	out.TherapyChanged = re.TherapyChanged
-	return out
 }
 
 // frameMaker builds the unauthorized command for one trial.

@@ -1,0 +1,74 @@
+package experiments
+
+import "fmt"
+
+// Renderer is the interface every experiment result satisfies: Render
+// prints the rows/series the corresponding paper table or figure reports.
+type Renderer interface {
+	Render() string
+}
+
+// Entry describes one registered experiment runner. The registry lives
+// here (not in the public package) so remote execution — the shieldd
+// EXPERIMENT frame — can resolve names without importing the public API.
+type Entry struct {
+	Name  string // registry key, e.g. "fig7"
+	Title string // what the paper result shows
+	Run   func(Config) Renderer
+}
+
+var registry = []Entry{
+	{"fig3", "IMD response timing without carrier sensing",
+		func(c Config) Renderer { return Fig3(c) }},
+	{"fig4", "FSK power profile of the IMD's transmissions",
+		func(c Config) Renderer { return Fig4(c) }},
+	{"fig5", "shaped vs constant jamming profile (+ per-watt ablation)",
+		func(c Config) Renderer { return Fig5(c) }},
+	{"fig7", "CDF of antidote cancellation at the receive antenna",
+		func(c Config) Renderer { return Fig7(c) }},
+	{"fig8", "eavesdropper BER / shield PER vs jamming power",
+		func(c Config) Renderer { return Fig8(c) }},
+	{"fig9", "eavesdropper BER CDF over all locations (+ Fig.10 loss CDF)",
+		func(c Config) Renderer { return Fig9And10(c) }},
+	{"fig10", "shield packet loss CDF (measured with fig9)",
+		func(c Config) Renderer { return Fig9And10(c) }},
+	{"fig11", "replayed interrogation success vs location, shield off/on",
+		func(c Config) Renderer { return Fig11(c) }},
+	{"fig12", "replayed therapy change success vs location, shield off/on",
+		func(c Config) Renderer { return Fig12(c) }},
+	{"fig13", "100x-power adversary success and alarms vs location",
+		func(c Config) Renderer { return Fig13(c) }},
+	{"table1", "adversary RSSI eliciting IMD responses despite jamming (Pthresh)",
+		func(c Config) Renderer { return Table1(c) }},
+	{"table2", "coexistence: cross-traffic, IMD packets, turn-around time",
+		func(c Config) Renderer { return Table2(c) }},
+	{"ablation-antidote", "decoding with the antidote disabled vs enabled",
+		func(c Config) Renderer { return AblationAntidote(c) }},
+	{"ablation-digital", "digital residual cancellation at high jam power",
+		func(c Config) Renderer { return AblationDigitalCancel(c) }},
+	{"ablation-bthresh", "Sid threshold sweep: misses vs false jams",
+		func(c Config) Renderer { return AblationBThresh(c) }},
+	{"battery", "shield duty cycle and battery-life estimate (§7e)",
+		func(c Config) Renderer { return Battery(c) }},
+	{"ofdm", "wideband (OFDM per-subcarrier) antidote extension (§5)",
+		func(c Config) Renderer { return OFDMExtension(c) }},
+	{"mimo", "MIMO eavesdropper vs shield placement (§3.2)",
+		func(c Config) Renderer { return MIMOExtension(c) }},
+	{"ablation-probe", "antidote cancellation vs estimate staleness (§5)",
+		func(c Config) Renderer { return ProbeStaleness(c) }},
+}
+
+// Registry returns the registered experiments in registration order.
+func Registry() []Entry {
+	return append([]Entry(nil), registry...)
+}
+
+// RunByName runs a registered experiment.
+func RunByName(name string, cfg Config) (Renderer, error) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e.Run(cfg), nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", name)
+}

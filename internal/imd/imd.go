@@ -331,6 +331,11 @@ func (d *Device) ResetCounters() {
 	d.txSamples, d.rxFrames, d.respFrames, d.badCRC, d.syncSamples = 0, 0, 0, 0, 0
 }
 
+// SetRNG replaces the device's random source. Scenario recycling uses it
+// to re-seed a pooled testbed so a recycled device draws the same response
+// jitter stream as a freshly built one.
+func (d *Device) SetRNG(rng *stats.RNG) { d.rng = rng }
+
 // String identifies the device for logs.
 func (d *Device) String() string {
 	return fmt.Sprintf("%s serial=%s ch=%d", d.Profile.Name, d.Profile.Serial, d.Channel)

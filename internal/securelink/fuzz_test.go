@@ -1,0 +1,99 @@
+package securelink
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzSecret keeps the fuzz corpus meaningful across runs: the seed
+// entries below were sealed under this pairing.
+var fuzzSecret = []byte("fuzz-pairing-secret")
+
+// sealForFuzz reproduces the deterministic sealed frames the corpus is
+// built from: prog→shield messages with sequence numbers 0..n-1.
+func sealForFuzz(n int) [][]byte {
+	_, prog, err := Pair(fuzzSecret)
+	if err != nil {
+		panic(err)
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = prog.Seal([]byte("fuzz-payload"))
+	}
+	return out
+}
+
+// FuzzSecurelinkOpen drives Open with truncations, bit flips, and
+// replayed/reordered sequence numbers, across the strict, windowed, and
+// rekeying configurations. Open must never panic, must never accept a
+// frame that was not sealed by the peer (GCM forgery aside), and a failed
+// open must never poison the link for the legitimate frame that follows.
+func FuzzSecurelinkOpen(f *testing.F) {
+	sealed := sealForFuzz(4)
+	for _, s := range sealed {
+		f.Add(s)
+		// Truncation and bit-flip variants of real frames.
+		f.Add(s[:len(s)/2])
+		flipped := append([]byte(nil), s...)
+		flipped[len(flipped)-1] ^= 1
+		f.Add(flipped)
+	}
+	// Replay-window and epoch-boundary probes: forged headers around the
+	// interesting sequence numbers.
+	for _, seq := range []uint64{0, 1, 7, 8, 9, 1 << 20, 1 << 62} {
+		probe := make([]byte, 8+16)
+		binary.BigEndian.PutUint64(probe, seq)
+		f.Add(probe)
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		for _, mode := range []struct {
+			window int
+			rekey  uint64
+		}{{0, 0}, {8, 0}, {8, 4}} {
+			shield, prog, err := Pair(fuzzSecret)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shield.SetWindow(mode.window)
+			shield.EnableRekey(mode.rekey)
+			prog.SetWindow(mode.window)
+			prog.EnableRekey(mode.rekey)
+
+			// Advance the link so replays of the corpus frames are live
+			// possibilities: deliver frames 0 and 2 out of the first 3.
+			pre := make([][]byte, 3)
+			for i := range pre {
+				pre[i] = prog.Seal([]byte("fuzz-payload"))
+			}
+			if _, err := shield.Open(pre[0]); err != nil {
+				t.Fatalf("setup open: %v", err)
+			}
+			if _, err := shield.Open(pre[2]); err != nil {
+				t.Fatalf("setup open: %v", err)
+			}
+
+			pt, err := shield.Open(raw)
+			if err == nil {
+				// The only frames that can legitimately open are the ones
+				// this link's peer sealed; all carry the fixed payload.
+				if !bytes.Equal(pt, []byte("fuzz-payload")) {
+					t.Fatalf("open accepted forged plaintext %q", pt)
+				}
+			}
+
+			// Whatever the fuzzer delivered, the link must still accept
+			// the peer's next legitimate frame. Skip two sequence numbers
+			// first: a corpus frame (seqs 0..3 under this secret) that
+			// opened above consumed its own seq, which is not poisoning.
+			prog.Seal(nil)
+			prog.Seal(nil)
+			if _, err := shield.Open(prog.Seal([]byte("after"))); err != nil {
+				t.Fatalf("window=%d rekey=%d: link poisoned after fuzz input: %v",
+					mode.window, mode.rekey, err)
+			}
+		}
+	})
+}

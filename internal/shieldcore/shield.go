@@ -185,6 +185,30 @@ func NewShield(cfg Config) *Shield {
 // Sid returns the identifying sequence the shield matches (bits).
 func (s *Shield) Sid() []byte { return s.sid }
 
+// SetProtected retargets the shield to a different IMD profile: its
+// serial defines the identifying sequence Sid to match and its T1/T2/
+// MaxPacket the passive jamming window. A shield worn by a patient with
+// several implants (the batched multi-IMD scenarios) switches targets
+// between exchanges; the per-target IMD RSSI must be restored with
+// SetIMDRSSI after a switch.
+func (s *Shield) SetProtected(p imd.Profile) {
+	s.Protected = p
+	s.sid = phy.Sid(p.Serial)
+}
+
+// ResetState re-seeds the shield for scenario recycling: a fresh random
+// source, a rebuilt jam generator (drawn from the new source exactly as
+// NewShield would), and cleared channel estimate, RSSI measurement, and
+// alarm log. The operating parameters are untouched.
+func (s *Shield) ResetState(rng *stats.RNG) {
+	s.rng = rng
+	s.jamGen = NewJamGenerator(s.jamGen.Shape(), s.Modem.Config(), rng.Split())
+	s.est = ChannelEstimate{}
+	s.imdRSSIDBm = 0
+	s.haveRSSI = false
+	s.alarms = nil
+}
+
 // SetJamShape swaps the jamming spectral profile (used by the Fig. 5
 // ablation to compare shaped and flat jamming under identical channel
 // conditions).

@@ -1,0 +1,231 @@
+package shieldd
+
+import (
+	"crypto/rand"
+	"fmt"
+	"net"
+
+	"heartshield/internal/securelink"
+	"heartshield/internal/wire"
+)
+
+// SessionOptions selects the simulated world a session runs in (the wire
+// form of the public SimOptions, plus the batched multi-IMD count).
+type SessionOptions struct {
+	// Seed determines every number the session produces; equal seeds and
+	// request sequences give equal results on any server.
+	Seed int64
+	// Location (1-based, 1..18) places the adversary and eavesdropper;
+	// 0 means location 1.
+	Location int
+	// HighPowerAdversary, FlatJam, DigitalCancel, Concerto mirror the
+	// public SimOptions flags.
+	HighPowerAdversary bool
+	FlatJam            bool
+	DigitalCancel      bool
+	Concerto           bool
+	// ExtraIMDs adds that many additional implants to the session's
+	// medium; EXCHANGE frames address implants by index (0 = primary).
+	ExtraIMDs int
+}
+
+func (o SessionOptions) hello(nonce [16]byte) *wire.Hello {
+	h := &wire.Hello{
+		Version:   wire.Version,
+		Nonce:     nonce,
+		Seed:      o.Seed,
+		Location:  uint8(o.Location),
+		ExtraIMDs: uint8(o.ExtraIMDs),
+	}
+	if o.HighPowerAdversary {
+		h.Flags |= wire.FlagHighPowerAdversary
+	}
+	if o.FlatJam {
+		h.Flags |= wire.FlagFlatJam
+	}
+	if o.DigitalCancel {
+		h.Flags |= wire.FlagDigitalCancel
+	}
+	if o.Concerto {
+		h.Flags |= wire.FlagConcerto
+	}
+	return h
+}
+
+// Client is one end of a shieldd session. It is not safe for concurrent
+// use; run one client per goroutine (sessions are cheap server-side — a
+// pooled scenario recycle).
+type Client struct {
+	conn      net.Conn
+	link      *securelink.Link
+	sessionID uint64
+}
+
+// Dial opens a TCP session with a shieldd server.
+func Dial(addr string, secret []byte, opt SessionOptions) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn, secret, opt)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient runs the session handshake over an established transport.
+func NewClient(conn net.Conn, secret []byte, opt SessionOptions) (*Client, error) {
+	var nonce [16]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, fmt.Errorf("shieldd: nonce: %w", err)
+	}
+	if err := wire.WriteFrame(conn, opt.hello(nonce).Encode()); err != nil {
+		return nil, err
+	}
+
+	// The server answers a valid HELLO with a plaintext Challenge (its
+	// half of the session key derivation), or a plaintext Error refusal.
+	raw, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("shieldd: handshake read: %w", err)
+	}
+	first, err := wire.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("shieldd: handshake: %w", err)
+	}
+	if e, ok := first.(*wire.Error); ok {
+		return nil, e
+	}
+	ch, ok := first.(*wire.Challenge)
+	if !ok {
+		return nil, fmt.Errorf("shieldd: unexpected handshake reply %T", first)
+	}
+	nonces := append(append([]byte(nil), nonce[:]...), ch.ServerNonce[:]...)
+	_, link, err := securelink.Pair(securelink.SessionSecret(secret, nonces))
+	if err != nil {
+		return nil, err
+	}
+	link.SetWindow(sessionWindow)
+	link.EnableRekey(sessionRekeyEvery)
+
+	raw, err = wire.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("shieldd: handshake read: %w", err)
+	}
+	plain, err := link.Open(raw)
+	if err != nil {
+		return nil, fmt.Errorf("shieldd: handshake: %w", err)
+	}
+	m, err := wire.Decode(plain)
+	if err != nil {
+		return nil, fmt.Errorf("shieldd: handshake: %w", err)
+	}
+	ack, ok := m.(*wire.HelloAck)
+	if !ok || ack.Version != wire.Version {
+		return nil, fmt.Errorf("shieldd: unexpected handshake reply %T", m)
+	}
+	return &Client{conn: conn, link: link, sessionID: ack.SessionID}, nil
+}
+
+// SessionID returns the server-assigned session identifier.
+func (c *Client) SessionID() uint64 { return c.sessionID }
+
+// roundTrip seals and sends one request, then receives and opens the
+// response. A wire.Error response is returned as a Go error.
+func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
+	if err := wire.WriteFrame(c.conn, c.link.Seal(req.Encode())); err != nil {
+		return nil, err
+	}
+	raw, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := c.link.Open(raw)
+	if err != nil {
+		return nil, err
+	}
+	m, err := wire.Decode(plain)
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := m.(*wire.Error); ok {
+		return nil, e
+	}
+	return m, nil
+}
+
+// Exchange runs one protected exchange against IMD index imdIdx with the
+// given command kind (wire.CmdInterrogate or wire.CmdSetTherapy).
+func (c *Client) Exchange(imdIdx int, cmd uint8) (*wire.ExchangeResp, error) {
+	m, err := c.roundTrip(&wire.ExchangeReq{IMD: uint8(imdIdx), Cmd: cmd})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := m.(*wire.ExchangeResp)
+	if !ok {
+		return nil, fmt.Errorf("shieldd: unexpected response %T", m)
+	}
+	return resp, nil
+}
+
+// Attack runs one unauthorized-command trial.
+func (c *Client) Attack(cmd uint8, shieldOn bool) (*wire.AttackResp, error) {
+	m, err := c.roundTrip(&wire.AttackReq{Cmd: cmd, ShieldOn: shieldOn})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := m.(*wire.AttackResp)
+	if !ok {
+		return nil, fmt.Errorf("shieldd: unexpected response %T", m)
+	}
+	return resp, nil
+}
+
+// Experiment runs a registry experiment server-side and returns its
+// rendered table/figure.
+func (c *Client) Experiment(req wire.ExperimentReq) (string, error) {
+	m, err := c.roundTrip(&req)
+	if err != nil {
+		return "", err
+	}
+	resp, ok := m.(*wire.ExperimentResp)
+	if !ok {
+		return "", fmt.Errorf("shieldd: unexpected response %T", m)
+	}
+	return resp.Rendered, nil
+}
+
+// Status returns the server's counters.
+func (c *Client) Status() (*wire.StatusResp, error) {
+	m, err := c.roundTrip(&wire.StatusReq{})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := m.(*wire.StatusResp)
+	if !ok {
+		return nil, fmt.Errorf("shieldd: unexpected response %T", m)
+	}
+	return resp, nil
+}
+
+// Close ends the session with a BYE and closes the transport.
+func (c *Client) Close() error {
+	_, _ = c.roundTrip(&wire.Bye{})
+	return c.conn.Close()
+}
+
+// Pipe starts an in-process session against the server over a net.Pipe
+// and returns the connected client — the zero-network transport for
+// tests, benchmarks, and embedding.
+func (s *Server) Pipe(opt SessionOptions) (*Client, error) {
+	cEnd, sEnd := net.Pipe()
+	go s.ServeConn(sEnd)
+	c, err := NewClient(cEnd, s.cfg.Secret, opt)
+	if err != nil {
+		cEnd.Close()
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,79 @@
+package shieldd
+
+import (
+	"sync"
+
+	"heartshield/internal/testbed"
+)
+
+// scenarioPool recycles testbed scenarios between sessions. Building a
+// scenario allocates the whole IQ-level testbed (medium, devices, radio
+// chains, modem plans); recycling one is a Reset call — a pure RNG
+// re-derivation. Scenarios are pooled per shape (options minus seed),
+// because the link set is baked in at construction; Reset makes a pooled
+// scenario bit-identical to a fresh build at the session's seed, so which
+// physical scenario serves a session is unobservable.
+type scenarioPool struct {
+	mu   sync.Mutex
+	free map[testbed.Options][]*testbed.Scenario
+	// perShape bounds how many idle scenarios each shape retains.
+	perShape int
+}
+
+func newScenarioPool(perShape int) *scenarioPool {
+	if perShape <= 0 {
+		perShape = 16
+	}
+	return &scenarioPool{
+		free:     make(map[testbed.Options][]*testbed.Scenario),
+		perShape: perShape,
+	}
+}
+
+// shapeKey is the pool key: the scenario options normalized (so a
+// defaulted request and the defaults-resolved options a built scenario
+// records compare equal) with the seed zeroed.
+func shapeKey(opt testbed.Options) testbed.Options {
+	opt = opt.Normalized()
+	opt.Seed = 0
+	return opt
+}
+
+// get returns a scenario for the given options, recycled if one with the
+// same shape is idle, freshly built otherwise. Either way the caller
+// receives a scenario indistinguishable from NewScenario(opt).
+func (p *scenarioPool) get(opt testbed.Options) *testbed.Scenario {
+	key := shapeKey(opt)
+	p.mu.Lock()
+	list := p.free[key]
+	if n := len(list); n > 0 {
+		sc := list[n-1]
+		p.free[key] = list[:n-1]
+		p.mu.Unlock()
+		sc.Reset(opt.Seed)
+		return sc
+	}
+	p.mu.Unlock()
+	return testbed.NewScenario(opt)
+}
+
+// put returns an idle scenario to the pool.
+func (p *scenarioPool) put(sc *testbed.Scenario) {
+	key := shapeKey(sc.Opt)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free[key]) < p.perShape {
+		p.free[key] = append(p.free[key], sc)
+	}
+}
+
+// idle reports the number of pooled scenarios.
+func (p *scenarioPool) idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, list := range p.free {
+		n += len(list)
+	}
+	return n
+}

@@ -1,0 +1,58 @@
+package shieldd
+
+import (
+	"testing"
+
+	"heartshield/internal/testbed"
+)
+
+// The pool must actually recycle: a put scenario comes back on the next
+// same-shape get — including for fully defaulted request options, whose
+// shape key must match the defaults-resolved options a built scenario
+// records (the normalization bug class this test pins down).
+func TestPoolRecyclesSameScenario(t *testing.T) {
+	p := newScenarioPool(4)
+	requests := []testbed.Options{
+		{Seed: 1},               // fully defaulted
+		{Seed: 1, Location: 5},  // explicit location
+		{Seed: 1, ExtraIMDs: 2}, // multi-IMD shape
+		{Seed: 1, DigitalCancel: true},
+	}
+	for _, opt := range requests {
+		first := p.get(opt)
+		p.put(first)
+		opt2 := opt
+		opt2.Seed = 42
+		second := p.get(opt2)
+		if first != second {
+			t.Errorf("options %+v: pool built a fresh scenario instead of recycling", opt)
+		}
+		if second.Opt.Seed != 42 {
+			t.Errorf("options %+v: recycled scenario not reset to requested seed", opt)
+		}
+	}
+}
+
+// Different shapes must not share scenarios (a recycled link set cannot
+// be reshaped), and the per-shape idle bound must hold.
+func TestPoolShapesAreDisjointAndBounded(t *testing.T) {
+	p := newScenarioPool(2)
+	def := p.get(testbed.Options{Seed: 1})
+	p.put(def)
+	multi := p.get(testbed.Options{Seed: 1, ExtraIMDs: 1})
+	if multi == def {
+		t.Fatal("pool handed a 1-IMD scenario to a multi-IMD request")
+	}
+	if got := p.get(testbed.Options{Seed: 2, ExtraIMDs: 1}); got == multi {
+		t.Fatal("pool recycled a scenario that was never put back")
+	}
+
+	// def is already idle; five more default-shape puts must cap at the
+	// per-shape bound of 2.
+	for i := 0; i < 5; i++ {
+		p.put(testbed.NewScenario(testbed.Options{Seed: int64(i)}))
+	}
+	if n := p.idle(); n != 2 {
+		t.Fatalf("pool retains %d idle scenarios, want exactly the per-shape bound of 2", n)
+	}
+}

@@ -1,0 +1,409 @@
+// Package shieldd is the concurrent shield session server: a long-lived
+// daemon that owns a pool of recycled testbed scenarios (one per active
+// session) and serves the securelink-sealed wire protocol of
+// internal/wire over any net.Conn transport — TCP from cmd/shieldd, or an
+// in-process net.Pipe for tests and embedded use.
+//
+// Every session is an independent simulated world: its own medium,
+// devices, and random streams, all derived from the session seed the
+// client announces in HELLO. The scenario pool makes sessions cheap
+// (recycling is an RNG re-derivation, not a rebuild) without making them
+// observable to each other: a session's EavesdropperBER/CancellationDB
+// stream depends only on its seed and request sequence, never on which
+// pooled scenario served it, which goroutine ran it, or what the server
+// did before — the same determinism contract as the PR 1 parallel
+// experiment runner, extended to a network service.
+package shieldd
+
+import (
+	"crypto/rand"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"heartshield/internal/adversary"
+	"heartshield/internal/experiments"
+	"heartshield/internal/imd"
+	"heartshield/internal/securelink"
+	"heartshield/internal/shieldcore"
+	"heartshield/internal/testbed"
+	"heartshield/internal/wire"
+)
+
+// Session-link hardening parameters (both ends must agree; the client in
+// this package uses the same constants).
+const (
+	// sessionRekeyEvery ratchets each direction's AEAD key every this many
+	// messages, so a long-lived session link never exhausts one key.
+	sessionRekeyEvery = 512
+	// sessionWindow tolerates this much sequence reordering; TCP delivers
+	// in order, so the window only matters for future datagram transports,
+	// but running with it on keeps the code path exercised end-to-end.
+	sessionWindow = 8
+	// maxHelloFrame bounds the plaintext HELLO (33 bytes encoded); an
+	// unauthenticated peer cannot demand a larger allocation.
+	maxHelloFrame = 256
+	// handshakeTimeout bounds how long an unauthenticated connection may
+	// hold a goroutine before sending its HELLO.
+	handshakeTimeout = 10 * time.Second
+)
+
+// ServerConfig configures a session server.
+type ServerConfig struct {
+	// Secret is the provisioned master pairing secret; per-session keys
+	// are derived from it and the client's HELLO nonce. Required.
+	Secret []byte
+	// MaxSessions bounds concurrently active sessions; further handshakes
+	// queue until a slot frees. Default 64.
+	MaxSessions int
+	// ExperimentWorkers caps the Workers value of EXPERIMENT frames (the
+	// deterministic per-point fan-out inside one experiment). Default 1.
+	ExperimentWorkers int
+	// MaxExtraIMDs caps the batched multi-IMD size a client may request.
+	// Default 8.
+	MaxExtraIMDs int
+	// PoolPerShape bounds idle scenarios retained per scenario shape.
+	// Default 16.
+	PoolPerShape int
+}
+
+// Server is a concurrent shield session server.
+type Server struct {
+	cfg  ServerConfig
+	pool *scenarioPool
+	sem  chan struct{}
+
+	nextSession      atomic.Uint64
+	totalSessions    atomic.Uint64
+	activeSessions   atomic.Int32
+	totalExchanges   atomic.Uint64
+	totalExperiments atomic.Uint64
+}
+
+// NewServer builds a server from the config, applying defaults.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if len(cfg.Secret) == 0 {
+		return nil, fmt.Errorf("shieldd: ServerConfig.Secret is required")
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.ExperimentWorkers <= 0 {
+		cfg.ExperimentWorkers = 1
+	}
+	if cfg.MaxExtraIMDs <= 0 {
+		cfg.MaxExtraIMDs = 8
+	}
+	return &Server{
+		cfg:  cfg,
+		pool: newScenarioPool(cfg.PoolPerShape),
+		sem:  make(chan struct{}, cfg.MaxSessions),
+	}, nil
+}
+
+// Serve accepts connections until the listener is closed, running one
+// session per connection. It returns the listener's Accept error.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn runs one session on an established transport (TCP connection
+// or one end of a net.Pipe) and blocks until the session ends. The
+// connection is always closed on return.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+
+	// Pre-authentication hardening: the peer has proven nothing yet, so
+	// it gets a tiny frame budget and a deadline — an unauthenticated
+	// connection can neither make the server allocate a MaxFrame buffer
+	// nor pin a goroutine indefinitely.
+	_ = conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+
+	// HELLO travels in plaintext: it carries the public nonce both ends
+	// feed into the session key derivation.
+	raw, err := wire.ReadFrameLimit(conn, maxHelloFrame)
+	if err != nil {
+		return
+	}
+	msg, err := wire.Decode(raw)
+	if err != nil {
+		return
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok || hello.Version != wire.Version {
+		return
+	}
+	opt, err := s.scenarioOptions(hello)
+	if err != nil {
+		// The link is not established yet, so the refusal is plaintext.
+		_ = wire.WriteFrame(conn, (&wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()}).Encode())
+		return
+	}
+
+	// The session keys bind a fresh server nonce alongside the client's,
+	// so a recorded session's sealed frames can never open in a new one:
+	// per-message replay protection extends to whole-session replay.
+	var challenge wire.Challenge
+	if _, err := rand.Read(challenge.ServerNonce[:]); err != nil {
+		return
+	}
+	if err := wire.WriteFrame(conn, challenge.Encode()); err != nil {
+		return
+	}
+	nonces := append(append([]byte(nil), hello.Nonce[:]...), challenge.ServerNonce[:]...)
+	link, _, err := securelink.Pair(securelink.SessionSecret(s.cfg.Secret, nonces))
+	if err != nil {
+		return
+	}
+	link.SetWindow(sessionWindow)
+	link.EnableRekey(sessionRekeyEvery)
+
+	id := s.nextSession.Add(1)
+	ack := &wire.HelloAck{Version: wire.Version, SessionID: id}
+	if err := wire.WriteFrame(conn, link.Seal(ack.Encode())); err != nil {
+		return
+	}
+
+	// The peer has still proven nothing: read its first sealed frame under
+	// the handshake deadline, and only a successful open commits a session
+	// slot and a scenario. An unauthenticated connection can therefore
+	// exhaust neither.
+	raw, err = wire.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	plain, err := link.Open(raw)
+	if err != nil {
+		return
+	}
+
+	// Authenticated (the ID handed out in the ack only becomes a counted
+	// session here). Admission: block until a session slot frees (bounded
+	// concurrency), then lift the handshake deadline (experiment requests
+	// may legitimately run for minutes).
+	s.totalSessions.Add(1)
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	s.activeSessions.Add(1)
+	defer s.activeSessions.Add(-1)
+
+	sess := s.newSession(opt)
+	defer s.pool.put(sess.sc)
+	_ = conn.SetReadDeadline(time.Time{})
+
+	for {
+		req, err := wire.Decode(plain)
+		if err != nil {
+			req = nil // authentic but malformed: answer and keep the session
+		}
+		resp, done := s.dispatch(sess, req)
+		if err := wire.WriteFrame(conn, link.Seal(resp.Encode())); err != nil {
+			return
+		}
+		if done {
+			return
+		}
+		raw, err = wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		plain, err = link.Open(raw)
+		if err != nil {
+			// Authentication/replay failure is a transport compromise, not
+			// a request error: tear the session down.
+			return
+		}
+	}
+}
+
+// scenarioOptions validates a HELLO and maps it onto testbed options.
+func (s *Server) scenarioOptions(h *wire.Hello) (testbed.Options, error) {
+	var opt testbed.Options
+	if int(h.ExtraIMDs) > s.cfg.MaxExtraIMDs {
+		return opt, fmt.Errorf("extra IMDs %d exceeds server limit %d", h.ExtraIMDs, s.cfg.MaxExtraIMDs)
+	}
+	if int(h.Location) > len(testbed.Locations) {
+		return opt, fmt.Errorf("location %d out of range", h.Location)
+	}
+	opt.Seed = h.Seed
+	opt.Location = int(h.Location)
+	opt.ExtraIMDs = int(h.ExtraIMDs)
+	if h.Flags&wire.FlagHighPowerAdversary != 0 {
+		opt.AdversaryPowerDBm = testbed.HighPowerAdvDBm
+	}
+	if h.Flags&wire.FlagFlatJam != 0 {
+		opt.Shape = shieldcore.FlatJam
+	}
+	if h.Flags&wire.FlagDigitalCancel != 0 {
+		opt.DigitalCancel = true
+	}
+	if h.Flags&wire.FlagConcerto != 0 {
+		opt.Profile = imd.ConcertoCRT
+	}
+	return opt, nil
+}
+
+// session is one active session's simulated world plus cached per-IMD
+// calibration. It is driven by exactly one connection goroutine; nothing
+// in it is shared across sessions.
+type session struct {
+	sc    *testbed.Scenario
+	eaves *adversary.Eavesdropper
+	adv   *adversary.Active
+	// rssi caches each implant's calibrated received power at the shield;
+	// switching exchange targets restores the matching measurement.
+	rssi   []float64
+	target int
+}
+
+// newSession wires a scenario into a session, calibrating every implant
+// in index order (for a single-IMD session this is exactly the public
+// NewSimulation setup, which is what keeps remote and in-process results
+// identical per seed).
+func (s *Server) newSession(opt testbed.Options) *session {
+	sc := s.pool.get(opt)
+	sess := &session{sc: sc, rssi: make([]float64, len(sc.IMDs))}
+	for i := range sc.IMDs {
+		sess.rssi[i] = sc.CalibrateIMD(i)
+	}
+	if len(sc.IMDs) > 1 {
+		// Calibration walked the targets; return to the primary.
+		sc.Shield.SetProtected(sc.IMDs[0].Profile)
+		sc.Shield.SetIMDRSSI(sess.rssi[0])
+	}
+	cfo := testbed.IMDCFOHz
+	sess.eaves = &adversary.Eavesdropper{
+		Antenna: testbed.AntEavesdropper,
+		Medium:  sc.Medium,
+		RX:      sc.EavesRX,
+		Modem:   sc.FSK,
+		CFOHint: &cfo,
+	}
+	sess.adv = &adversary.Active{
+		Antenna: testbed.AntAdversary,
+		Medium:  sc.Medium,
+		TX:      sc.AdvTX,
+		RX:      sc.AdvRX,
+		Modem:   sc.FSK,
+	}
+	return sess
+}
+
+// retarget points the shield at IMD idx with its calibrated RSSI.
+func (sess *session) retarget(idx int) {
+	if idx == sess.target {
+		return
+	}
+	sess.sc.Shield.SetProtected(sess.sc.IMDs[idx].Profile)
+	sess.sc.Shield.SetIMDRSSI(sess.rssi[idx])
+	sess.target = idx
+}
+
+// dispatch executes one authenticated request. done reports that the
+// session should end (BYE).
+func (s *Server) dispatch(sess *session, req wire.Message) (resp wire.Message, done bool) {
+	switch m := req.(type) {
+	case *wire.ExchangeReq:
+		return s.handleExchange(sess, m), false
+	case *wire.AttackReq:
+		return s.handleAttack(sess, m), false
+	case *wire.ExperimentReq:
+		return s.handleExperiment(m), false
+	case *wire.StatusReq:
+		st := s.Status()
+		return &st, false
+	case *wire.Bye:
+		return &wire.Bye{}, true
+	default:
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "malformed or unexpected request"}, false
+	}
+}
+
+// handleExchange runs one protected exchange against the session's IMD
+// index m.IMD — the same sequence as the public Simulation path, so the
+// per-seed result stream is identical in-process and over the wire.
+func (s *Server) handleExchange(sess *session, m *wire.ExchangeReq) wire.Message {
+	idx := int(m.IMD)
+	if idx >= len(sess.sc.IMDs) {
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("IMD index %d out of range", idx)}
+	}
+	sess.retarget(idx)
+	sc := sess.sc
+
+	var cmd = sc.InterrogateFrameFor(idx)
+	if m.Cmd == wire.CmdSetTherapy {
+		cmd = sc.SetTherapyFrameFor(idx, 200)
+	}
+
+	out, err := sc.RunProtectedExchange(sess.eaves, idx, cmd)
+	if err != nil {
+		return &wire.Error{Code: wire.CodeExchangeFailed, Msg: err.Error()}
+	}
+	s.totalExchanges.Add(1)
+	return &wire.ExchangeResp{
+		Response:        out.Response.Payload,
+		ResponseCommand: out.Response.Command.String(),
+		EavesBER:        out.EavesdropperBER,
+		CancellationDB:  out.CancellationDB,
+	}
+}
+
+// handleAttack runs one unauthorized-command trial (the Simulation.Attack
+// sequence).
+func (s *Server) handleAttack(sess *session, m *wire.AttackReq) wire.Message {
+	sess.retarget(0)
+	sc := sess.sc
+
+	var cmd = sc.InterrogateFrameFor(0)
+	if m.Cmd == wire.CmdSetTherapy {
+		cmd = sc.SetTherapyFrameFor(0, 200)
+	}
+
+	out := sc.RunAttackTrial(sess.adv, cmd, m.ShieldOn)
+	return &wire.AttackResp{
+		IMDResponded:     out.Responded,
+		TherapyChanged:   out.TherapyChanged,
+		ShieldJammed:     out.Jammed,
+		Alarmed:          out.Alarmed,
+		AdversaryRSSIDBm: out.RSSIAtShieldDBm,
+	}
+}
+
+// handleExperiment runs a registry experiment server-side with the
+// deterministic worker fan-out bounded by the server config.
+func (s *Server) handleExperiment(m *wire.ExperimentReq) wire.Message {
+	workers := int(m.Workers)
+	if workers > s.cfg.ExperimentWorkers {
+		workers = s.cfg.ExperimentWorkers
+	}
+	cfg := experiments.Config{
+		Seed:    m.Seed,
+		Trials:  int(m.Trials),
+		Quick:   m.Quick,
+		Workers: workers,
+	}
+	res, err := experiments.RunByName(m.Name, cfg)
+	if err != nil {
+		return &wire.Error{Code: wire.CodeUnknownExperiment, Msg: err.Error()}
+	}
+	s.totalExperiments.Add(1)
+	return &wire.ExperimentResp{Rendered: res.Render()}
+}
+
+// Status returns server-wide counters.
+func (s *Server) Status() wire.StatusResp {
+	return wire.StatusResp{
+		ActiveSessions:   uint32(s.activeSessions.Load()),
+		PooledScenarios:  uint32(s.pool.idle()),
+		TotalSessions:    s.totalSessions.Load(),
+		TotalExchanges:   s.totalExchanges.Load(),
+		TotalExperiments: s.totalExperiments.Load(),
+	}
+}

@@ -1,6 +1,8 @@
 package testbed
 
 import (
+	"fmt"
+
 	"heartshield/internal/channel"
 	"heartshield/internal/imd"
 	"heartshield/internal/modem"
@@ -44,6 +46,10 @@ type Options struct {
 	// to the IMD's received power (default 20 dB, the Fig. 8 operating
 	// point). Used by the Fig. 8 sweep and the Fig. 5 ablation.
 	JamPowerRelDB float64
+	// ExtraIMDs places that many additional implants (same model, distinct
+	// serials) on the shared medium near the shield — the batched
+	// multi-IMD scenario a shieldd session can exchange with by index.
+	ExtraIMDs int
 }
 
 // Scenario wires a complete testbed: medium, IMD in the phantom, shield on
@@ -59,6 +65,10 @@ type Scenario struct {
 	Prog     *programmer.Programmer
 	Location Location
 
+	// IMDs lists every implant on the medium; IMDs[0] == IMD, followed by
+	// the Options.ExtraIMDs additional devices.
+	IMDs []*imd.Device
+
 	// Adversary radio (driven by the adversary package).
 	AdvTX *radio.TXChain
 	AdvRX *radio.RXChain
@@ -70,8 +80,11 @@ type Scenario struct {
 	nextAnt channel.AntennaID
 }
 
-// NewScenario builds the testbed for the given options.
-func NewScenario(opt Options) *Scenario {
+// Normalized returns the options with every defaulted field resolved to
+// the value NewScenario would use. Two option values describe the same
+// scenario shape exactly when their Normalized forms (seeds aside) are
+// equal — the property scenario pooling keys on.
+func (opt Options) Normalized() Options {
 	if opt.Location == 0 {
 		opt.Location = 1
 	}
@@ -81,6 +94,12 @@ func NewScenario(opt Options) *Scenario {
 	if opt.AdversaryPowerDBm == 0 {
 		opt.AdversaryPowerDBm = FCCLimitDBm
 	}
+	return opt
+}
+
+// NewScenario builds the testbed for the given options.
+func NewScenario(opt Options) *Scenario {
+	opt = opt.Normalized()
 	rng := stats.NewRNG(opt.Seed)
 	fsk := modem.NewFSK(modem.DefaultFSK)
 	fs := modem.DefaultFSK.SampleRate
@@ -128,6 +147,22 @@ func NewScenario(opt Options) *Scenario {
 	med.SetLink(AntObserver, AntIMD, channel.Link{LossDB: ObserverBodyLossDB})
 	med.SetLink(AntObserver, AntShieldRx, channel.Link{LossDB: shieldIMDAir + channel.BodyLossDB})
 	med.SetLink(AntObserver, AntShieldJam, channel.Link{LossDB: shieldIMDAir + channel.BodyLossDB})
+
+	// Additional implants (batched multi-IMD scenarios) get their links
+	// before the epoch draw so Reset can replay the medium's RNG history.
+	extraAnts := make([]channel.AntennaID, opt.ExtraIMDs)
+	for i := range extraAnts {
+		id := sc.nextAnt
+		sc.nextAnt++
+		extraAnts[i] = id
+		air := channel.FreeSpaceLossDB(ShieldIMDAirM+ExtraIMDSpacingM*float64(i+1), channel.MICSCenterHz)
+		med.SetLink(id, AntShieldRx, channel.Link{LossDB: air + channel.BodyLossDB, DriftStd: 0.005})
+		med.SetLink(id, AntShieldJam, channel.Link{LossDB: air + 0.4 + channel.BodyLossDB, DriftStd: 0.005})
+		med.SetLink(AntProgrammer, id, channel.Link{LossDB: progAir + channel.BodyLossDB})
+		med.SetLink(AntAdversary, id, channel.Link{LossDB: advAir + channel.BodyLossDB, ShadowSigmaDB: sigma})
+		med.SetLink(AntEavesdropper, id, channel.Link{LossDB: advAir + channel.BodyLossDB, ShadowSigmaDB: sigma})
+		med.SetLink(AntObserver, id, channel.Link{LossDB: ObserverBodyLossDB})
+	}
 
 	med.NewEpoch()
 
@@ -193,7 +228,85 @@ func NewScenario(opt Options) *Scenario {
 		NoiseFloorDBm: noise(AdversaryNFDB), ChannelBW: 300e3, SampleRate: fs,
 		RNG: rng.Split(),
 	}
+
+	sc.IMDs = make([]*imd.Device, 1, 1+opt.ExtraIMDs)
+	sc.IMDs[0] = sc.IMD
+	for i, ant := range extraAnts {
+		sc.IMDs = append(sc.IMDs, imd.NewDevice(imd.Config{
+			Profile: ExtraIMDProfile(opt.Profile, i+1),
+			Antenna: ant,
+			Medium:  med,
+			TX:      &radio.TXChain{PowerDBm: IMDTXPowerDBm, CFOHz: IMDCFOHz, SampleRate: fs, DACBits: 14},
+			RX: &radio.RXChain{
+				NoiseFloorDBm: noise(IMDNFDB), ChannelBW: 300e3, SampleRate: fs,
+				RNG: rng.Split(),
+			},
+			Modem:   fsk,
+			Channel: opt.MICSChannel,
+			RNG:     rng.Split(),
+		}))
+	}
 	return sc
+}
+
+// ExtraIMDSpacingM is the extra air gap each additional implant sits from
+// the shield, beyond the primary's ShieldIMDAirM.
+const ExtraIMDSpacingM = 0.02
+
+// ExtraIMDProfile derives the profile of the i-th (1-based) additional
+// implant: the same device model with a distinct serial, so commands
+// address exactly one implant and the others stay silent. Three serial
+// digits cover every batch size the wire protocol can request (uint8).
+func ExtraIMDProfile(base imd.Profile, i int) imd.Profile {
+	p := base
+	p.Name = fmt.Sprintf("%s #%d", base.Name, i+1)
+	tag := fmt.Sprintf("%03d", i%1000)
+	copy(p.Serial[len(p.Serial)-3:], tag)
+	return p
+}
+
+// Reset re-seeds a scenario in place so it behaves exactly as a freshly
+// built NewScenario with the same options and the new seed: every random
+// stream is re-derived in construction order (the medium's install-order
+// gain draws included), the medium is cleared, therapy and counters are
+// restored, and the shield returns to its un-calibrated, un-estimated
+// state targeting the primary IMD. Recycling pooled scenarios through
+// Reset is what makes shieldd sessions deterministic per session seed
+// regardless of which server handled them or in what order.
+//
+// Reset assumes the scenario's link set is the one NewScenario built (no
+// NewAntennaAt calls since construction).
+func (sc *Scenario) Reset(seed int64) {
+	sc.Opt.Seed = seed
+	rng := stats.NewRNG(seed)
+	sc.RNG = rng
+
+	sc.Medium.ResetRNG(rng.Split())
+	sc.Medium.NewEpoch()
+	sc.Medium.ClearBursts()
+
+	sc.IMD.RX.RNG = rng.Split()
+	sc.IMD.SetRNG(rng.Split())
+	sc.IMD.SetTherapy(imd.DefaultTherapy)
+	sc.IMD.ResetCounters()
+
+	sc.Shield.RX.RNG = rng.Split()
+	sc.Shield.ResetState(rng.Split())
+	sc.Shield.SetProtected(sc.Opt.Profile)
+
+	sc.Prog.RX.RNG = rng.Split()
+
+	sc.AdvTX.CFOHz = (rng.Float64()*2 - 1) * AdvCFOMaxHz
+	sc.AdvRX.RNG = rng.Split()
+	sc.EavesRX.RNG = rng.Split()
+	sc.ObserverRX.RNG = rng.Split()
+
+	for _, dev := range sc.IMDs[1:] {
+		dev.RX.RNG = rng.Split()
+		dev.SetRNG(rng.Split())
+		dev.SetTherapy(imd.DefaultTherapy)
+		dev.ResetCounters()
+	}
 }
 
 // Channel returns the session's MICS channel index.
@@ -204,7 +317,9 @@ func (sc *Scenario) Channel() int { return sc.Opt.MICSChannel }
 func (sc *Scenario) NewTrial() {
 	sc.Medium.NewEpoch()
 	sc.Medium.ClearBursts()
-	sc.IMD.SetTherapy(imd.DefaultTherapy)
+	for _, dev := range sc.IMDs {
+		dev.SetTherapy(imd.DefaultTherapy)
+	}
 }
 
 // PrepareShield runs the shield's channel estimation and then lets the
@@ -216,22 +331,29 @@ func (sc *Scenario) PrepareShield() {
 }
 
 // CalibrateShieldRSSI runs one unjammed exchange so the shield can measure
-// the IMD's received power, then clears the medium. Call once per
+// the primary IMD's received power, then clears the medium. Call once per
 // scenario (the measurement survives trials).
-func (sc *Scenario) CalibrateShieldRSSI() float64 {
+func (sc *Scenario) CalibrateShieldRSSI() float64 { return sc.CalibrateIMD(0) }
+
+// CalibrateIMD measures IMD i's received power at the shield with one
+// unjammed exchange, leaving the shield's RSSI set for that device. A
+// multi-IMD session calibrates each implant once and restores the
+// measurement with Shield.SetIMDRSSI when it switches targets.
+func (sc *Scenario) CalibrateIMD(i int) float64 {
+	dev := sc.IMDs[i]
 	sc.Medium.ClearBursts()
-	cmd := &phy.Frame{Serial: sc.Opt.Profile.Serial, Command: phy.CmdInterrogate, Payload: CommandPayload()}
+	cmd := &phy.Frame{Serial: dev.Profile.Serial, Command: phy.CmdInterrogate, Payload: CommandPayload()}
 	iq := sc.Shield.TXRx.Transmit(sc.FSK.ModulateFrame(cmd))
 	burst := &channel.Burst{Channel: sc.Channel(), Start: 0, IQ: iq, From: AntShieldRx}
 	sc.Medium.AddBurst(burst)
-	re := sc.IMD.ProcessWindow(0, int(burst.End())+2000)
+	re := dev.ProcessWindow(0, int(burst.End())+2000)
 	rssi := sc.Shield.RX.NoiseFloorDBm
 	if re.Responded {
 		b := re.ResponseBurst
 		rssi = sc.Shield.MeasureIMDRSSI(b.Start, int(b.End()-b.Start))
 	}
 	sc.Medium.ClearBursts()
-	sc.IMD.ResetCounters()
+	dev.ResetCounters()
 	return rssi
 }
 
@@ -244,14 +366,20 @@ func CommandPayload() []byte {
 }
 
 // InterrogateFrame builds the data-readout command for the protected IMD.
-func (sc *Scenario) InterrogateFrame() *phy.Frame {
-	return &phy.Frame{Serial: sc.Opt.Profile.Serial, Command: phy.CmdInterrogate, Payload: CommandPayload()}
+func (sc *Scenario) InterrogateFrame() *phy.Frame { return sc.InterrogateFrameFor(0) }
+
+// InterrogateFrameFor builds the data-readout command for IMD i.
+func (sc *Scenario) InterrogateFrameFor(i int) *phy.Frame {
+	return &phy.Frame{Serial: sc.IMDs[i].Profile.Serial, Command: phy.CmdInterrogate, Payload: CommandPayload()}
 }
 
 // SetTherapyFrame builds a therapy-modification command.
-func (sc *Scenario) SetTherapyFrame(rate byte) *phy.Frame {
+func (sc *Scenario) SetTherapyFrame(rate byte) *phy.Frame { return sc.SetTherapyFrameFor(0, rate) }
+
+// SetTherapyFrameFor builds a therapy-modification command for IMD i.
+func (sc *Scenario) SetTherapyFrameFor(i int, rate byte) *phy.Frame {
 	payload := append([]byte{imd.ParamPacingRate, rate, imd.ParamEnabled, 0}, CommandPayload()[:12]...)
-	return &phy.Frame{Serial: sc.Opt.Profile.Serial, Command: phy.CmdSetTherapy, Payload: payload}
+	return &phy.Frame{Serial: sc.IMDs[i].Profile.Serial, Command: phy.CmdSetTherapy, Payload: payload}
 }
 
 // NewAntennaAt registers an extra node (e.g. cross-traffic source) at the

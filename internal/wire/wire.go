@@ -1,0 +1,527 @@
+// Package wire defines the binary wire protocol of the shieldd session
+// server: a length-prefixed outer transport framing and a set of typed
+// messages (HELLO/pairing, EXCHANGE, ATTACK-TRIAL, EXPERIMENT, STATUS).
+//
+// Transport framing is uint32 big-endian length || payload. The HELLO
+// frame travels in plaintext (it carries the public session nonce both
+// ends feed into securelink.SessionSecret); every frame after it is a
+// securelink-sealed message, so the payload on the wire is
+// seq(8) || AES-GCM ciphertext of an encoded message.
+//
+// Message encoding is kind(1) || body, with fixed-width big-endian
+// integers, IEEE-754 bits for floats, and uint32-length-prefixed byte
+// strings. Decode is total: it never panics, never over-allocates beyond
+// the input length, and accepts exactly the encodings Encode produces
+// (round-trip byte equality — the FuzzWireDecode invariant).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the protocol version carried in HELLO/HELLO-ACK.
+const Version = 1
+
+// MaxFrame bounds the outer transport frame length; a peer announcing
+// more is treated as malformed (ErrFrameTooBig) before any allocation.
+const MaxFrame = 1 << 22
+
+// Transport framing errors.
+var (
+	ErrFrameTooBig = errors.New("wire: frame exceeds MaxFrame")
+	ErrTruncated   = errors.New("wire: truncated message")
+	ErrTrailing    = errors.New("wire: trailing bytes after message")
+	ErrUnknownKind = errors.New("wire: unknown message kind")
+	ErrInvalid     = errors.New("wire: invalid field encoding")
+)
+
+// WriteFrame writes one length-prefixed transport frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed transport frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	return ReadFrameLimit(r, MaxFrame)
+}
+
+// ReadFrameLimit reads one frame whose announced length is at most limit;
+// anything larger is rejected before allocation. Servers use a small
+// limit for the pre-authentication HELLO so an unauthenticated peer
+// cannot make them allocate a full MaxFrame buffer.
+func ReadFrameLimit(r io.Reader, limit uint32) ([]byte, error) {
+	if limit > MaxFrame {
+		limit = MaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > limit {
+		return nil, ErrFrameTooBig
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Message kinds.
+const (
+	KindHello          byte = 0x01
+	KindHelloAck       byte = 0x02
+	KindChallenge      byte = 0x03
+	KindExchangeReq    byte = 0x10
+	KindExchangeResp   byte = 0x11
+	KindAttackReq      byte = 0x12
+	KindAttackResp     byte = 0x13
+	KindExperimentReq  byte = 0x20
+	KindExperimentResp byte = 0x21
+	KindStatusReq      byte = 0x30
+	KindStatusResp     byte = 0x31
+	KindBye            byte = 0x3E
+	KindError          byte = 0x3F
+)
+
+// Hello option flags (mirror heartshield.SimOptions).
+const (
+	FlagHighPowerAdversary uint8 = 1 << iota
+	FlagFlatJam
+	FlagDigitalCancel
+	FlagConcerto
+)
+
+// Command kinds carried by EXCHANGE and ATTACK-TRIAL frames.
+const (
+	CmdInterrogate uint8 = 0
+	CmdSetTherapy  uint8 = 1
+)
+
+// Error codes carried by Error frames.
+const (
+	CodeBadRequest        uint8 = 1
+	CodeUnknownExperiment uint8 = 2
+	CodeExchangeFailed    uint8 = 3
+	CodeBusy              uint8 = 4
+	CodeInternal          uint8 = 5
+)
+
+// Message is one protocol message.
+type Message interface {
+	// Kind returns the message's wire kind byte.
+	Kind() byte
+	// Encode serializes the message as kind(1) || body.
+	Encode() []byte
+}
+
+// Hello opens a session: the client's public nonce (fed into the session
+// key derivation) plus the scenario options the session should simulate.
+type Hello struct {
+	Version   uint8
+	Nonce     [16]byte
+	Seed      int64
+	Location  uint8
+	Flags     uint8
+	ExtraIMDs uint8
+}
+
+// Challenge is the server's plaintext reply to HELLO: a fresh server
+// nonce that joins the client's in the session key derivation, so a
+// recorded session's sealed frames can never open in a new one (full-
+// session replay protection).
+type Challenge struct {
+	ServerNonce [16]byte
+}
+
+// HelloAck confirms the session. It is the first sealed frame, so opening
+// it also proves the server holds the pairing secret.
+type HelloAck struct {
+	Version   uint8
+	SessionID uint64
+}
+
+// ExchangeReq asks for one protected exchange with IMD index IMD.
+type ExchangeReq struct {
+	IMD uint8
+	Cmd uint8
+}
+
+// ExchangeResp reports one protected exchange (heartshield.ExchangeReport
+// over the wire).
+type ExchangeResp struct {
+	Response        []byte
+	ResponseCommand string
+	EavesBER        float64
+	CancellationDB  float64
+}
+
+// AttackReq asks for one unauthorized-command trial.
+type AttackReq struct {
+	Cmd      uint8
+	ShieldOn bool
+}
+
+// AttackResp reports one attack trial (heartshield.AttackReport).
+type AttackResp struct {
+	IMDResponded     bool
+	TherapyChanged   bool
+	ShieldJammed     bool
+	Alarmed          bool
+	AdversaryRSSIDBm float64
+}
+
+// ExperimentReq runs a registry experiment server-side.
+type ExperimentReq struct {
+	Name    string
+	Seed    int64
+	Trials  int32
+	Quick   bool
+	Workers uint8
+}
+
+// ExperimentResp carries the experiment's rendered table/figure.
+type ExperimentResp struct {
+	Rendered string
+}
+
+// StatusReq asks for server-wide counters.
+type StatusReq struct{}
+
+// StatusResp reports server-wide counters.
+type StatusResp struct {
+	ActiveSessions   uint32
+	PooledScenarios  uint32
+	TotalSessions    uint64
+	TotalExchanges   uint64
+	TotalExperiments uint64
+}
+
+// Bye closes the session cleanly.
+type Bye struct{}
+
+// Error reports a request failure; the session stays usable unless the
+// transport is torn down.
+type Error struct {
+	Code uint8
+	Msg  string
+}
+
+// Error implements the error interface for server-reported failures.
+func (e *Error) Error() string { return fmt.Sprintf("shieldd: %s (code %d)", e.Msg, e.Code) }
+
+// --- encoding helpers -------------------------------------------------
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+func appendBytes(b, v []byte) []byte {
+	return append(appendU32(b, uint32(len(v))), v...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// cursor walks an encoded body; every read checks the remaining length.
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) u8() uint8 {
+	if c.err != nil || len(c.b) < 1 {
+		c.err = ErrTruncated
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil || len(c.b) < 4 {
+		c.err = ErrTruncated
+		return 0
+	}
+	v := binary.BigEndian.Uint32(c.b)
+	c.b = c.b[4:]
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil || len(c.b) < 8 {
+		c.err = ErrTruncated
+		return 0
+	}
+	v := binary.BigEndian.Uint64(c.b)
+	c.b = c.b[8:]
+	return v
+}
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+// bool accepts only the canonical encodings 0 and 1, keeping Decode's
+// accepted set exactly the Encode image (the fuzz round-trip invariant).
+func (c *cursor) bool() bool {
+	v := c.u8()
+	if c.err == nil && v > 1 {
+		c.err = ErrInvalid
+	}
+	return v == 1
+}
+
+func (c *cursor) bytes() []byte {
+	n := c.u32()
+	if c.err != nil || uint32(len(c.b)) < n {
+		c.err = ErrTruncated
+		return nil
+	}
+	v := append([]byte(nil), c.b[:n]...)
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *cursor) string() string { return string(c.bytes()) }
+
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.b) != 0 {
+		return ErrTrailing
+	}
+	return nil
+}
+
+// --- per-message encode/decode ----------------------------------------
+
+// Encode serializes the Hello message.
+func (m *Hello) Encode() []byte {
+	b := []byte{KindHello, m.Version}
+	b = append(b, m.Nonce[:]...)
+	b = appendU64(b, uint64(m.Seed))
+	return append(b, m.Location, m.Flags, m.ExtraIMDs)
+}
+
+// Kind returns the wire kind byte.
+func (m *Hello) Kind() byte { return KindHello }
+
+// Encode serializes the Challenge message.
+func (m *Challenge) Encode() []byte {
+	return append([]byte{KindChallenge}, m.ServerNonce[:]...)
+}
+
+// Kind returns the wire kind byte.
+func (m *Challenge) Kind() byte { return KindChallenge }
+
+// Encode serializes the HelloAck message.
+func (m *HelloAck) Encode() []byte {
+	return appendU64([]byte{KindHelloAck, m.Version}, m.SessionID)
+}
+
+// Kind returns the wire kind byte.
+func (m *HelloAck) Kind() byte { return KindHelloAck }
+
+// Encode serializes the ExchangeReq message.
+func (m *ExchangeReq) Encode() []byte {
+	return []byte{KindExchangeReq, m.IMD, m.Cmd}
+}
+
+// Kind returns the wire kind byte.
+func (m *ExchangeReq) Kind() byte { return KindExchangeReq }
+
+// Encode serializes the ExchangeResp message.
+func (m *ExchangeResp) Encode() []byte {
+	b := appendBytes([]byte{KindExchangeResp}, m.Response)
+	b = appendBytes(b, []byte(m.ResponseCommand))
+	b = appendF64(b, m.EavesBER)
+	return appendF64(b, m.CancellationDB)
+}
+
+// Kind returns the wire kind byte.
+func (m *ExchangeResp) Kind() byte { return KindExchangeResp }
+
+// Encode serializes the AttackReq message.
+func (m *AttackReq) Encode() []byte {
+	return appendBool([]byte{KindAttackReq, m.Cmd}, m.ShieldOn)
+}
+
+// Kind returns the wire kind byte.
+func (m *AttackReq) Kind() byte { return KindAttackReq }
+
+// Encode serializes the AttackResp message.
+func (m *AttackResp) Encode() []byte {
+	b := appendBool([]byte{KindAttackResp}, m.IMDResponded)
+	b = appendBool(b, m.TherapyChanged)
+	b = appendBool(b, m.ShieldJammed)
+	b = appendBool(b, m.Alarmed)
+	return appendF64(b, m.AdversaryRSSIDBm)
+}
+
+// Kind returns the wire kind byte.
+func (m *AttackResp) Kind() byte { return KindAttackResp }
+
+// Encode serializes the ExperimentReq message.
+func (m *ExperimentReq) Encode() []byte {
+	b := appendBytes([]byte{KindExperimentReq}, []byte(m.Name))
+	b = appendU64(b, uint64(m.Seed))
+	b = appendU32(b, uint32(m.Trials))
+	b = appendBool(b, m.Quick)
+	return append(b, m.Workers)
+}
+
+// Kind returns the wire kind byte.
+func (m *ExperimentReq) Kind() byte { return KindExperimentReq }
+
+// Encode serializes the ExperimentResp message.
+func (m *ExperimentResp) Encode() []byte {
+	return appendBytes([]byte{KindExperimentResp}, []byte(m.Rendered))
+}
+
+// Kind returns the wire kind byte.
+func (m *ExperimentResp) Kind() byte { return KindExperimentResp }
+
+// Encode serializes the StatusReq message.
+func (m *StatusReq) Encode() []byte { return []byte{KindStatusReq} }
+
+// Kind returns the wire kind byte.
+func (m *StatusReq) Kind() byte { return KindStatusReq }
+
+// Encode serializes the StatusResp message.
+func (m *StatusResp) Encode() []byte {
+	b := appendU32([]byte{KindStatusResp}, m.ActiveSessions)
+	b = appendU32(b, m.PooledScenarios)
+	b = appendU64(b, m.TotalSessions)
+	b = appendU64(b, m.TotalExchanges)
+	return appendU64(b, m.TotalExperiments)
+}
+
+// Kind returns the wire kind byte.
+func (m *StatusResp) Kind() byte { return KindStatusResp }
+
+// Encode serializes the Bye message.
+func (m *Bye) Encode() []byte { return []byte{KindBye} }
+
+// Kind returns the wire kind byte.
+func (m *Bye) Kind() byte { return KindBye }
+
+// Encode serializes the Error message.
+func (m *Error) Encode() []byte {
+	return appendBytes([]byte{KindError, m.Code}, []byte(m.Msg))
+}
+
+// Kind returns the wire kind byte.
+func (m *Error) Kind() byte { return KindError }
+
+// Decode parses one encoded message. It accepts exactly the byte strings
+// Encode produces: unknown kinds, truncation, and trailing garbage are
+// all errors, and no input makes it panic.
+func Decode(b []byte) (Message, error) {
+	if len(b) < 1 {
+		return nil, ErrTruncated
+	}
+	c := &cursor{b: b[1:]}
+	var m Message
+	switch b[0] {
+	case KindHello:
+		h := &Hello{Version: c.u8()}
+		if len(c.b) >= len(h.Nonce) && c.err == nil {
+			copy(h.Nonce[:], c.b)
+			c.b = c.b[len(h.Nonce):]
+		} else {
+			c.err = ErrTruncated
+		}
+		h.Seed = int64(c.u64())
+		h.Location = c.u8()
+		h.Flags = c.u8()
+		h.ExtraIMDs = c.u8()
+		m = h
+	case KindChallenge:
+		ch := &Challenge{}
+		if len(c.b) >= len(ch.ServerNonce) && c.err == nil {
+			copy(ch.ServerNonce[:], c.b)
+			c.b = c.b[len(ch.ServerNonce):]
+		} else {
+			c.err = ErrTruncated
+		}
+		m = ch
+	case KindHelloAck:
+		m = &HelloAck{Version: c.u8(), SessionID: c.u64()}
+	case KindExchangeReq:
+		m = &ExchangeReq{IMD: c.u8(), Cmd: c.u8()}
+	case KindExchangeResp:
+		m = &ExchangeResp{
+			Response:        c.bytes(),
+			ResponseCommand: c.string(),
+			EavesBER:        c.f64(),
+			CancellationDB:  c.f64(),
+		}
+	case KindAttackReq:
+		m = &AttackReq{Cmd: c.u8(), ShieldOn: c.bool()}
+	case KindAttackResp:
+		m = &AttackResp{
+			IMDResponded:     c.bool(),
+			TherapyChanged:   c.bool(),
+			ShieldJammed:     c.bool(),
+			Alarmed:          c.bool(),
+			AdversaryRSSIDBm: c.f64(),
+		}
+	case KindExperimentReq:
+		m = &ExperimentReq{
+			Name:    c.string(),
+			Seed:    int64(c.u64()),
+			Trials:  int32(c.u32()),
+			Quick:   c.bool(),
+			Workers: c.u8(),
+		}
+	case KindExperimentResp:
+		m = &ExperimentResp{Rendered: c.string()}
+	case KindStatusReq:
+		m = &StatusReq{}
+	case KindStatusResp:
+		m = &StatusResp{
+			ActiveSessions:   c.u32(),
+			PooledScenarios:  c.u32(),
+			TotalSessions:    c.u64(),
+			TotalExchanges:   c.u64(),
+			TotalExperiments: c.u64(),
+		}
+	case KindBye:
+		m = &Bye{}
+	case KindError:
+		m = &Error{Code: c.u8(), Msg: c.string()}
+	default:
+		return nil, ErrUnknownKind
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// sampleMessages is one instance of every message kind with non-trivial
+// field values; the encode/decode tests and the fuzz seed corpus share it.
+func sampleMessages() []Message {
+	hello := &Hello{Version: Version, Seed: -42, Location: 7,
+		Flags: FlagFlatJam | FlagConcerto, ExtraIMDs: 3}
+	copy(hello.Nonce[:], "nonce-0123456789")
+	challenge := &Challenge{}
+	copy(challenge.ServerNonce[:], "srvnonce-9876543")
+	return []Message{
+		hello,
+		challenge,
+		&HelloAck{Version: Version, SessionID: 0xDEADBEEF01},
+		&ExchangeReq{IMD: 2, Cmd: CmdSetTherapy},
+		&ExchangeResp{Response: []byte("patient-data"), ResponseCommand: "data-response",
+			EavesBER: 0.4961, CancellationDB: 34.93},
+		&AttackReq{Cmd: CmdInterrogate, ShieldOn: true},
+		&AttackResp{IMDResponded: true, ShieldJammed: true, AdversaryRSSIDBm: -31.5},
+		&ExperimentReq{Name: "fig7", Seed: 1, Trials: 40, Quick: true, Workers: 8},
+		&ExperimentResp{Rendered: "Fig. 7 — antidote cancellation\nmean 34.9 dB\n"},
+		&StatusReq{},
+		&StatusResp{ActiveSessions: 32, PooledScenarios: 4, TotalSessions: 100,
+			TotalExchanges: 12345, TotalExperiments: 6},
+		&Bye{},
+		&Error{Code: CodeExchangeFailed, Msg: "IMD did not respond"},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		enc := m.Encode()
+		if enc[0] != m.Kind() {
+			t.Fatalf("%T: encoded kind 0x%02x, Kind() 0x%02x", m, enc[0], m.Kind())
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("%T round trip:\n got %+v\nwant %+v", m, got, m)
+		}
+		if re := got.(Message).Encode(); !bytes.Equal(re, enc) {
+			t.Fatalf("%T re-encode differs:\n got %x\nwant %x", m, re, enc)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	for _, m := range sampleMessages() {
+		enc := m.Encode()
+		for n := 0; n < len(enc); n++ {
+			if _, err := Decode(enc[:n]); err == nil {
+				t.Fatalf("%T: decode accepted %d/%d-byte prefix", m, n, len(enc))
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	for _, m := range sampleMessages() {
+		enc := append(m.Encode(), 0x00)
+		if _, err := Decode(enc); !errors.Is(err, ErrTrailing) && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("%T: decode with trailing byte = %v", m, err)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	if _, err := Decode([]byte{0x77, 1, 2, 3}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("unknown kind error = %v", err)
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty decode error = %v", err)
+	}
+}
+
+// A lying length prefix inside a message body must not cause a huge
+// allocation or an out-of-range read.
+func TestDecodeRejectsLyingLengthPrefix(t *testing.T) {
+	b := []byte{KindExperimentResp, 0xFF, 0xFF, 0xFF, 0xFF, 'x'}
+	if _, err := Decode(b); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("lying length error = %v", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xA5}, 5000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame round trip: got %x want %x", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("read past end = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameLengthLimit(t *testing.T) {
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); err != ErrFrameTooBig {
+		t.Fatalf("oversize write error = %v", err)
+	}
+	// A header announcing more than MaxFrame must be rejected before any
+	// allocation of the announced size.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(hdr)); err != ErrFrameTooBig {
+		t.Fatalf("oversize read error = %v", err)
+	}
+}
+
+func TestReadFrameLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 300)); err != nil {
+		t.Fatal(err)
+	}
+	// A frame over the caller's limit is rejected before allocation even
+	// though it is under MaxFrame.
+	if _, err := ReadFrameLimit(bytes.NewReader(buf.Bytes()), 256); err != ErrFrameTooBig {
+		t.Fatalf("over-limit read error = %v", err)
+	}
+	got, err := ReadFrameLimit(bytes.NewReader(buf.Bytes()), 300)
+	if err != nil || len(got) != 300 {
+		t.Fatalf("at-limit read = %d bytes, err %v", len(got), err)
+	}
+}
+
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("truncate me")); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(short)); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated payload error = %v", err)
+	}
+}

@@ -24,7 +24,7 @@ type ExperimentConfig struct {
 	Quick bool
 	// Workers fans the per-location/per-point experiments out over a
 	// worker pool (0 or 1 = serial). Output is byte-identical for any
-	// worker count at a given seed.
+	// worker count.
 	Workers int
 }
 
@@ -39,60 +39,29 @@ type ExperimentInfo struct {
 	Run   func(ExperimentConfig) Result
 }
 
-var registry = []ExperimentInfo{
-	{"fig3", "IMD response timing without carrier sensing",
-		func(c ExperimentConfig) Result { return experiments.Fig3(c.internal()) }},
-	{"fig4", "FSK power profile of the IMD's transmissions",
-		func(c ExperimentConfig) Result { return experiments.Fig4(c.internal()) }},
-	{"fig5", "shaped vs constant jamming profile (+ per-watt ablation)",
-		func(c ExperimentConfig) Result { return experiments.Fig5(c.internal()) }},
-	{"fig7", "CDF of antidote cancellation at the receive antenna",
-		func(c ExperimentConfig) Result { return experiments.Fig7(c.internal()) }},
-	{"fig8", "eavesdropper BER / shield PER vs jamming power",
-		func(c ExperimentConfig) Result { return experiments.Fig8(c.internal()) }},
-	{"fig9", "eavesdropper BER CDF over all locations (+ Fig.10 loss CDF)",
-		func(c ExperimentConfig) Result { return experiments.Fig9And10(c.internal()) }},
-	{"fig10", "shield packet loss CDF (measured with fig9)",
-		func(c ExperimentConfig) Result { return experiments.Fig9And10(c.internal()) }},
-	{"fig11", "replayed interrogation success vs location, shield off/on",
-		func(c ExperimentConfig) Result { return experiments.Fig11(c.internal()) }},
-	{"fig12", "replayed therapy change success vs location, shield off/on",
-		func(c ExperimentConfig) Result { return experiments.Fig12(c.internal()) }},
-	{"fig13", "100x-power adversary success and alarms vs location",
-		func(c ExperimentConfig) Result { return experiments.Fig13(c.internal()) }},
-	{"table1", "adversary RSSI eliciting IMD responses despite jamming (Pthresh)",
-		func(c ExperimentConfig) Result { return experiments.Table1(c.internal()) }},
-	{"table2", "coexistence: cross-traffic, IMD packets, turn-around time",
-		func(c ExperimentConfig) Result { return experiments.Table2(c.internal()) }},
-	{"ablation-antidote", "decoding with the antidote disabled vs enabled",
-		func(c ExperimentConfig) Result { return experiments.AblationAntidote(c.internal()) }},
-	{"ablation-digital", "digital residual cancellation at high jam power",
-		func(c ExperimentConfig) Result { return experiments.AblationDigitalCancel(c.internal()) }},
-	{"ablation-bthresh", "Sid threshold sweep: misses vs false jams",
-		func(c ExperimentConfig) Result { return experiments.AblationBThresh(c.internal()) }},
-	{"battery", "shield duty cycle and battery-life estimate (§7e)",
-		func(c ExperimentConfig) Result { return experiments.Battery(c.internal()) }},
-	{"ofdm", "wideband (OFDM per-subcarrier) antidote extension (§5)",
-		func(c ExperimentConfig) Result { return experiments.OFDMExtension(c.internal()) }},
-	{"mimo", "MIMO eavesdropper vs shield placement (§3.2)",
-		func(c ExperimentConfig) Result { return experiments.MIMOExtension(c.internal()) }},
-	{"ablation-probe", "antidote cancellation vs estimate staleness (§5)",
-		func(c ExperimentConfig) Result { return experiments.ProbeStaleness(c.internal()) }},
-}
-
-// Experiments lists the registered experiment names in stable order.
+// Experiments lists the registered experiment names in stable order. The
+// registry itself lives in internal/experiments so the shieldd session
+// server can run the same experiments remotely (EXPERIMENT frames) without
+// importing the public API.
 func Experiments() []ExperimentInfo {
-	out := append([]ExperimentInfo(nil), registry...)
+	var out []ExperimentInfo
+	for _, e := range experiments.Registry() {
+		run := e.Run
+		out = append(out, ExperimentInfo{
+			Name:  e.Name,
+			Title: e.Title,
+			Run:   func(c ExperimentConfig) Result { return run(c.internal()) },
+		})
+	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // RunExperiment runs a registered experiment by name.
 func RunExperiment(name string, cfg ExperimentConfig) (Result, error) {
-	for _, e := range registry {
-		if e.Name == name {
-			return e.Run(cfg), nil
-		}
+	res, err := experiments.RunByName(name, cfg.internal())
+	if err != nil {
+		return nil, fmt.Errorf("heartshield: unknown experiment %q (use Experiments() for the list)", name)
 	}
-	return nil, fmt.Errorf("heartshield: unknown experiment %q (use Experiments() for the list)", name)
+	return res, nil
 }

@@ -1,0 +1,197 @@
+package heartshield
+
+import (
+	"net"
+
+	"heartshield/internal/shieldd"
+	"heartshield/internal/wire"
+)
+
+// ServeOptions configures a shield session server.
+type ServeOptions struct {
+	// Secret is the provisioned master pairing secret shared with
+	// authorized programmers; per-session keys are derived from it.
+	// Required.
+	Secret []byte
+	// MaxSessions bounds concurrently active sessions (default 64);
+	// further handshakes queue until a slot frees.
+	MaxSessions int
+	// ExperimentWorkers caps the deterministic per-point fan-out of
+	// remotely requested experiments (default 1).
+	ExperimentWorkers int
+	// MaxExtraIMDs caps the batched multi-IMD size a session may request
+	// (default 8).
+	MaxExtraIMDs int
+}
+
+// Server is a running shield session service: it owns a pool of recycled
+// testbed scenarios and serves the securelink-sealed wire protocol over
+// any net.Conn transport. Results are deterministic per session seed
+// regardless of concurrency, pooling, or transport.
+type Server struct {
+	s *shieldd.Server
+}
+
+// NewServer builds a session server.
+func NewServer(opt ServeOptions) (*Server, error) {
+	s, err := shieldd.NewServer(shieldd.ServerConfig{
+		Secret:            opt.Secret,
+		MaxSessions:       opt.MaxSessions,
+		ExperimentWorkers: opt.ExperimentWorkers,
+		MaxExtraIMDs:      opt.MaxExtraIMDs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{s: s}, nil
+}
+
+// Serve accepts and serves sessions until the listener is closed.
+func (s *Server) Serve(l net.Listener) error { return s.s.Serve(l) }
+
+// Pipe opens an in-process session (zero-network transport) against this
+// server.
+func (s *Server) Pipe(opt DialOptions) (*RemoteSimulation, error) {
+	c, err := s.s.Pipe(opt.session())
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteSimulation{c: c}, nil
+}
+
+// Serve runs a session server on the listener until it is closed — the
+// one-call entry point cmd/shieldd uses.
+func Serve(l net.Listener, opt ServeOptions) error {
+	s, err := NewServer(opt)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// DialOptions configures a remote session.
+type DialOptions struct {
+	// SimOptions selects the simulated world, exactly as NewSimulation
+	// does for the in-process path; equal seeds give equal results on
+	// either path.
+	SimOptions
+	// ExtraIMDs adds additional implants (same model, distinct serials)
+	// to the session's shared medium; ProtectedExchangeWith addresses
+	// them by index (0 = primary).
+	ExtraIMDs int
+}
+
+func (o DialOptions) session() shieldd.SessionOptions {
+	return shieldd.SessionOptions{
+		Seed:               o.Seed,
+		Location:           o.Location,
+		HighPowerAdversary: o.HighPowerAdversary,
+		FlatJam:            o.FlatJam,
+		DigitalCancel:      o.DigitalCancel,
+		Concerto:           o.Concerto,
+		ExtraIMDs:          o.ExtraIMDs,
+	}
+}
+
+// RemoteSimulation is a Simulation driven over a shieldd session: the
+// same exchanges and attack trials, executed server-side in the session's
+// own deterministic world, sealed end-to-end with securelink.
+type RemoteSimulation struct {
+	c *shieldd.Client
+}
+
+// Dial opens a TCP session with a shield session server.
+func Dial(addr string, secret []byte, opt DialOptions) (*RemoteSimulation, error) {
+	c, err := shieldd.Dial(addr, secret, opt.session())
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteSimulation{c: c}, nil
+}
+
+// SessionID returns the server-assigned session identifier.
+func (r *RemoteSimulation) SessionID() uint64 { return r.c.SessionID() }
+
+func wireCmd(kind CommandKind) uint8 {
+	if kind == SetTherapy {
+		return wire.CmdSetTherapy
+	}
+	return wire.CmdInterrogate
+}
+
+// ProtectedExchange runs one shield-proxied exchange with the primary
+// IMD, equivalent to Simulation.ProtectedExchange at the same seed.
+func (r *RemoteSimulation) ProtectedExchange(kind CommandKind) (ExchangeReport, error) {
+	return r.ProtectedExchangeWith(0, kind)
+}
+
+// ProtectedExchangeWith runs one shield-proxied exchange with the implant
+// at the given index (batched multi-IMD sessions).
+func (r *RemoteSimulation) ProtectedExchangeWith(imdIdx int, kind CommandKind) (ExchangeReport, error) {
+	var rep ExchangeReport
+	resp, err := r.c.Exchange(imdIdx, wireCmd(kind))
+	if err != nil {
+		return rep, err
+	}
+	rep.Response = resp.Response
+	rep.ResponseCommand = resp.ResponseCommand
+	rep.EavesdropperBER = resp.EavesBER
+	rep.CancellationDB = resp.CancellationDB
+	return rep, nil
+}
+
+// Attack runs one unauthorized-command trial, equivalent to
+// Simulation.Attack at the same seed.
+func (r *RemoteSimulation) Attack(kind CommandKind, shieldOn bool) (AttackReport, error) {
+	var rep AttackReport
+	resp, err := r.c.Attack(wireCmd(kind), shieldOn)
+	if err != nil {
+		return rep, err
+	}
+	rep.ShieldOn = shieldOn
+	rep.IMDResponded = resp.IMDResponded
+	rep.TherapyChanged = resp.TherapyChanged
+	rep.ShieldJammed = resp.ShieldJammed
+	rep.Alarmed = resp.Alarmed
+	rep.AdversaryRSSIDBm = resp.AdversaryRSSIDBm
+	return rep, nil
+}
+
+// RunExperiment runs a registry experiment server-side and returns its
+// rendered table/figure.
+func (r *RemoteSimulation) RunExperiment(name string, cfg ExperimentConfig) (string, error) {
+	return r.c.Experiment(wire.ExperimentReq{
+		Name:    name,
+		Seed:    cfg.Seed,
+		Trials:  int32(cfg.Trials),
+		Quick:   cfg.Quick,
+		Workers: uint8(min(cfg.Workers, 255)),
+	})
+}
+
+// Status returns the server's session/exchange counters.
+func (r *RemoteSimulation) Status() (ServerStatus, error) {
+	st, err := r.c.Status()
+	if err != nil {
+		return ServerStatus{}, err
+	}
+	return ServerStatus{
+		ActiveSessions:   int(st.ActiveSessions),
+		PooledScenarios:  int(st.PooledScenarios),
+		TotalSessions:    st.TotalSessions,
+		TotalExchanges:   st.TotalExchanges,
+		TotalExperiments: st.TotalExperiments,
+	}, nil
+}
+
+// Close ends the session.
+func (r *RemoteSimulation) Close() error { return r.c.Close() }
+
+// ServerStatus reports server-wide counters.
+type ServerStatus struct {
+	ActiveSessions   int
+	PooledScenarios  int
+	TotalSessions    uint64
+	TotalExchanges   uint64
+	TotalExperiments uint64
+}

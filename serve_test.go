@@ -1,0 +1,74 @@
+package heartshield_test
+
+import (
+	"net"
+	"testing"
+
+	"heartshield"
+)
+
+// The public service API: Serve on a TCP listener, Dial from a client,
+// and per-seed equivalence between the remote and in-process paths.
+func TestServeDialRoundTrip(t *testing.T) {
+	secret := []byte("public-api-secret")
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer l.Close()
+	go heartshield.Serve(l, heartshield.ServeOptions{Secret: secret})
+
+	remote, err := heartshield.Dial(l.Addr().String(), secret,
+		heartshield.DialOptions{SimOptions: heartshield.SimOptions{Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	local := heartshield.NewSimulation(heartshield.SimOptions{Seed: 4})
+	want, err := local.ProtectedExchange(heartshield.Interrogate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := remote.ProtectedExchange(heartshield.Interrogate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EavesdropperBER != want.EavesdropperBER || got.CancellationDB != want.CancellationDB ||
+		string(got.Response) != string(want.Response) {
+		t.Errorf("remote exchange %+v != local %+v", got, want)
+	}
+
+	st, err := remote.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalExchanges < 1 || st.ActiveSessions < 1 {
+		t.Errorf("status counters implausible: %+v", st)
+	}
+}
+
+// The in-process pipe transport and a remotely executed experiment.
+func TestServerPipeExperiment(t *testing.T) {
+	srv, err := heartshield.NewServer(heartshield.ServeOptions{Secret: []byte("s"), ExperimentWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := srv.Pipe(heartshield.DialOptions{SimOptions: heartshield.SimOptions{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	want, err := heartshield.RunExperiment("battery", heartshield.ExperimentConfig{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := remote.RunExperiment("battery", heartshield.ExperimentConfig{Seed: 1, Quick: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want.Render() {
+		t.Errorf("remote experiment diverges from local:\n--- remote ---\n%s\n--- local ---\n%s", got, want.Render())
+	}
+}
