@@ -1,19 +1,33 @@
 # Build, test, and benchmark entry points for the heartshield repo.
 #
-#   make test   - tier-1 gate: build everything, run every test
-#   make vet    - static checks
-#   make race   - race detector over the concurrent packages
-#   make fuzz   - FUZZTIME smoke of every fuzz target
-#   make ci     - what .github/workflows/ci.yml runs: vet + build + test
-#                 + race + fuzz smoke
-#   make bench  - micro + end-to-end benchmarks; archives the run as
-#                 BENCH_latest.txt (raw) and BENCH_latest.json (parsed)
-#   make sim    - regenerate every paper table/figure (quick trial counts)
-#   make golden - re-record testdata/golden after an intentional physics
-#                 change (review the diff!)
+#   make test         - tier-1 gate: build everything, run every test
+#   make vet          - go vet static checks
+#   make fmt          - fail if any file is not gofmt-clean
+#   make staticcheck  - staticcheck ./... (skips with a notice if the
+#                       binary is not installed; CI installs it)
+#   make race         - race detector over the concurrent packages
+#   make fuzz         - FUZZTIME smoke of every fuzz target
+#   make ci           - exactly what each .github/workflows/ci.yml test
+#                       job runs: fmt + vet + staticcheck + build + test
+#                       + race + fuzz
+#   make bench        - micro + end-to-end benchmarks; archives the run as
+#                       BENCH_latest.txt (raw) and BENCH_latest.json (parsed)
+#   make benchcheck   - CI perf gate: run the exchange benchmarks and fail
+#                       on >$(BENCH_THRESHOLD)% ns/op regression vs the
+#                       checked-in BENCH_baseline.json
+#   make benchbaseline- re-record BENCH_baseline.json (review the diff and
+#                       explain it in the PR!)
+#   make sim          - regenerate every paper table/figure (quick trial counts)
+#   make golden       - re-record testdata/golden after an intentional physics
+#                       change (review the diff!)
+#   make golden-check - CI determinism gate: re-record golden files and fail
+#                       if they drift from the checked-in ones
 
 GO ?= go
 FUZZTIME ?= 30s
+BENCH_THRESHOLD ?= 25
+# The exchange benchmarks the perf gate watches (root package + shieldd).
+BENCH_GATE = BenchmarkProtectedExchange$$|BenchmarkSessionExchange$$|BenchmarkBatchedExchange$$|BenchmarkSequentialExchanges$$
 
 # Every fuzz target in the repo as package:Fuzzname pairs.
 FUZZ_TARGETS = \
@@ -23,16 +37,31 @@ FUZZ_TARGETS = \
 	./internal/wire:FuzzWireDecode \
 	./internal/securelink:FuzzSecurelinkOpen
 
-.PHONY: all test vet race fuzz ci bench sim golden clean
+.PHONY: all build test vet fmt staticcheck race fuzz ci bench benchcheck benchbaseline sim golden golden-check clean
 
 all: test vet
 
-test:
+build:
 	$(GO) build ./...
+
+test: build
 	$(GO) test ./...
 
 vet:
 	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI installs it)"; \
+	fi
 
 race:
 	$(GO) test -race ./internal/shieldd/... ./internal/experiments/...
@@ -44,18 +73,31 @@ fuzz:
 		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) $$pkg; \
 	done
 
-ci: vet test race fuzz
+ci: fmt vet staticcheck build test race fuzz
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./... | tee BENCH_latest.txt
 	$(GO) run ./cmd/benchjson < BENCH_latest.txt > BENCH_latest.json
 	@echo "wrote BENCH_latest.txt and BENCH_latest.json"
 
+benchcheck:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem . ./internal/shieldd | tee BENCH_latest.txt
+	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -threshold $(BENCH_THRESHOLD) < BENCH_latest.txt > BENCH_latest.json
+
+benchbaseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem . ./internal/shieldd | tee BENCH_latest.txt
+	$(GO) run ./cmd/benchjson < BENCH_latest.txt > BENCH_baseline.json
+	@echo "re-recorded BENCH_baseline.json — explain the refresh in the PR"
+
 sim:
 	$(GO) run ./cmd/shieldsim -run all -quick
 
 golden:
 	$(GO) test -run TestGoldenExperimentOutputs -update .
+
+golden-check: golden
+	@git diff --exit-code testdata/golden || \
+		{ echo "golden files drifted: experiment output is nondeterministic or changed without re-recording"; exit 1; }
 
 clean:
 	rm -f BENCH_latest.txt BENCH_latest.json

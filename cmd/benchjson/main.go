@@ -7,14 +7,23 @@
 // allocation metrics when -benchmem is on, and every custom metric
 // reported via b.ReportMetric (e.g. lossRate, meanCancel_dB).
 //
+// With -baseline, benchjson additionally compares the parsed run against
+// a checked-in baseline JSON (produced by an earlier benchjson run) and
+// exits non-zero when any benchmark present in both regressed by more
+// than -threshold percent ns/op — the CI perf gate (`make benchcheck`).
+// Benchmarks missing from either side are reported but never fail the
+// gate, so adding or retiring benchmarks does not break CI.
+//
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson > BENCH_latest.json
+//	go test -bench=Exchange ./... | benchjson -baseline BENCH_baseline.json -threshold 25 > BENCH_latest.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -31,6 +40,10 @@ type Result struct {
 }
 
 func main() {
+	baseline := flag.String("baseline", "", "baseline JSON to compare against (enables the perf gate)")
+	threshold := flag.Float64("threshold", 25, "max allowed ns/op regression percent vs the baseline")
+	flag.Parse()
+
 	var results []Result
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -55,6 +68,65 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		if !compare(*baseline, results, *threshold) {
+			os.Exit(1)
+		}
+	}
+}
+
+// key identifies a benchmark across runs.
+func key(r Result) string { return r.Package + "." + r.Name }
+
+// compare reports every benchmark's ns/op against the baseline on
+// stderr and returns false when any shared benchmark regressed by more
+// than threshold percent.
+func compare(baselinePath string, latest []Result, threshold float64) bool {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		return false
+	}
+	var base []Result
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		return false
+	}
+	baseByKey := make(map[string]Result, len(base))
+	for _, r := range base {
+		baseByKey[key(r)] = r
+	}
+
+	ok := true
+	seen := make(map[string]bool, len(latest))
+	for _, r := range latest {
+		seen[key(r)] = true
+		b, found := baseByKey[key(r)]
+		if !found {
+			fmt.Fprintf(os.Stderr, "NEW      %-55s %12.0f ns/op (no baseline)\n", key(r), r.NsPerOp)
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		deltaPct := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		verdict := "OK      "
+		if deltaPct > threshold {
+			verdict = "REGRESS "
+			ok = false
+		}
+		fmt.Fprintf(os.Stderr, "%s %-55s %12.0f -> %12.0f ns/op (%+.1f%%, limit +%.0f%%)\n",
+			verdict, key(r), b.NsPerOp, r.NsPerOp, deltaPct, threshold)
+	}
+	for k := range baseByKey {
+		if !seen[k] {
+			fmt.Fprintf(os.Stderr, "MISSING  %-55s in latest run (not gated)\n", k)
+		}
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% — refresh BENCH_baseline.json only with an explanation in the PR\n", threshold)
+	}
+	return ok
 }
 
 // parseBenchLine parses one "BenchmarkX-8  123  456 ns/op  7 B/op ..."

@@ -1,16 +1,18 @@
 // Command shieldd runs the concurrent shield session server: a long-lived
-// daemon serving protected exchanges, attack trials, and experiment runs
-// over the securelink-sealed wire protocol, one recycled testbed scenario
-// per active session.
+// daemon serving protected exchanges (pipelined and batched), attack
+// trials, and experiment runs over the securelink-sealed wire protocol,
+// one recycled testbed scenario per active session.
 //
 // Usage:
 //
 //	shieldd -listen :7700 -secret swordfish
 //	shieldd -listen 127.0.0.1:7700 -secret-file /etc/shieldd.secret -max-sessions 128
+//	shieldd -listen :7700 -secret swordfish -metrics 30s -idle-timeout 2m
 //
 // Drive it with cmd/shieldsim's client mode:
 //
 //	shieldsim -server 127.0.0.1:7700 -secret swordfish -run fig7 -quick
+//	shieldsim -server 127.0.0.1:7700 -secret swordfish -batch 64
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"heartshield"
 )
@@ -32,6 +35,9 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 64, "concurrently active session bound")
 		expWorkers  = flag.Int("exp-workers", runtime.NumCPU(), "worker cap for remotely requested experiments")
 		maxExtra    = flag.Int("max-extra-imds", 8, "largest multi-IMD batch a session may request")
+		inFlight    = flag.Int("inflight", 16, "pipelined in-flight request window per session")
+		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "reap sessions idle this long (0 disables)")
+		metricsEach = flag.Duration("metrics", 0, "dump server metrics at this interval (0 disables)")
 	)
 	flag.Parse()
 
@@ -54,15 +60,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("shieldd listening on %s (max %d sessions, %d experiment workers)\n",
-		l.Addr(), *maxSessions, *expWorkers)
+	fmt.Printf("shieldd listening on %s (max %d sessions, window %d, %d experiment workers, idle timeout %v)\n",
+		l.Addr(), *maxSessions, *inFlight, *expWorkers, *idleTimeout)
 
-	err = heartshield.Serve(l, heartshield.ServeOptions{
-		Secret:            key,
-		MaxSessions:       *maxSessions,
-		ExperimentWorkers: *expWorkers,
-		MaxExtraIMDs:      *maxExtra,
+	srv, err := heartshield.NewServer(heartshield.ServeOptions{
+		Secret:             key,
+		MaxSessions:        *maxSessions,
+		ExperimentWorkers:  *expWorkers,
+		MaxExtraIMDs:       *maxExtra,
+		InFlightPerSession: *inFlight,
+		IdleTimeout:        *idleTimeout,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	if *metricsEach > 0 {
+		go func() {
+			tick := time.NewTicker(*metricsEach)
+			defer tick.Stop()
+			for range tick.C {
+				fmt.Printf("metrics %s %s\n", time.Now().Format(time.RFC3339), srv.Metrics())
+			}
+		}()
+	}
+
+	err = srv.Serve(l)
 	fmt.Fprintln(os.Stderr, "error:", err)
 	os.Exit(1)
 }

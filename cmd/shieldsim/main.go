@@ -9,6 +9,7 @@
 //	shieldsim -run all -quick
 //	shieldsim -run fig11 -trials 100 -seed 7
 //	shieldsim -server 127.0.0.1:7700 -secret swordfish -run fig7 -quick
+//	shieldsim -server 127.0.0.1:7700 -secret swordfish -batch 64 -session-metrics
 package main
 
 import (
@@ -31,15 +32,17 @@ func main() {
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel scenario workers (output is identical for any value)")
 		server  = flag.String("server", "", "run experiments remotely on this shieldd address")
 		secret  = flag.String("secret", "", "pairing secret for -server")
+		batch   = flag.Int("batch", 0, "with -server: run this many protected exchanges as BATCH-EXCHANGE frames")
+		sessMet = flag.Bool("session-metrics", false, "with -server: print the session's STATUS-METRICS before closing")
 	)
 	flag.Parse()
 
-	if *list || *run == "" {
+	if *list || (*run == "" && *batch == 0) {
 		fmt.Println("experiments (use -run <name> or -run all):")
 		for _, e := range heartshield.Experiments() {
 			fmt.Printf("  %-18s %s\n", e.Name, e.Title)
 		}
-		if *run == "" && !*list {
+		if *run == "" && *batch == 0 && !*list {
 			os.Exit(2)
 		}
 		return
@@ -74,6 +77,18 @@ func main() {
 		fmt.Printf("[session %d on %s]\n\n", remote.SessionID(), *server)
 	}
 
+	if *batch > 0 {
+		if remote == nil {
+			fmt.Fprintln(os.Stderr, "error: -batch requires -server")
+			os.Exit(2)
+		}
+		runBatch(remote, *batch)
+		if *run == "" {
+			printSessionMetrics(remote, *sessMet)
+			return
+		}
+	}
+
 	for _, name := range names {
 		start := time.Now()
 		var rendered string
@@ -95,4 +110,55 @@ func main() {
 		fmt.Print(rendered)
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	if remote != nil {
+		printSessionMetrics(remote, *sessMet)
+	}
+}
+
+// runBatch drives n protected exchanges through BATCH-EXCHANGE frames
+// (up to 256 per sealed round trip) and prints a summary.
+func runBatch(remote *heartshield.RemoteSimulation, n int) {
+	start := time.Now()
+	var sumBER, sumCancel float64
+	done := 0
+	for done < n {
+		chunk := n - done
+		if chunk > 256 {
+			chunk = 256
+		}
+		items := make([]heartshield.BatchItem, chunk)
+		for i := range items {
+			items[i] = heartshield.BatchItem{IMD: 0, Command: heartshield.Interrogate}
+		}
+		reports, err := remote.ProtectedExchangeBatch(items)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		for _, rep := range reports {
+			sumBER += rep.EavesdropperBER
+			sumCancel += rep.CancellationDB
+		}
+		done += chunk
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("batched %d exchanges in %v (%.2f ms/exchange): mean eavesdropper BER %.4f, mean cancellation %.2f dB\n\n",
+		n, elapsed.Round(time.Millisecond),
+		float64(elapsed.Milliseconds())/float64(n), sumBER/float64(n), sumCancel/float64(n))
+}
+
+// printSessionMetrics prints the session's STATUS-METRICS when asked.
+func printSessionMetrics(remote *heartshield.RemoteSimulation, enabled bool) {
+	if !enabled {
+		return
+	}
+	m, err := remote.SessionMetrics()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	fmt.Printf("[session %d metrics: protocol v%d exchanges=%d batches=%d batched=%d attacks=%d experiments=%d pings=%d errors=%d inflightHWM=%d sealedB=%d openedB=%d rekeys=%d]\n",
+		m.SessionID, m.Protocol, m.Exchanges, m.Batches, m.BatchedExchanges,
+		m.Attacks, m.Experiments, m.Pings, m.Errors, m.InFlightHWM,
+		m.BytesSealed, m.BytesOpened, m.Rekeys)
 }

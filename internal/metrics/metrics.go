@@ -1,0 +1,115 @@
+// Package metrics holds the counters the shieldd session server exports:
+// per-session request/traffic counters (the STATUS-METRICS frame) and
+// server-wide aggregates (the cmd/shieldd -metrics periodic dump and the
+// STATUS frame). Everything is lock-free atomics, so handlers on the hot
+// path pay one uncontended atomic add per event and snapshots can be
+// taken from any goroutine at any time.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Session counts one session's served requests and tracks its pipelining
+// depth. All methods are safe for concurrent use.
+type Session struct {
+	Exchanges        atomic.Uint64 // single EXCHANGE frames
+	Batches          atomic.Uint64 // BATCH-EXCHANGE frames
+	BatchedExchanges atomic.Uint64 // exchanges inside those batches
+	Attacks          atomic.Uint64
+	Experiments      atomic.Uint64
+	Pings            atomic.Uint64
+	Errors           atomic.Uint64 // requests answered with an Error frame
+
+	inFlight    atomic.Int64
+	inFlightHWM atomic.Int64
+}
+
+// EnterFlight records a request entering the session's in-flight window
+// and updates the high-water mark.
+func (s *Session) EnterFlight() {
+	n := s.inFlight.Add(1)
+	for {
+		hwm := s.inFlightHWM.Load()
+		if n <= hwm || s.inFlightHWM.CompareAndSwap(hwm, n) {
+			return
+		}
+	}
+}
+
+// LeaveFlight records a request leaving the in-flight window.
+func (s *Session) LeaveFlight() { s.inFlight.Add(-1) }
+
+// InFlight returns the current number of in-flight requests.
+func (s *Session) InFlight() int64 { return s.inFlight.Load() }
+
+// InFlightHWM returns the in-flight high-water mark.
+func (s *Session) InFlightHWM() int64 { return s.inFlightHWM.Load() }
+
+// Server aggregates counters across every session a server has run.
+type Server struct {
+	TotalSessions  atomic.Uint64
+	ActiveSessions atomic.Int64
+	ReapedSessions atomic.Uint64 // sessions closed by the idle reaper
+
+	TotalExchanges   atomic.Uint64 // single + batched exchanges
+	TotalBatches     atomic.Uint64
+	TotalAttacks     atomic.Uint64
+	TotalExperiments atomic.Uint64
+	TotalPings       atomic.Uint64
+
+	// Link traffic, absorbed from each session's securelink stats when
+	// the session ends.
+	BytesSealed atomic.Uint64
+	BytesOpened atomic.Uint64
+	Rekeys      atomic.Uint64
+	ReplayDrops atomic.Uint64
+}
+
+// ServerSnapshot is a point-in-time copy of a Server's counters.
+type ServerSnapshot struct {
+	TotalSessions    uint64
+	ActiveSessions   int64
+	ReapedSessions   uint64
+	TotalExchanges   uint64
+	TotalBatches     uint64
+	TotalAttacks     uint64
+	TotalExperiments uint64
+	TotalPings       uint64
+	BytesSealed      uint64
+	BytesOpened      uint64
+	Rekeys           uint64
+	ReplayDrops      uint64
+}
+
+// Snapshot copies the server counters.
+func (m *Server) Snapshot() ServerSnapshot {
+	return ServerSnapshot{
+		TotalSessions:    m.TotalSessions.Load(),
+		ActiveSessions:   m.ActiveSessions.Load(),
+		ReapedSessions:   m.ReapedSessions.Load(),
+		TotalExchanges:   m.TotalExchanges.Load(),
+		TotalBatches:     m.TotalBatches.Load(),
+		TotalAttacks:     m.TotalAttacks.Load(),
+		TotalExperiments: m.TotalExperiments.Load(),
+		TotalPings:       m.TotalPings.Load(),
+		BytesSealed:      m.BytesSealed.Load(),
+		BytesOpened:      m.BytesOpened.Load(),
+		Rekeys:           m.Rekeys.Load(),
+		ReplayDrops:      m.ReplayDrops.Load(),
+	}
+}
+
+// String renders the snapshot as one human-readable line, the format the
+// cmd/shieldd -metrics periodic dump prints.
+func (s ServerSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sessions=%d active=%d reaped=%d", s.TotalSessions, s.ActiveSessions, s.ReapedSessions)
+	fmt.Fprintf(&b, " exchanges=%d batches=%d attacks=%d experiments=%d pings=%d",
+		s.TotalExchanges, s.TotalBatches, s.TotalAttacks, s.TotalExperiments, s.TotalPings)
+	fmt.Fprintf(&b, " sealedB=%d openedB=%d rekeys=%d replayDrops=%d",
+		s.BytesSealed, s.BytesOpened, s.Rekeys, s.ReplayDrops)
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The in-flight high-water mark must capture the true maximum depth even
+// under concurrent enter/leave storms.
+func TestInFlightHighWaterMark(t *testing.T) {
+	var s Session
+	const depth = 7
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < depth; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.EnterFlight()
+			<-gate // hold every request in flight simultaneously
+			s.LeaveFlight()
+		}()
+	}
+	// Wait until all have entered.
+	for s.InFlight() != depth {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if s.InFlight() != 0 {
+		t.Fatalf("in-flight gauge = %d after all left", s.InFlight())
+	}
+	if got := s.InFlightHWM(); got != depth {
+		t.Fatalf("high-water mark = %d, want %d", got, depth)
+	}
+}
+
+func TestServerSnapshotString(t *testing.T) {
+	var m Server
+	m.TotalSessions.Add(3)
+	m.ActiveSessions.Add(1)
+	m.TotalExchanges.Add(42)
+	m.ReapedSessions.Add(2)
+	line := m.Snapshot().String()
+	for _, want := range []string{"sessions=3", "active=1", "reaped=2", "exchanges=42"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("snapshot line %q missing %q", line, want)
+		}
+	}
+}

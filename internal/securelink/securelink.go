@@ -13,6 +13,14 @@
 //     key every N messages; both ends ratchet from the message sequence
 //     number alone, so no extra handshake traffic is needed and a link can
 //     outlive the safe lifetime of a single AES-GCM key.
+//
+// Concurrency: Seal is safe for concurrent use — sequence assignment,
+// the send-side rekey ratchet, and encryption happen atomically under an
+// internal mutex, so pipelined senders never reuse a nonce or observe a
+// torn key state. Open must still be driven by a single goroutine per
+// link (the receive window state is not locked); the shieldd mux gives
+// each connection exactly one reader. Stats may be read from any
+// goroutine at any time.
 package securelink
 
 import (
@@ -22,6 +30,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
+	"sync"
+	"sync/atomic"
 )
 
 // Errors returned by Open.
@@ -47,12 +57,25 @@ const maxEpochSkip = 1 << 12
 // numbers (strictly increasing by default, or within a bounded reordering
 // window when SetWindow is used).
 type Link struct {
+	// sendMu serializes Seal: sequence assignment, send-side rekeying,
+	// and encryption are one atomic step under it.
+	sendMu sync.Mutex
+
 	send cipher.AEAD
 	recv cipher.AEAD
 	// sendKey/recvKey are the current epoch keys, retained so the rekey
 	// ratchet can derive the next epoch.
 	sendKey []byte
 	recvKey []byte
+
+	// stats counters (atomic so Stats can snapshot from any goroutine).
+	stMsgsSealed  atomic.Uint64
+	stBytesSealed atomic.Uint64
+	stMsgsOpened  atomic.Uint64
+	stBytesOpened atomic.Uint64
+	stRekeys      atomic.Uint64
+	stReplayDrops atomic.Uint64
+	stAuthFails   atomic.Uint64
 
 	sendSeq uint64
 	recvSeq uint64 // highest sequence accepted so far + 1
@@ -154,12 +177,17 @@ func (l *Link) epoch(seq uint64) uint64 {
 }
 
 // Seal encrypts and authenticates plaintext, framing it with the sequence
-// number used as the GCM nonce. The output is seq(8) || ciphertext.
+// number used as the GCM nonce. The output is seq(8) || ciphertext. Seal
+// is safe for concurrent use; each call atomically claims the next
+// sequence number.
 func (l *Link) Seal(plaintext []byte) []byte {
+	l.sendMu.Lock()
+	defer l.sendMu.Unlock()
 	if e := l.epoch(l.sendSeq); e > l.sendEpoch {
 		for l.sendEpoch < e {
 			l.sendKey = ratchetKey(l.sendKey)
 			l.sendEpoch++
+			l.stRekeys.Add(1)
 		}
 		aead, err := newAEAD(l.sendKey)
 		if err != nil {
@@ -172,7 +200,10 @@ func (l *Link) Seal(plaintext []byte) []byte {
 	out := make([]byte, 8, 8+len(plaintext)+l.send.Overhead())
 	binary.BigEndian.PutUint64(out, l.sendSeq)
 	l.sendSeq++
-	return l.send.Seal(out, nonce[:], plaintext, out[:8])
+	sealed := l.send.Seal(out, nonce[:], plaintext, out[:8])
+	l.stMsgsSealed.Add(1)
+	l.stBytesSealed.Add(uint64(len(sealed)))
+	return sealed
 }
 
 // Open authenticates and decrypts a message sealed by the peer, rejecting
@@ -192,9 +223,11 @@ func (l *Link) Open(msg []byte) ([]byte, error) {
 		if behind > l.window || behind == 0 {
 			// behind == 0 means seq == highest accepted: always a replay.
 			// (When window == 0 every behind value lands here: strict.)
+			l.stReplayDrops.Add(1)
 			return nil, ErrReplay
 		}
 		if l.winMask>>behind&1 == 1 {
+			l.stReplayDrops.Add(1)
 			return nil, ErrReplay
 		}
 	}
@@ -205,9 +238,11 @@ func (l *Link) Open(msg []byte) ([]byte, error) {
 	newKey := l.recvKey
 	if e != l.recvEpoch {
 		if e < l.recvEpoch {
+			l.stReplayDrops.Add(1)
 			return nil, ErrReplay
 		}
 		if e-l.recvEpoch > maxEpochSkip {
+			l.stAuthFails.Add(1)
 			return nil, ErrAuth
 		}
 		for k := l.recvEpoch; k < e; k++ {
@@ -216,6 +251,7 @@ func (l *Link) Open(msg []byte) ([]byte, error) {
 		var err error
 		aead, err = newAEAD(newKey)
 		if err != nil {
+			l.stAuthFails.Add(1)
 			return nil, ErrAuth
 		}
 	}
@@ -224,11 +260,15 @@ func (l *Link) Open(msg []byte) ([]byte, error) {
 	binary.BigEndian.PutUint64(nonce[4:], seq)
 	pt, err := aead.Open(nil, nonce[:], msg[8:], msg[:8])
 	if err != nil {
+		l.stAuthFails.Add(1)
 		return nil, ErrAuth
 	}
+	l.stMsgsOpened.Add(1)
+	l.stBytesOpened.Add(uint64(len(msg)))
 
 	// Commit: epoch advance wipes the window (it never spans epochs).
 	if e > l.recvEpoch {
+		l.stRekeys.Add(e - l.recvEpoch)
 		l.recvKey = newKey
 		l.recvEpoch = e
 		l.recv = aead
@@ -248,4 +288,30 @@ func (l *Link) Open(msg []byte) ([]byte, error) {
 	}
 	l.recvSeq = seq + 1
 	return pt, nil
+}
+
+// Stats is a point-in-time snapshot of a link's traffic counters. Bytes
+// are wire bytes (sealed frames including the sequence prefix and GCM
+// tag); Rekeys counts epoch advances in both directions of this end.
+type Stats struct {
+	MsgsSealed  uint64
+	BytesSealed uint64
+	MsgsOpened  uint64
+	BytesOpened uint64
+	Rekeys      uint64
+	ReplayDrops uint64
+	AuthFails   uint64
+}
+
+// Stats snapshots the link's counters. Safe to call from any goroutine.
+func (l *Link) Stats() Stats {
+	return Stats{
+		MsgsSealed:  l.stMsgsSealed.Load(),
+		BytesSealed: l.stBytesSealed.Load(),
+		MsgsOpened:  l.stMsgsOpened.Load(),
+		BytesOpened: l.stBytesOpened.Load(),
+		Rekeys:      l.stRekeys.Load(),
+		ReplayDrops: l.stReplayDrops.Load(),
+		AuthFails:   l.stAuthFails.Load(),
+	}
 }

@@ -2,15 +2,21 @@ package shieldd
 
 import (
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"net"
+	"sync"
 
 	"heartshield/internal/securelink"
 	"heartshield/internal/wire"
 )
 
+// ErrClientClosed is returned for requests submitted after Close.
+var ErrClientClosed = errors.New("shieldd: client closed")
+
 // SessionOptions selects the simulated world a session runs in (the wire
-// form of the public SimOptions, plus the batched multi-IMD count).
+// form of the public SimOptions, plus the batched multi-IMD count) and
+// the client-side protocol behaviour.
 type SessionOptions struct {
 	// Seed determines every number the session produces; equal seeds and
 	// request sequences give equal results on any server.
@@ -27,11 +33,28 @@ type SessionOptions struct {
 	// ExtraIMDs adds that many additional implants to the session's
 	// medium; EXCHANGE frames address implants by index (0 = primary).
 	ExtraIMDs int
+
+	// Protocol caps the wire version the client announces in HELLO
+	// (0 = the highest this build speaks, wire.Version). Setting 1
+	// forces a strict request/response v1 session — the compatibility
+	// mode old clients get automatically.
+	Protocol uint8
+	// AutoReconnect makes a dialed client transparently re-dial and
+	// re-handshake when its connection has died (e.g. the server's idle
+	// reaper closed it) and no requests are in flight. The new session
+	// derives fresh keys from fresh nonces; the deterministic result
+	// stream restarts at the session seed. Only effective for clients
+	// created with Dial (a pipe/NewClient client has nothing to re-dial).
+	AutoReconnect bool
 }
 
 func (o SessionOptions) hello(nonce [16]byte) *wire.Hello {
+	version := o.Protocol
+	if version == 0 || version > wire.Version {
+		version = wire.Version
+	}
 	h := &wire.Hello{
-		Version:   wire.Version,
+		Version:   version,
 		Nonce:     nonce,
 		Seed:      o.Seed,
 		Location:  uint8(o.Location),
@@ -52,13 +75,54 @@ func (o SessionOptions) hello(nonce [16]byte) *wire.Hello {
 	return h
 }
 
-// Client is one end of a shieldd session. It is not safe for concurrent
-// use; run one client per goroutine (sessions are cheap server-side — a
-// pooled scenario recycle).
+// Call is one in-flight request on a pipelined session. Wait on Done (or
+// call Wait); then exactly one of Resp/Err is set.
+type Call struct {
+	Req  wire.Message
+	Resp wire.Message
+	Err  error
+	// Done receives the call itself when the response (or a transport
+	// failure) arrives. Buffered: the reader never blocks on it.
+	Done chan *Call
+}
+
+func (call *Call) finish(resp wire.Message, err error) {
+	call.Resp, call.Err = resp, err
+	call.Done <- call
+}
+
+// Wait blocks until the call completes and returns its outcome.
+func (call *Call) Wait() (wire.Message, error) {
+	<-call.Done
+	return call.Resp, call.Err
+}
+
+// Client is one end of a shieldd session.
+//
+// On a v2 session the client is a pipelining multiplexer: Go submits a
+// request without waiting, requests are matched to responses by request
+// ID, and any number of goroutines may issue requests concurrently (the
+// server bounds in-flight work per session; beyond that, transport
+// backpressure applies). On a v1 session (negotiated with an old server,
+// or forced with SessionOptions.Protocol=1) requests are serialized into
+// strict request/response round trips.
 type Client struct {
+	opt    SessionOptions
+	secret []byte
+	redial func() (net.Conn, error) // nil unless created by Dial
+
+	mu        sync.Mutex // guards conn/link swap, pending, nextID, err
+	writeMu   sync.Mutex // serializes Seal+WriteFrame pairs
+	reconnMu  sync.Mutex // serializes reconnect attempts (never held with mu)
 	conn      net.Conn
 	link      *securelink.Link
+	version   uint8
 	sessionID uint64
+	nextID    uint64
+	pending   map[uint64]*Call
+	err       error // sticky transport error
+	closed    bool
+	reconns   uint64
 }
 
 // Dial opens a TCP session with a shieldd server.
@@ -72,88 +136,327 @@ func Dial(addr string, secret []byte, opt SessionOptions) (*Client, error) {
 		conn.Close()
 		return nil, err
 	}
+	c.redial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
 	return c, nil
 }
 
 // NewClient runs the session handshake over an established transport.
 func NewClient(conn net.Conn, secret []byte, opt SessionOptions) (*Client, error) {
+	link, version, sessionID, err := handshake(conn, secret, opt)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		opt:       opt,
+		secret:    secret,
+		conn:      conn,
+		link:      link,
+		version:   version,
+		sessionID: sessionID,
+		nextID:    1,
+		pending:   make(map[uint64]*Call),
+	}
+	if version >= 2 {
+		go c.readLoop(conn, link)
+	}
+	return c, nil
+}
+
+// handshake performs HELLO → Challenge → HELLO-ACK over conn and returns
+// the established link and the negotiated protocol version.
+func handshake(conn net.Conn, secret []byte, opt SessionOptions) (*securelink.Link, uint8, uint64, error) {
 	var nonce [16]byte
 	if _, err := rand.Read(nonce[:]); err != nil {
-		return nil, fmt.Errorf("shieldd: nonce: %w", err)
+		return nil, 0, 0, fmt.Errorf("shieldd: nonce: %w", err)
 	}
-	if err := wire.WriteFrame(conn, opt.hello(nonce).Encode()); err != nil {
-		return nil, err
+	hello := opt.hello(nonce)
+	if err := wire.WriteFrame(conn, hello.Encode()); err != nil {
+		return nil, 0, 0, err
 	}
 
 	// The server answers a valid HELLO with a plaintext Challenge (its
 	// half of the session key derivation), or a plaintext Error refusal.
 	raw, err := wire.ReadFrame(conn)
 	if err != nil {
-		return nil, fmt.Errorf("shieldd: handshake read: %w", err)
+		return nil, 0, 0, fmt.Errorf("shieldd: handshake read: %w", err)
 	}
 	first, err := wire.Decode(raw)
 	if err != nil {
-		return nil, fmt.Errorf("shieldd: handshake: %w", err)
+		return nil, 0, 0, fmt.Errorf("shieldd: handshake: %w", err)
 	}
 	if e, ok := first.(*wire.Error); ok {
-		return nil, e
+		return nil, 0, 0, e
 	}
 	ch, ok := first.(*wire.Challenge)
 	if !ok {
-		return nil, fmt.Errorf("shieldd: unexpected handshake reply %T", first)
+		return nil, 0, 0, fmt.Errorf("shieldd: unexpected handshake reply %T", first)
 	}
 	nonces := append(append([]byte(nil), nonce[:]...), ch.ServerNonce[:]...)
 	_, link, err := securelink.Pair(securelink.SessionSecret(secret, nonces))
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	link.SetWindow(sessionWindow)
 	link.EnableRekey(sessionRekeyEvery)
 
 	raw, err = wire.ReadFrame(conn)
 	if err != nil {
-		return nil, fmt.Errorf("shieldd: handshake read: %w", err)
+		return nil, 0, 0, fmt.Errorf("shieldd: handshake read: %w", err)
 	}
 	plain, err := link.Open(raw)
 	if err != nil {
-		return nil, fmt.Errorf("shieldd: handshake: %w", err)
+		return nil, 0, 0, fmt.Errorf("shieldd: handshake: %w", err)
 	}
 	m, err := wire.Decode(plain)
 	if err != nil {
-		return nil, fmt.Errorf("shieldd: handshake: %w", err)
+		return nil, 0, 0, fmt.Errorf("shieldd: handshake: %w", err)
 	}
 	ack, ok := m.(*wire.HelloAck)
-	if !ok || ack.Version != wire.Version {
-		return nil, fmt.Errorf("shieldd: unexpected handshake reply %T", m)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("shieldd: unexpected handshake reply %T", m)
 	}
-	return &Client{conn: conn, link: link, sessionID: ack.SessionID}, nil
+	// The negotiated version is the minimum of the two announcements; a
+	// server claiming more than we asked for is broken.
+	if ack.Version < wire.MinVersion || ack.Version > hello.Version {
+		return nil, 0, 0, fmt.Errorf("shieldd: server negotiated unsupported version %d", ack.Version)
+	}
+	return link, ack.Version, ack.SessionID, nil
 }
 
-// SessionID returns the server-assigned session identifier.
-func (c *Client) SessionID() uint64 { return c.sessionID }
+// SessionID returns the server-assigned session identifier (of the most
+// recent handshake, if the client has auto-reconnected).
+func (c *Client) SessionID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessionID
+}
 
-// roundTrip seals and sends one request, then receives and opens the
-// response. A wire.Error response is returned as a Go error.
-func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
-	if err := wire.WriteFrame(c.conn, c.link.Seal(req.Encode())); err != nil {
-		return nil, err
+// Version returns the negotiated wire protocol version.
+func (c *Client) Version() uint8 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Reconnects returns how many times the client has transparently
+// re-dialed and re-handshaked.
+func (c *Client) Reconnects() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconns
+}
+
+// readLoop is the v2 demultiplexer: the sole reader of the connection,
+// matching responses to pending calls by request ID. It exits when the
+// transport dies, failing every pending call.
+func (c *Client) readLoop(conn net.Conn, link *securelink.Link) {
+	for {
+		raw, err := wire.ReadFrame(conn)
+		if err != nil {
+			c.fail(conn, err)
+			return
+		}
+		plain, err := link.Open(raw)
+		if err != nil {
+			c.fail(conn, err)
+			return
+		}
+		id, msg, err := wire.DecodeEnvelope(plain)
+		if err != nil {
+			c.fail(conn, err)
+			return
+		}
+		c.mu.Lock()
+		call := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if call == nil {
+			continue // response to an abandoned or unknown id
+		}
+		if e, ok := msg.(*wire.Error); ok {
+			call.finish(nil, e)
+		} else {
+			call.finish(msg, nil)
+		}
 	}
-	raw, err := wire.ReadFrame(c.conn)
-	if err != nil {
-		return nil, err
+}
+
+// fail poisons the client (until a reconnect) and fails every pending
+// call. Only the readLoop for the current conn may poison; a stale
+// loop's error is ignored.
+func (c *Client) fail(conn net.Conn, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != conn {
+		return
 	}
-	plain, err := c.link.Open(raw)
+	if c.err == nil {
+		c.err = err
+	}
+	for id, call := range c.pending {
+		delete(c.pending, id)
+		call.finish(nil, fmt.Errorf("shieldd: session lost: %w", err))
+	}
+}
+
+// reconnect re-dials and re-handshakes after a transport failure.
+// Requires: no pending calls (their responses died with the old
+// session), a redial function, and AutoReconnect. The dial and
+// handshake run WITHOUT holding c.mu — a slow or dead network must not
+// freeze getters or other callers — and reconnMu serializes concurrent
+// attempts so only one handshake ever runs at a time.
+func (c *Client) reconnect() error {
+	c.reconnMu.Lock()
+	defer c.reconnMu.Unlock()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	if c.err == nil {
+		c.mu.Unlock()
+		return nil // a concurrent attempt already restored the session
+	}
+	if !c.opt.AutoReconnect || c.redial == nil || len(c.pending) > 0 {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.mu.Unlock()
+
+	// While c.err != nil every new request routes here and queues on
+	// reconnMu, so no one mutates conn/link/pending behind our back.
+	conn, err := c.redial()
 	if err != nil {
-		return nil, err
+		return fmt.Errorf("shieldd: reconnect: %w", err)
+	}
+	link, version, sessionID, err := handshake(conn, c.secret, c.opt)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("shieldd: reconnect: %w", err)
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return ErrClientClosed
+	}
+	old := c.conn
+	c.conn, c.link = conn, link
+	c.version, c.sessionID = version, sessionID
+	c.err = nil
+	c.reconns++
+	c.mu.Unlock()
+	old.Close()
+	if version >= 2 {
+		go c.readLoop(conn, link)
+	}
+	return nil
+}
+
+// Go submits a request and returns immediately with the in-flight Call.
+// On a v2 session requests pipeline: many calls may be outstanding and
+// the server may complete non-scenario requests (PING, STATUS, METRICS,
+// EXPERIMENT) out of order. On a v1 session Go blocks for the round trip
+// (the transport has no request IDs to pipeline with).
+func (c *Client) Go(req wire.Message) *Call {
+	call := &Call{Req: req, Done: make(chan *Call, 1)}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		call.finish(nil, ErrClientClosed)
+		return call
+	}
+	if c.err != nil {
+		c.mu.Unlock()
+		if err := c.reconnect(); err != nil {
+			call.finish(nil, fmt.Errorf("shieldd: session lost: %w", err))
+			return call
+		}
+		c.mu.Lock()
+		if c.closed || c.err != nil {
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClientClosed
+			}
+			call.finish(nil, fmt.Errorf("shieldd: session lost: %w", err))
+			return call
+		}
+	}
+	conn, link, version := c.conn, c.link, c.version
+
+	if version == 1 {
+		c.mu.Unlock()
+		c.roundTripV1(call, conn, link)
+		return call
+	}
+
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = call
+	c.mu.Unlock()
+
+	// Seal+write as one unit so frames hit the transport in seq order.
+	c.writeMu.Lock()
+	err := wire.WriteFrame(conn, link.Seal(wire.EncodeEnvelope(id, req)))
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		if _, still := c.pending[id]; still {
+			delete(c.pending, id)
+			c.mu.Unlock()
+			call.finish(nil, err)
+		} else {
+			c.mu.Unlock() // readLoop already failed it
+		}
+		c.fail(conn, err)
+	}
+	return call
+}
+
+// roundTripV1 performs one strict request/response exchange. writeMu
+// doubles as the round-trip lock: v1 has no request IDs, so the response
+// on the wire always answers the most recent request.
+func (c *Client) roundTripV1(call *Call, conn net.Conn, link *securelink.Link) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := wire.WriteFrame(conn, link.Seal(call.Req.Encode())); err != nil {
+		c.fail(conn, err)
+		call.finish(nil, err)
+		return
+	}
+	raw, err := wire.ReadFrame(conn)
+	if err != nil {
+		c.fail(conn, err)
+		call.finish(nil, err)
+		return
+	}
+	plain, err := link.Open(raw)
+	if err != nil {
+		c.fail(conn, err)
+		call.finish(nil, err)
+		return
 	}
 	m, err := wire.Decode(plain)
 	if err != nil {
-		return nil, err
+		c.fail(conn, err)
+		call.finish(nil, err)
+		return
 	}
 	if e, ok := m.(*wire.Error); ok {
-		return nil, e
+		call.finish(nil, e)
+		return
 	}
-	return m, nil
+	call.finish(m, nil)
+}
+
+// roundTrip submits a request and waits for its response.
+func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
+	return c.Go(req).Wait()
 }
 
 // Exchange runs one protected exchange against IMD index imdIdx with the
@@ -168,6 +471,25 @@ func (c *Client) Exchange(imdIdx int, cmd uint8) (*wire.ExchangeResp, error) {
 		return nil, fmt.Errorf("shieldd: unexpected response %T", m)
 	}
 	return resp, nil
+}
+
+// BatchExchange runs up to wire.MaxBatch protected exchanges in one
+// sealed round trip, amortizing sealing and framing; results arrive in
+// item order and are identical to the same items sent as individual
+// Exchange calls.
+func (c *Client) BatchExchange(items []wire.ExchangeItem) ([]wire.ExchangeResp, error) {
+	m, err := c.roundTrip(&wire.BatchReq{Items: items})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := m.(*wire.BatchResp)
+	if !ok {
+		return nil, fmt.Errorf("shieldd: unexpected response %T", m)
+	}
+	if len(resp.Results) != len(items) {
+		return nil, fmt.Errorf("shieldd: batch returned %d results for %d items", len(resp.Results), len(items))
+	}
+	return resp.Results, nil
 }
 
 // Attack runs one unauthorized-command trial.
@@ -210,10 +532,71 @@ func (c *Client) Status() (*wire.StatusResp, error) {
 	return resp, nil
 }
 
-// Close ends the session with a BYE and closes the transport.
+// Ping sends a keepalive probe and verifies the echoed token. On a v2
+// session the server answers from its reader fast path, ahead of any
+// queued scenario work, so Ping also resets the idle-reap clock while
+// long requests run.
+func (c *Client) Ping() error {
+	c.mu.Lock()
+	token := c.nextID ^ 0x70696E67 // any value; uniqueness is not required
+	c.mu.Unlock()
+	m, err := c.roundTrip(&wire.Ping{Token: token})
+	if err != nil {
+		return err
+	}
+	pong, ok := m.(*wire.Pong)
+	if !ok {
+		return fmt.Errorf("shieldd: unexpected response %T", m)
+	}
+	if pong.Token != token {
+		return fmt.Errorf("shieldd: pong token %#x does not match ping %#x", pong.Token, token)
+	}
+	return nil
+}
+
+// LinkStats snapshots the client side of the securelink channel: sealed
+// and opened frame/byte counts, rekeys, and drops. Useful for measuring
+// protocol overhead (the batched-exchange benchmarks report wire bytes
+// per exchange from it).
+func (c *Client) LinkStats() securelink.Stats {
+	c.mu.Lock()
+	link := c.link
+	c.mu.Unlock()
+	return link.Stats()
+}
+
+// Metrics returns the session's STATUS-METRICS snapshot.
+func (c *Client) Metrics() (*wire.MetricsResp, error) {
+	m, err := c.roundTrip(&wire.MetricsReq{})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := m.(*wire.MetricsResp)
+	if !ok {
+		return nil, fmt.Errorf("shieldd: unexpected response %T", m)
+	}
+	return resp, nil
+}
+
+// Close ends the session with a BYE and closes the transport. On a v2
+// session the server drains every in-flight request before answering the
+// BYE, so pending calls complete rather than die.
 func (c *Client) Close() error {
-	_, _ = c.roundTrip(&wire.Bye{})
-	return c.conn.Close()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	alive := c.err == nil
+	c.mu.Unlock()
+	if alive {
+		_, _ = c.roundTrip(&wire.Bye{})
+	}
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	return conn.Close()
 }
 
 // Pipe starts an in-process session against the server over a net.Pipe

@@ -13,6 +13,20 @@
 // pooled scenario served it, which goroutine ran it, or what the server
 // did before — the same determinism contract as the PR 1 parallel
 // experiment runner, extended to a network service.
+//
+// Two protocol versions are served, negotiated in HELLO:
+//
+//   - v1 is strict request/response: one request in flight, answered
+//     before the next is read.
+//   - v2 multiplexes a session over one connection: every sealed frame
+//     carries a request ID, the client pipelines requests, and the server
+//     completes them out of order under a bounded in-flight window.
+//     Scenario-mutating requests (EXCHANGE, BATCH-EXCHANGE, ATTACK) are
+//     executed strictly in arrival order by a per-session executor — that
+//     is what keeps the deterministic (seed, request sequence) → results
+//     contract intact under pipelining — while PING, STATUS,
+//     STATUS-METRICS, and EXPERIMENT requests complete independently and
+//     may overtake them.
 package shieldd
 
 import (
@@ -25,6 +39,7 @@ import (
 	"heartshield/internal/adversary"
 	"heartshield/internal/experiments"
 	"heartshield/internal/imd"
+	"heartshield/internal/metrics"
 	"heartshield/internal/securelink"
 	"heartshield/internal/shieldcore"
 	"heartshield/internal/testbed"
@@ -42,7 +57,7 @@ const (
 	// but running with it on keeps the code path exercised end-to-end.
 	sessionWindow = 8
 	// maxHelloFrame bounds the plaintext HELLO (33 bytes encoded); an
-	// unauthenticated peer cannot demand a larger allocation.
+	// unauthenticated peer cannot make them allocate a larger buffer.
 	maxHelloFrame = 256
 	// handshakeTimeout bounds how long an unauthenticated connection may
 	// hold a goroutine before sending its HELLO.
@@ -66,6 +81,16 @@ type ServerConfig struct {
 	// PoolPerShape bounds idle scenarios retained per scenario shape.
 	// Default 16.
 	PoolPerShape int
+	// InFlightPerSession bounds how many pipelined v2 requests one
+	// session may have outstanding; further frames are not read until a
+	// slot frees (transport backpressure). Default 16.
+	InFlightPerSession int
+	// IdleTimeout, when positive, reaps sessions with no traffic and no
+	// in-flight work for this long: the connection is closed and the
+	// scenario returns to the pool. Clients can hold a session open with
+	// PING keepalives and reconnect with a fresh handshake after a reap.
+	// Zero disables reaping.
+	IdleTimeout time.Duration
 }
 
 // Server is a concurrent shield session server.
@@ -74,11 +99,8 @@ type Server struct {
 	pool *scenarioPool
 	sem  chan struct{}
 
-	nextSession      atomic.Uint64
-	totalSessions    atomic.Uint64
-	activeSessions   atomic.Int32
-	totalExchanges   atomic.Uint64
-	totalExperiments atomic.Uint64
+	nextSession atomic.Uint64
+	met         metrics.Server
 }
 
 // NewServer builds a server from the config, applying defaults.
@@ -94,6 +116,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.MaxExtraIMDs <= 0 {
 		cfg.MaxExtraIMDs = 8
+	}
+	if cfg.InFlightPerSession <= 0 {
+		cfg.InFlightPerSession = 16
 	}
 	return &Server{
 		cfg:  cfg,
@@ -127,7 +152,8 @@ func (s *Server) ServeConn(conn net.Conn) {
 	_ = conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
 
 	// HELLO travels in plaintext: it carries the public nonce both ends
-	// feed into the session key derivation.
+	// feed into the session key derivation, and the client's highest
+	// protocol version. The negotiated version is the minimum of the two.
 	raw, err := wire.ReadFrameLimit(conn, maxHelloFrame)
 	if err != nil {
 		return
@@ -137,8 +163,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 		return
 	}
 	hello, ok := msg.(*wire.Hello)
-	if !ok || hello.Version != wire.Version {
+	if !ok || hello.Version < wire.MinVersion {
 		return
+	}
+	version := hello.Version
+	if version > wire.Version {
+		version = wire.Version
 	}
 	opt, err := s.scenarioOptions(hello)
 	if err != nil {
@@ -166,7 +196,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 	link.EnableRekey(sessionRekeyEvery)
 
 	id := s.nextSession.Add(1)
-	ack := &wire.HelloAck{Version: wire.Version, SessionID: id}
+	ack := &wire.HelloAck{Version: version, SessionID: id}
 	if err := wire.WriteFrame(conn, link.Seal(ack.Encode())); err != nil {
 		return
 	}
@@ -188,15 +218,79 @@ func (s *Server) ServeConn(conn net.Conn) {
 	// session here). Admission: block until a session slot frees (bounded
 	// concurrency), then lift the handshake deadline (experiment requests
 	// may legitimately run for minutes).
-	s.totalSessions.Add(1)
+	s.met.TotalSessions.Add(1)
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	s.activeSessions.Add(1)
-	defer s.activeSessions.Add(-1)
+	s.met.ActiveSessions.Add(1)
+	defer s.met.ActiveSessions.Add(-1)
 
 	sess := s.newSession(opt)
+	sess.id = id
+	sess.version = version
+	sess.link = link
 	defer s.pool.put(sess.sc)
+	defer s.absorbLinkStats(link)
 	_ = conn.SetReadDeadline(time.Time{})
+
+	if version == 1 {
+		s.serveV1(conn, link, sess, plain)
+		return
+	}
+	s.serveV2(conn, link, sess, plain)
+}
+
+// absorbLinkStats folds a finished session's link traffic into the
+// server-wide metrics.
+func (s *Server) absorbLinkStats(link *securelink.Link) {
+	st := link.Stats()
+	s.met.BytesSealed.Add(st.BytesSealed)
+	s.met.BytesOpened.Add(st.BytesOpened)
+	s.met.Rekeys.Add(st.Rekeys)
+	s.met.ReplayDrops.Add(st.ReplayDrops)
+}
+
+// startReaper watches a session for idleness: when busy() is false and
+// no frame has arrived for idle, it closes the connection (waking the
+// blocked reader; the ServeConn defers return the scenario to the pool)
+// and counts the reap. A ticker-based watcher — deliberately not a read
+// deadline, which could fire mid-frame and desynchronize the framing.
+// The returned stop function must be called at session end.
+func (s *Server) startReaper(conn net.Conn, lastActivity *atomic.Int64, busy func() bool) (stop func()) {
+	if s.cfg.IdleTimeout <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(s.cfg.IdleTimeout / 4)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				idleFor := time.Duration(time.Now().UnixNano() - lastActivity.Load())
+				if !busy() && idleFor >= s.cfg.IdleTimeout {
+					s.met.ReapedSessions.Add(1)
+					conn.Close()
+					return
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// serveV1 is the strict request/response loop: one request at a time,
+// answered before the next frame is read. plain is the already-opened
+// first request.
+func (s *Server) serveV1(conn net.Conn, link *securelink.Link, sess *session, plain []byte) {
+	// The idle reaper applies to v1 sessions too; "busy" means a request
+	// is being executed (experiments may legitimately run for minutes).
+	var lastActivity atomic.Int64
+	var busy atomic.Bool
+	lastActivity.Store(time.Now().UnixNano())
+	busy.Store(true)
+	defer s.startReaper(conn, &lastActivity, busy.Load)()
 
 	for {
 		req, err := wire.Decode(plain)
@@ -204,22 +298,181 @@ func (s *Server) ServeConn(conn net.Conn) {
 			req = nil // authentic but malformed: answer and keep the session
 		}
 		resp, done := s.dispatch(sess, req)
+		if _, isErr := resp.(*wire.Error); isErr {
+			sess.met.Errors.Add(1)
+		}
 		if err := wire.WriteFrame(conn, link.Seal(resp.Encode())); err != nil {
 			return
 		}
 		if done {
 			return
 		}
-		raw, err = wire.ReadFrame(conn)
+		lastActivity.Store(time.Now().UnixNano())
+		busy.Store(false)
+		raw, err := wire.ReadFrame(conn)
 		if err != nil {
 			return
 		}
+		busy.Store(true)
+		lastActivity.Store(time.Now().UnixNano())
 		plain, err = link.Open(raw)
 		if err != nil {
 			// Authentication/replay failure is a transport compromise, not
 			// a request error: tear the session down.
 			return
 		}
+	}
+}
+
+// envelope pairs a request ID with the message that answers (or asks) it.
+type envelope struct {
+	id  uint64
+	msg wire.Message
+}
+
+// serveV2 is the multiplexed loop. Three roles share the connection:
+//
+//   - this goroutine (the reader) owns link.Open, classifies requests,
+//     and enforces the in-flight window;
+//   - a per-session executor goroutine runs scenario-mutating requests in
+//     exactly the order they arrived (the determinism contract);
+//   - a writer goroutine owns link.Seal and conn writes, so responses
+//     from the executor, experiment goroutines, and the reader's own
+//     fast-path replies interleave safely.
+//
+// A request's slot in the window is released only after its response has
+// been handed to the writer, so once the reader can claim every slot the
+// session is quiescent and the channels can be torn down safely.
+func (s *Server) serveV2(conn net.Conn, link *securelink.Link, sess *session, firstPlain []byte) {
+	window := s.cfg.InFlightPerSession
+	slots := make(chan struct{}, window) // filled = in flight
+	exec := make(chan envelope, window)  // scenario ops, arrival order
+	out := make(chan envelope, window+1) // responses to the writer
+	writerDone := make(chan struct{})
+
+	// Writer: sole owner of link.Seal and conn writes. On a write error
+	// it closes the connection (waking the reader) and keeps draining so
+	// no producer ever blocks forever.
+	go func() {
+		defer close(writerDone)
+		broken := false
+		for e := range out {
+			if broken {
+				continue
+			}
+			if err := wire.WriteFrame(conn, link.Seal(wire.EncodeEnvelope(e.id, e.msg))); err != nil {
+				broken = true
+				conn.Close()
+			}
+		}
+	}()
+
+	// Executor: scenario-mutating requests in arrival order.
+	go func() {
+		for e := range exec {
+			resp := s.dispatchScenario(sess, e.msg)
+			out <- envelope{e.id, resp}
+			sess.met.LeaveFlight()
+			<-slots
+		}
+	}()
+
+	// respond enqueues a response and releases the caller's window slot.
+	respond := func(id uint64, m wire.Message) {
+		if _, isErr := m.(*wire.Error); isErr {
+			sess.met.Errors.Add(1)
+		}
+		out <- envelope{id, m}
+		sess.met.LeaveFlight()
+		<-slots
+	}
+
+	// quiesce blocks until every in-flight request has enqueued its
+	// response, then owns the whole window.
+	quiesce := func(alreadyHeld int) {
+		for i := alreadyHeld; i < window; i++ {
+			slots <- struct{}{}
+		}
+	}
+	shutdown := func(held int) {
+		quiesce(held)
+		close(exec)
+		close(out)
+		<-writerDone
+	}
+
+	// Idle reaper: "busy" means any request still holds a window slot, so
+	// long experiments and deep pipelines are never reaped mid-work.
+	var lastActivity atomic.Int64
+	lastActivity.Store(time.Now().UnixNano())
+	defer s.startReaper(conn, &lastActivity, func() bool { return len(slots) > 0 })()
+
+	// handle classifies one authenticated plaintext. It returns true when
+	// the session is done (BYE). The caller has NOT yet taken a slot.
+	handle := func(plain []byte) (done bool) {
+		slots <- struct{}{}
+		sess.met.EnterFlight()
+		id, req, err := wire.DecodeEnvelope(plain)
+		if err != nil {
+			// Authentic but malformed: answer (id 0 if the envelope was
+			// too short to carry one) and keep the session.
+			respond(id, &wire.Error{Code: wire.CodeBadRequest, Msg: "malformed request"})
+			return false
+		}
+		switch m := req.(type) {
+		case *wire.ExchangeReq, *wire.BatchReq, *wire.AttackReq:
+			exec <- envelope{id, m} // executor releases the slot
+		case *wire.ExperimentReq:
+			sess.met.Experiments.Add(1)
+			go func() {
+				respond(id, s.handleExperiment(m))
+			}()
+		case *wire.Ping:
+			sess.met.Pings.Add(1)
+			s.met.TotalPings.Add(1)
+			respond(id, &wire.Pong{Token: m.Token})
+		case *wire.StatusReq:
+			st := s.Status()
+			respond(id, &st)
+		case *wire.MetricsReq:
+			respond(id, s.handleMetrics(sess))
+		case *wire.Bye:
+			// Drain every other in-flight request first so the BYE
+			// response is provably the last frame of the session.
+			quiesce(1)
+			out <- envelope{id, &wire.Bye{}}
+			sess.met.LeaveFlight()
+			close(exec)
+			close(out)
+			<-writerDone
+			return true
+		default:
+			respond(id, &wire.Error{Code: wire.CodeBadRequest, Msg: "unexpected request"})
+		}
+		return false
+	}
+
+	if handle(firstPlain) {
+		return
+	}
+	for {
+		raw, err := wire.ReadFrame(conn)
+		if err != nil {
+			shutdown(0)
+			return
+		}
+		lastActivity.Store(time.Now().UnixNano())
+		plain, err := link.Open(raw)
+		if err != nil {
+			// Authentication/replay failure is a transport compromise:
+			// tear the session down.
+			shutdown(0)
+			return
+		}
+		if handle(plain) {
+			return
+		}
+		lastActivity.Store(time.Now().UnixNano())
 	}
 }
 
@@ -251,12 +504,17 @@ func (s *Server) scenarioOptions(h *wire.Hello) (testbed.Options, error) {
 }
 
 // session is one active session's simulated world plus cached per-IMD
-// calibration. It is driven by exactly one connection goroutine; nothing
-// in it is shared across sessions.
+// calibration and counters. The scenario-touching fields are driven by
+// exactly one goroutine at a time (the v1 loop, or the v2 executor);
+// met and link are safe for concurrent use.
 type session struct {
-	sc    *testbed.Scenario
-	eaves *adversary.Eavesdropper
-	adv   *adversary.Active
+	id      uint64
+	version uint8
+	sc      *testbed.Scenario
+	eaves   *adversary.Eavesdropper
+	adv     *adversary.Active
+	link    *securelink.Link
+	met     metrics.Session
 	// rssi caches each implant's calibrated received power at the shield;
 	// switching exchange targets restores the matching measurement.
 	rssi   []float64
@@ -306,19 +564,28 @@ func (sess *session) retarget(idx int) {
 	sess.target = idx
 }
 
-// dispatch executes one authenticated request. done reports that the
-// session should end (BYE).
+// dispatch executes one request serially — the v1 request/response path.
+// done reports that the session should end (BYE).
 func (s *Server) dispatch(sess *session, req wire.Message) (resp wire.Message, done bool) {
 	switch m := req.(type) {
 	case *wire.ExchangeReq:
 		return s.handleExchange(sess, m), false
+	case *wire.BatchReq:
+		return s.handleBatch(sess, m), false
 	case *wire.AttackReq:
 		return s.handleAttack(sess, m), false
 	case *wire.ExperimentReq:
+		sess.met.Experiments.Add(1)
 		return s.handleExperiment(m), false
 	case *wire.StatusReq:
 		st := s.Status()
 		return &st, false
+	case *wire.Ping:
+		sess.met.Pings.Add(1)
+		s.met.TotalPings.Add(1)
+		return &wire.Pong{Token: m.Token}, false
+	case *wire.MetricsReq:
+		return s.handleMetrics(sess), false
 	case *wire.Bye:
 		return &wire.Bye{}, true
 	default:
@@ -326,33 +593,95 @@ func (s *Server) dispatch(sess *session, req wire.Message) (resp wire.Message, d
 	}
 }
 
-// handleExchange runs one protected exchange against the session's IMD
-// index m.IMD — the same sequence as the public Simulation path, so the
-// per-seed result stream is identical in-process and over the wire.
-func (s *Server) handleExchange(sess *session, m *wire.ExchangeReq) wire.Message {
-	idx := int(m.IMD)
-	if idx >= len(sess.sc.IMDs) {
-		return &wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("IMD index %d out of range", idx)}
+// dispatchScenario executes one scenario-mutating request — the v2
+// executor path. Only EXCHANGE, BATCH-EXCHANGE, and ATTACK reach it.
+func (s *Server) dispatchScenario(sess *session, req wire.Message) wire.Message {
+	var resp wire.Message
+	switch m := req.(type) {
+	case *wire.ExchangeReq:
+		resp = s.handleExchange(sess, m)
+	case *wire.BatchReq:
+		resp = s.handleBatch(sess, m)
+	case *wire.AttackReq:
+		resp = s.handleAttack(sess, m)
+	default:
+		resp = &wire.Error{Code: wire.CodeInternal, Msg: "non-scenario request on executor"}
 	}
+	if _, isErr := resp.(*wire.Error); isErr {
+		sess.met.Errors.Add(1)
+	}
+	return resp
+}
+
+// runExchange executes one protected exchange against IMD index idx —
+// the same sequence as the public Simulation path, so the per-seed
+// result stream is identical in-process and over the wire.
+func (s *Server) runExchange(sess *session, idx int, cmdKind uint8) (wire.ExchangeResp, error) {
 	sess.retarget(idx)
 	sc := sess.sc
 
 	var cmd = sc.InterrogateFrameFor(idx)
-	if m.Cmd == wire.CmdSetTherapy {
+	if cmdKind == wire.CmdSetTherapy {
 		cmd = sc.SetTherapyFrameFor(idx, 200)
 	}
 
 	out, err := sc.RunProtectedExchange(sess.eaves, idx, cmd)
 	if err != nil {
-		return &wire.Error{Code: wire.CodeExchangeFailed, Msg: err.Error()}
+		return wire.ExchangeResp{}, err
 	}
-	s.totalExchanges.Add(1)
-	return &wire.ExchangeResp{
+	s.met.TotalExchanges.Add(1)
+	return wire.ExchangeResp{
 		Response:        out.Response.Payload,
 		ResponseCommand: out.Response.Command.String(),
 		EavesBER:        out.EavesdropperBER,
 		CancellationDB:  out.CancellationDB,
+	}, nil
+}
+
+// handleExchange runs one protected exchange.
+func (s *Server) handleExchange(sess *session, m *wire.ExchangeReq) wire.Message {
+	idx := int(m.IMD)
+	if idx >= len(sess.sc.IMDs) {
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("IMD index %d out of range", idx)}
 	}
+	resp, err := s.runExchange(sess, idx, m.Cmd)
+	if err != nil {
+		return &wire.Error{Code: wire.CodeExchangeFailed, Msg: err.Error()}
+	}
+	sess.met.Exchanges.Add(1)
+	return &resp
+}
+
+// handleBatch runs a BATCH-EXCHANGE: every item is validated up front (a
+// bad index refuses the whole batch before any scenario mutation), then
+// the items run in order against the session scenario — the identical
+// result stream to the same items sent as individual EXCHANGE frames.
+func (s *Server) handleBatch(sess *session, m *wire.BatchReq) wire.Message {
+	if len(m.Items) == 0 {
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "empty batch"}
+	}
+	if len(m.Items) > wire.MaxBatch {
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "batch exceeds MaxBatch"}
+	}
+	for i, it := range m.Items {
+		if int(it.IMD) >= len(sess.sc.IMDs) {
+			return &wire.Error{Code: wire.CodeBadRequest,
+				Msg: fmt.Sprintf("item %d: IMD index %d out of range", i, it.IMD)}
+		}
+	}
+	results := make([]wire.ExchangeResp, len(m.Items))
+	for i, it := range m.Items {
+		resp, err := s.runExchange(sess, int(it.IMD), it.Cmd)
+		if err != nil {
+			return &wire.Error{Code: wire.CodeExchangeFailed,
+				Msg: fmt.Sprintf("item %d: %v", i, err)}
+		}
+		results[i] = resp
+	}
+	sess.met.Batches.Add(1)
+	sess.met.BatchedExchanges.Add(uint64(len(m.Items)))
+	s.met.TotalBatches.Add(1)
+	return &wire.BatchResp{Results: results}
 }
 
 // handleAttack runs one unauthorized-command trial (the Simulation.Attack
@@ -367,6 +696,8 @@ func (s *Server) handleAttack(sess *session, m *wire.AttackReq) wire.Message {
 	}
 
 	out := sc.RunAttackTrial(sess.adv, cmd, m.ShieldOn)
+	sess.met.Attacks.Add(1)
+	s.met.TotalAttacks.Add(1)
 	return &wire.AttackResp{
 		IMDResponded:     out.Responded,
 		TherapyChanged:   out.TherapyChanged,
@@ -393,17 +724,49 @@ func (s *Server) handleExperiment(m *wire.ExperimentReq) wire.Message {
 	if err != nil {
 		return &wire.Error{Code: wire.CodeUnknownExperiment, Msg: err.Error()}
 	}
-	s.totalExperiments.Add(1)
+	s.met.TotalExperiments.Add(1)
 	return &wire.ExperimentResp{Rendered: res.Render()}
+}
+
+// handleMetrics builds the session's STATUS-METRICS snapshot.
+func (s *Server) handleMetrics(sess *session) wire.Message {
+	ls := sess.link.Stats()
+	return &wire.MetricsResp{
+		SessionID:            sess.id,
+		Protocol:             sess.version,
+		Exchanges:            sess.met.Exchanges.Load(),
+		Batches:              sess.met.Batches.Load(),
+		BatchedExchanges:     sess.met.BatchedExchanges.Load(),
+		Attacks:              sess.met.Attacks.Load(),
+		Experiments:          sess.met.Experiments.Load(),
+		Pings:                sess.met.Pings.Load(),
+		Errors:               sess.met.Errors.Load(),
+		Rekeys:               ls.Rekeys,
+		ReplayDrops:          ls.ReplayDrops,
+		BytesSealed:          ls.BytesSealed,
+		BytesOpened:          ls.BytesOpened,
+		InFlight:             uint32(sess.met.InFlight()),
+		InFlightHWM:          uint32(sess.met.InFlightHWM()),
+		ServerActiveSessions: uint32(s.met.ActiveSessions.Load()),
+		ServerTotalSessions:  s.met.TotalSessions.Load(),
+		ServerReapedSessions: s.met.ReapedSessions.Load(),
+	}
 }
 
 // Status returns server-wide counters.
 func (s *Server) Status() wire.StatusResp {
 	return wire.StatusResp{
-		ActiveSessions:   uint32(s.activeSessions.Load()),
+		ActiveSessions:   uint32(s.met.ActiveSessions.Load()),
 		PooledScenarios:  uint32(s.pool.idle()),
-		TotalSessions:    s.totalSessions.Load(),
-		TotalExchanges:   s.totalExchanges.Load(),
-		TotalExperiments: s.totalExperiments.Load(),
+		TotalSessions:    s.met.TotalSessions.Load(),
+		TotalExchanges:   s.met.TotalExchanges.Load(),
+		TotalExperiments: s.met.TotalExperiments.Load(),
 	}
+}
+
+// Metrics snapshots the server-wide metrics (the cmd/shieldd -metrics
+// periodic dump).
+func (s *Server) Metrics() metrics.ServerSnapshot {
+	snap := s.met.Snapshot()
+	return snap
 }

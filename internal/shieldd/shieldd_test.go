@@ -117,8 +117,11 @@ func TestPoolRecyclingIsUnobservable(t *testing.T) {
 }
 
 // The acceptance criterion: a shieldd server driven over TCP by 32
-// concurrent clients completes every exchange with the same
-// EavesdropperBER/CancellationDB per session seed as the in-process path.
+// concurrent clients — each PIPELINING its requests over one v2
+// connection instead of waiting request-by-request — completes every
+// exchange with the same EavesdropperBER/CancellationDB per session seed
+// as the in-process path. Pipelining must be unobservable in the
+// results: the per-session executor runs exchanges in arrival order.
 func TestTCP32ConcurrentClients(t *testing.T) {
 	const nClients = 32
 	want := make([]exchangePair, nClients)
@@ -148,16 +151,21 @@ func TestTCP32ConcurrentClients(t *testing.T) {
 				return
 			}
 			defer c.Close()
-			a, err := c.Exchange(0, wire.CmdInterrogate)
+			// Both exchanges are submitted before either response is
+			// awaited: two requests in flight on one connection.
+			callA := c.Go(&wire.ExchangeReq{IMD: 0, Cmd: wire.CmdInterrogate})
+			callB := c.Go(&wire.ExchangeReq{IMD: 0, Cmd: wire.CmdSetTherapy})
+			ra, err := callA.Wait()
 			if err != nil {
 				errs[i] = fmt.Errorf("interrogate: %w", err)
 				return
 			}
-			b, err := c.Exchange(0, wire.CmdSetTherapy)
+			rb, err := callB.Wait()
 			if err != nil {
 				errs[i] = fmt.Errorf("set-therapy: %w", err)
 				return
 			}
+			a, b := ra.(*wire.ExchangeResp), rb.(*wire.ExchangeResp)
 			got[i] = exchangePair{
 				BER0: a.EavesBER, Cancel0: a.CancellationDB, Payload0: string(a.Response),
 				BER1: b.EavesBER, Cancel1: b.CancellationDB,

@@ -5,28 +5,35 @@ import (
 	"testing"
 )
 
-// FuzzWireDecode checks that the message decoder is total — no input
-// panics or over-allocates — and that every message it accepts re-encodes
-// to exactly the bytes it accepted. The decoder sits behind securelink on
+// FuzzWireDecode checks that both decoders — Decode for v1 payloads and
+// DecodeEnvelope for v2 request-ID framed payloads — are total (no input
+// panics or over-allocates) and that everything they accept re-encodes
+// to exactly the bytes accepted. The decoders sit behind securelink on
 // the real wire, but defense in depth matters: a compromised peer with a
 // valid session key must still not be able to crash the server with a
-// malformed body.
+// malformed body, an oversize BATCH-EXCHANGE count, or a truncated
+// envelope.
 func FuzzWireDecode(f *testing.F) {
 	for _, m := range sampleMessages() {
 		f.Add(m.Encode())
+		f.Add(EncodeEnvelope(0xABCD, m))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{KindExchangeResp, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{KindBatchReq, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{KindBatchResp, 0x00, 0x00, 0x01, 0x00})
 	f.Add(bytes.Repeat([]byte{0x01}, 40))
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
-		m, err := Decode(raw)
-		if err != nil {
-			return
+		if m, err := Decode(raw); err == nil {
+			if re := m.Encode(); !bytes.Equal(re, raw) {
+				t.Fatalf("accepted message does not round trip:\n in: %x\nout: %x", raw, re)
+			}
 		}
-		re := m.Encode()
-		if !bytes.Equal(re, raw) {
-			t.Fatalf("accepted message does not round trip:\n in: %x\nout: %x", raw, re)
+		if id, m, err := DecodeEnvelope(raw); err == nil {
+			if re := EncodeEnvelope(id, m); !bytes.Equal(re, raw) {
+				t.Fatalf("accepted envelope does not round trip:\n in: %x\nout: %x", raw, re)
+			}
 		}
 	})
 }

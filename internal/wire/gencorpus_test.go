@@ -1,0 +1,39 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteV2Corpus regenerates the checked-in seed corpus entries for
+// the v2 frames (request-ID envelopes, BATCH-EXCHANGE, PING/PONG,
+// STATUS-METRICS). Run with -write-corpus via:
+//
+//	WRITE_CORPUS=1 go test -run TestWriteV2Corpus ./internal/wire
+func TestWriteV2Corpus(t *testing.T) {
+	if os.Getenv("WRITE_CORPUS") == "" {
+		t.Skip("set WRITE_CORPUS=1 to regenerate corpus seeds")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzWireDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, raw []byte) {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", raw)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("v2-batch-req", (&BatchReq{Items: []ExchangeItem{{IMD: 1, Cmd: CmdSetTherapy}, {IMD: 0, Cmd: CmdInterrogate}}}).Encode())
+	write("v2-batch-resp", (&BatchResp{Results: []ExchangeResp{{Response: []byte("r"), ResponseCommand: "data", EavesBER: 0.5, CancellationDB: 33}}}).Encode())
+	write("v2-ping", (&Ping{Token: 0x1122334455667788}).Encode())
+	write("v2-pong", (&Pong{Token: 42}).Encode())
+	write("v2-metrics-req", (&MetricsReq{}).Encode())
+	write("v2-metrics-resp", (&MetricsResp{SessionID: 3, Protocol: 2, Exchanges: 5, InFlightHWM: 9}).Encode())
+	write("v2-envelope-exchange", EncodeEnvelope(7, &ExchangeReq{IMD: 0, Cmd: CmdInterrogate}))
+	write("v2-envelope-batch", EncodeEnvelope(0xFFFFFFFFFFFFFFFF, (&BatchReq{Items: []ExchangeItem{{IMD: 0, Cmd: 0}}})))
+	write("v2-envelope-truncated", []byte{0, 0, 0, 0, 0, 0, 0})
+	write("v2-batch-lying-count", []byte{KindBatchReq, 0xFF, 0xFF, 0xFF, 0xFF})
+}

@@ -1,6 +1,7 @@
 // Package wire defines the binary wire protocol of the shieldd session
 // server: a length-prefixed outer transport framing and a set of typed
-// messages (HELLO/pairing, EXCHANGE, ATTACK-TRIAL, EXPERIMENT, STATUS).
+// messages (HELLO/pairing, EXCHANGE, BATCH-EXCHANGE, ATTACK-TRIAL,
+// EXPERIMENT, STATUS, STATUS-METRICS, PING/PONG).
 //
 // Transport framing is uint32 big-endian length || payload. The HELLO
 // frame travels in plaintext (it carries the public session nonce both
@@ -8,11 +9,24 @@
 // securelink-sealed message, so the payload on the wire is
 // seq(8) || AES-GCM ciphertext of an encoded message.
 //
+// Two protocol versions share this vocabulary, negotiated in HELLO
+// (client announces its highest version, HELLO-ACK carries the minimum
+// of the two):
+//
+//   - v1: the sealed plaintext is one encoded message, and the session is
+//     strict request/response — the client sends one request and waits.
+//   - v2: the sealed plaintext is an envelope id(8) || message. The id is
+//     a client-chosen request identifier echoed on the response, so the
+//     client may pipeline many requests over one connection and the
+//     server may complete them out of order (bounded by its in-flight
+//     window).
+//
 // Message encoding is kind(1) || body, with fixed-width big-endian
 // integers, IEEE-754 bits for floats, and uint32-length-prefixed byte
 // strings. Decode is total: it never panics, never over-allocates beyond
 // the input length, and accepts exactly the encodings Encode produces
 // (round-trip byte equality — the FuzzWireDecode invariant).
+// DecodeEnvelope inherits the same totality for v2 payloads.
 package wire
 
 import (
@@ -23,8 +37,17 @@ import (
 	"math"
 )
 
-// Version is the protocol version carried in HELLO/HELLO-ACK.
-const Version = 1
+// Version is the highest protocol version this package speaks; HELLO
+// carries the client's highest version and HELLO-ACK the negotiated one.
+const Version = 2
+
+// MinVersion is the lowest protocol version still accepted (v1 clients
+// keep working against a v2 server).
+const MinVersion = 1
+
+// MaxBatch bounds the number of exchanges one BATCH-EXCHANGE frame may
+// carry; Decode rejects larger counts before allocating.
+const MaxBatch = 256
 
 // MaxFrame bounds the outer transport frame length; a peer announcing
 // more is treated as malformed (ErrFrameTooBig) before any allocation.
@@ -90,10 +113,16 @@ const (
 	KindExchangeResp   byte = 0x11
 	KindAttackReq      byte = 0x12
 	KindAttackResp     byte = 0x13
+	KindBatchReq       byte = 0x14
+	KindBatchResp      byte = 0x15
 	KindExperimentReq  byte = 0x20
 	KindExperimentResp byte = 0x21
 	KindStatusReq      byte = 0x30
 	KindStatusResp     byte = 0x31
+	KindPing           byte = 0x32
+	KindPong           byte = 0x33
+	KindMetricsReq     byte = 0x34
+	KindMetricsResp    byte = 0x35
 	KindBye            byte = 0x3E
 	KindError          byte = 0x3F
 )
@@ -183,6 +212,75 @@ type AttackResp struct {
 	ShieldJammed     bool
 	Alarmed          bool
 	AdversaryRSSIDBm float64
+}
+
+// ExchangeItem is one exchange inside a BATCH-EXCHANGE: IMD index plus
+// command kind (the same pair an ExchangeReq carries).
+type ExchangeItem struct {
+	IMD uint8
+	Cmd uint8
+}
+
+// BatchReq runs up to MaxBatch protected exchanges in one sealed round
+// trip, amortizing securelink sealing and transport framing. The server
+// executes the items in order against the session scenario — the result
+// stream is identical to sending the same items as individual
+// ExchangeReqs — and either every item succeeds (BatchResp) or the batch
+// is refused/aborted with a single Error.
+type BatchReq struct {
+	Items []ExchangeItem
+}
+
+// BatchResp carries one ExchangeResp-shaped result per batch item, in
+// item order.
+type BatchResp struct {
+	Results []ExchangeResp
+}
+
+// Ping is a keepalive probe; the peer answers Pong echoing the token.
+// Servers answer it immediately from the session reader, bypassing the
+// scenario executor, so a Pong also measures queue-independent liveness.
+type Ping struct {
+	Token uint64
+}
+
+// Pong answers a Ping with the same token.
+type Pong struct {
+	Token uint64
+}
+
+// MetricsReq asks for the session's STATUS-METRICS snapshot.
+type MetricsReq struct{}
+
+// MetricsResp is the STATUS-METRICS snapshot: per-session counters plus
+// a few server-wide gauges for context.
+type MetricsResp struct {
+	SessionID uint64
+	Protocol  uint8
+
+	// Request counters for this session.
+	Exchanges        uint64 // single EXCHANGE frames served
+	Batches          uint64 // BATCH-EXCHANGE frames served
+	BatchedExchanges uint64 // exchanges carried inside those batches
+	Attacks          uint64
+	Experiments      uint64
+	Pings            uint64
+	Errors           uint64 // requests answered with an Error frame
+
+	// Securelink counters for this session's link (server side).
+	Rekeys      uint64 // key-ratchet epoch advances, both directions
+	ReplayDrops uint64
+	BytesSealed uint64
+	BytesOpened uint64
+
+	// Pipelining gauges (always 0/1 on a v1 session).
+	InFlight    uint32
+	InFlightHWM uint32
+
+	// Server-wide context.
+	ServerActiveSessions uint32
+	ServerTotalSessions  uint64
+	ServerReapedSessions uint64
 }
 
 // ExperimentReq runs a registry experiment server-side.
@@ -357,16 +455,103 @@ func (m *ExchangeReq) Encode() []byte {
 // Kind returns the wire kind byte.
 func (m *ExchangeReq) Kind() byte { return KindExchangeReq }
 
-// Encode serializes the ExchangeResp message.
-func (m *ExchangeResp) Encode() []byte {
-	b := appendBytes([]byte{KindExchangeResp}, m.Response)
+// appendExchangeRespBody serializes an ExchangeResp body (no kind byte),
+// shared by ExchangeResp and the per-item encoding inside BatchResp.
+func appendExchangeRespBody(b []byte, m *ExchangeResp) []byte {
+	b = appendBytes(b, m.Response)
 	b = appendBytes(b, []byte(m.ResponseCommand))
 	b = appendF64(b, m.EavesBER)
 	return appendF64(b, m.CancellationDB)
 }
 
+// decodeExchangeRespBody reads one ExchangeResp body from the cursor.
+func decodeExchangeRespBody(c *cursor) ExchangeResp {
+	return ExchangeResp{
+		Response:        c.bytes(),
+		ResponseCommand: c.string(),
+		EavesBER:        c.f64(),
+		CancellationDB:  c.f64(),
+	}
+}
+
+// Encode serializes the ExchangeResp message.
+func (m *ExchangeResp) Encode() []byte {
+	return appendExchangeRespBody([]byte{KindExchangeResp}, m)
+}
+
 // Kind returns the wire kind byte.
 func (m *ExchangeResp) Kind() byte { return KindExchangeResp }
+
+// Encode serializes the BatchReq message.
+func (m *BatchReq) Encode() []byte {
+	b := appendU32([]byte{KindBatchReq}, uint32(len(m.Items)))
+	for _, it := range m.Items {
+		b = append(b, it.IMD, it.Cmd)
+	}
+	return b
+}
+
+// Kind returns the wire kind byte.
+func (m *BatchReq) Kind() byte { return KindBatchReq }
+
+// Encode serializes the BatchResp message.
+func (m *BatchResp) Encode() []byte {
+	b := appendU32([]byte{KindBatchResp}, uint32(len(m.Results)))
+	for i := range m.Results {
+		b = appendExchangeRespBody(b, &m.Results[i])
+	}
+	return b
+}
+
+// Kind returns the wire kind byte.
+func (m *BatchResp) Kind() byte { return KindBatchResp }
+
+// Encode serializes the Ping message.
+func (m *Ping) Encode() []byte {
+	return appendU64([]byte{KindPing}, m.Token)
+}
+
+// Kind returns the wire kind byte.
+func (m *Ping) Kind() byte { return KindPing }
+
+// Encode serializes the Pong message.
+func (m *Pong) Encode() []byte {
+	return appendU64([]byte{KindPong}, m.Token)
+}
+
+// Kind returns the wire kind byte.
+func (m *Pong) Kind() byte { return KindPong }
+
+// Encode serializes the MetricsReq message.
+func (m *MetricsReq) Encode() []byte { return []byte{KindMetricsReq} }
+
+// Kind returns the wire kind byte.
+func (m *MetricsReq) Kind() byte { return KindMetricsReq }
+
+// Encode serializes the MetricsResp message.
+func (m *MetricsResp) Encode() []byte {
+	b := appendU64([]byte{KindMetricsResp}, m.SessionID)
+	b = append(b, m.Protocol)
+	b = appendU64(b, m.Exchanges)
+	b = appendU64(b, m.Batches)
+	b = appendU64(b, m.BatchedExchanges)
+	b = appendU64(b, m.Attacks)
+	b = appendU64(b, m.Experiments)
+	b = appendU64(b, m.Pings)
+	b = appendU64(b, m.Errors)
+	b = appendU64(b, m.Rekeys)
+	b = appendU64(b, m.ReplayDrops)
+	b = appendU64(b, m.BytesSealed)
+	b = appendU64(b, m.BytesOpened)
+	b = appendU32(b, m.InFlight)
+	b = appendU32(b, m.InFlightHWM)
+	b = appendU32(b, m.ServerActiveSessions)
+	b = appendU64(b, m.ServerTotalSessions)
+	return appendU64(b, m.ServerReapedSessions)
+}
+
+// Kind returns the wire kind byte.
+func (m *MetricsResp) Kind() byte { return KindMetricsResp }
 
 // Encode serializes the AttackReq message.
 func (m *AttackReq) Encode() []byte {
@@ -477,11 +662,69 @@ func Decode(b []byte) (Message, error) {
 	case KindExchangeReq:
 		m = &ExchangeReq{IMD: c.u8(), Cmd: c.u8()}
 	case KindExchangeResp:
-		m = &ExchangeResp{
-			Response:        c.bytes(),
-			ResponseCommand: c.string(),
-			EavesBER:        c.f64(),
-			CancellationDB:  c.f64(),
+		resp := decodeExchangeRespBody(c)
+		m = &resp
+	case KindBatchReq:
+		n := c.u32()
+		if c.err == nil && n > MaxBatch {
+			c.err = ErrInvalid
+		}
+		// Each item is exactly 2 bytes; check before allocating.
+		if c.err == nil && uint32(len(c.b)) < n*2 {
+			c.err = ErrTruncated
+		}
+		br := &BatchReq{}
+		if c.err == nil && n > 0 {
+			br.Items = make([]ExchangeItem, n)
+			for i := range br.Items {
+				br.Items[i] = ExchangeItem{IMD: c.u8(), Cmd: c.u8()}
+			}
+		}
+		m = br
+	case KindBatchResp:
+		n := c.u32()
+		if c.err == nil && n > MaxBatch {
+			c.err = ErrInvalid
+		}
+		// Each result is at least 24 bytes (two length prefixes + two
+		// float64s); check before allocating.
+		if c.err == nil && uint32(len(c.b)) < n*24 {
+			c.err = ErrTruncated
+		}
+		br := &BatchResp{}
+		if c.err == nil && n > 0 {
+			br.Results = make([]ExchangeResp, n)
+			for i := range br.Results {
+				br.Results[i] = decodeExchangeRespBody(c)
+			}
+		}
+		m = br
+	case KindPing:
+		m = &Ping{Token: c.u64()}
+	case KindPong:
+		m = &Pong{Token: c.u64()}
+	case KindMetricsReq:
+		m = &MetricsReq{}
+	case KindMetricsResp:
+		m = &MetricsResp{
+			SessionID:            c.u64(),
+			Protocol:             c.u8(),
+			Exchanges:            c.u64(),
+			Batches:              c.u64(),
+			BatchedExchanges:     c.u64(),
+			Attacks:              c.u64(),
+			Experiments:          c.u64(),
+			Pings:                c.u64(),
+			Errors:               c.u64(),
+			Rekeys:               c.u64(),
+			ReplayDrops:          c.u64(),
+			BytesSealed:          c.u64(),
+			BytesOpened:          c.u64(),
+			InFlight:             c.u32(),
+			InFlightHWM:          c.u32(),
+			ServerActiveSessions: c.u32(),
+			ServerTotalSessions:  c.u64(),
+			ServerReapedSessions: c.u64(),
 		}
 	case KindAttackReq:
 		m = &AttackReq{Cmd: c.u8(), ShieldOn: c.bool()}
@@ -524,4 +767,32 @@ func Decode(b []byte) (Message, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// --- v2 envelope -------------------------------------------------------
+
+// EncodeEnvelope serializes a v2 frame payload: id(8) || message. The id
+// is a client-chosen request identifier; responses echo the id of the
+// request they answer, which is what lets a pipelined client match
+// out-of-order completions.
+func EncodeEnvelope(id uint64, m Message) []byte {
+	enc := m.Encode()
+	b := make([]byte, 8, 8+len(enc))
+	binary.BigEndian.PutUint64(b, id)
+	return append(b, enc...)
+}
+
+// DecodeEnvelope parses a v2 frame payload. It is as total as Decode:
+// truncated ids, malformed messages, and trailing bytes are all errors,
+// and an accepted envelope re-encodes to exactly the accepted bytes.
+func DecodeEnvelope(b []byte) (id uint64, m Message, err error) {
+	if len(b) < 8 {
+		return 0, nil, ErrTruncated
+	}
+	id = binary.BigEndian.Uint64(b[:8])
+	m, err = Decode(b[8:])
+	if err != nil {
+		return id, nil, err
+	}
+	return id, m, nil
 }

@@ -30,6 +30,21 @@ func sampleMessages() []Message {
 		&StatusReq{},
 		&StatusResp{ActiveSessions: 32, PooledScenarios: 4, TotalSessions: 100,
 			TotalExchanges: 12345, TotalExperiments: 6},
+		&BatchReq{Items: []ExchangeItem{{IMD: 0, Cmd: CmdInterrogate}, {IMD: 2, Cmd: CmdSetTherapy}}},
+		&BatchResp{Results: []ExchangeResp{
+			{Response: []byte("a"), ResponseCommand: "data-response", EavesBER: 0.5, CancellationDB: 30},
+			{Response: []byte("bb"), ResponseCommand: "ack", EavesBER: 0.48, CancellationDB: 35.2},
+		}},
+		&BatchReq{},
+		&BatchResp{},
+		&Ping{Token: 0xFEEDFACE},
+		&Pong{Token: 0xFEEDFACE},
+		&MetricsReq{},
+		&MetricsResp{SessionID: 17, Protocol: 2, Exchanges: 9, Batches: 2,
+			BatchedExchanges: 32, Attacks: 1, Experiments: 3, Pings: 5, Errors: 1,
+			Rekeys: 4, ReplayDrops: 0, BytesSealed: 1 << 20, BytesOpened: 9000,
+			InFlight: 3, InFlightHWM: 12, ServerActiveSessions: 2,
+			ServerTotalSessions: 40, ServerReapedSessions: 6},
 		&Bye{},
 		&Error{Code: CodeExchangeFailed, Msg: "IMD did not respond"},
 	}
@@ -89,6 +104,47 @@ func TestDecodeRejectsLyingLengthPrefix(t *testing.T) {
 	b := []byte{KindExperimentResp, 0xFF, 0xFF, 0xFF, 0xFF, 'x'}
 	if _, err := Decode(b); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("lying length error = %v", err)
+	}
+}
+
+// A batch announcing more items than MaxBatch must be refused before any
+// allocation, as must a count that exceeds the remaining bytes.
+func TestDecodeRejectsOversizeBatch(t *testing.T) {
+	over := append([]byte{KindBatchReq}, 0x00, 0x00, 0x01, 0x01) // 257 items
+	over = append(over, bytes.Repeat([]byte{0}, 2*(MaxBatch+1))...)
+	if _, err := Decode(over); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("over-MaxBatch decode error = %v, want ErrInvalid", err)
+	}
+	lying := []byte{KindBatchReq, 0x00, 0x00, 0x00, 0x40} // 64 items, no bodies
+	if _, err := Decode(lying); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("lying batch count error = %v, want ErrTruncated", err)
+	}
+	lyingResp := []byte{KindBatchResp, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := Decode(lyingResp); err == nil {
+		t.Fatal("lying batch-resp count accepted")
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	for i, m := range sampleMessages() {
+		id := uint64(i)*0x0101010101 + 7
+		enc := EncodeEnvelope(id, m)
+		gotID, got, err := DecodeEnvelope(enc)
+		if err != nil {
+			t.Fatalf("%T: envelope decode: %v", m, err)
+		}
+		if gotID != id {
+			t.Fatalf("%T: envelope id %d, want %d", m, gotID, id)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("%T envelope round trip:\n got %+v\nwant %+v", m, got, m)
+		}
+	}
+	if _, _, err := DecodeEnvelope([]byte{1, 2, 3}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short envelope error = %v, want ErrTruncated", err)
+	}
+	if _, _, err := DecodeEnvelope(make([]byte, 8)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty-message envelope error = %v, want ErrTruncated", err)
 	}
 }
 

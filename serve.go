@@ -2,7 +2,9 @@ package heartshield
 
 import (
 	"net"
+	"time"
 
+	"heartshield/internal/metrics"
 	"heartshield/internal/shieldd"
 	"heartshield/internal/wire"
 )
@@ -22,6 +24,15 @@ type ServeOptions struct {
 	// MaxExtraIMDs caps the batched multi-IMD size a session may request
 	// (default 8).
 	MaxExtraIMDs int
+	// InFlightPerSession bounds how many pipelined wire-v2 requests one
+	// session may have outstanding (default 16); beyond it, transport
+	// backpressure applies.
+	InFlightPerSession int
+	// IdleTimeout, when positive, reaps sessions with no traffic and no
+	// in-flight work for this long, returning their scenarios to the
+	// pool. Clients hold sessions open with Ping keepalives and may
+	// auto-reconnect with a fresh handshake after a reap. Zero disables.
+	IdleTimeout time.Duration
 }
 
 // Server is a running shield session service: it owns a pool of recycled
@@ -35,15 +46,43 @@ type Server struct {
 // NewServer builds a session server.
 func NewServer(opt ServeOptions) (*Server, error) {
 	s, err := shieldd.NewServer(shieldd.ServerConfig{
-		Secret:            opt.Secret,
-		MaxSessions:       opt.MaxSessions,
-		ExperimentWorkers: opt.ExperimentWorkers,
-		MaxExtraIMDs:      opt.MaxExtraIMDs,
+		Secret:             opt.Secret,
+		MaxSessions:        opt.MaxSessions,
+		ExperimentWorkers:  opt.ExperimentWorkers,
+		MaxExtraIMDs:       opt.MaxExtraIMDs,
+		InFlightPerSession: opt.InFlightPerSession,
+		IdleTimeout:        opt.IdleTimeout,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Server{s: s}, nil
+}
+
+// ServerMetrics is a point-in-time snapshot of server-wide counters
+// (sessions, request mix, sealed/opened traffic) — what the cmd/shieldd
+// -metrics flag dumps periodically.
+type ServerMetrics struct {
+	TotalSessions    uint64
+	ActiveSessions   int64
+	ReapedSessions   uint64
+	TotalExchanges   uint64
+	TotalBatches     uint64
+	TotalAttacks     uint64
+	TotalExperiments uint64
+	TotalPings       uint64
+	BytesSealed      uint64
+	BytesOpened      uint64
+	Rekeys           uint64
+	ReplayDrops      uint64
+}
+
+// String renders the snapshot as one log line.
+func (m ServerMetrics) String() string { return metrics.ServerSnapshot(m).String() }
+
+// Metrics snapshots the server's aggregate counters.
+func (s *Server) Metrics() ServerMetrics {
+	return ServerMetrics(s.s.Metrics())
 }
 
 // Serve accepts and serves sessions until the listener is closed.
@@ -79,6 +118,14 @@ type DialOptions struct {
 	// to the session's shared medium; ProtectedExchangeWith addresses
 	// them by index (0 = primary).
 	ExtraIMDs int
+	// Protocol caps the announced wire version (0 = highest supported).
+	// Setting 1 forces a strict request/response v1 session.
+	Protocol uint8
+	// AutoReconnect makes a dialed session transparently re-dial and
+	// re-handshake after the server's idle reaper (or a network fault)
+	// closes the connection and no requests are in flight. The fresh
+	// session restarts the deterministic result stream at the seed.
+	AutoReconnect bool
 }
 
 func (o DialOptions) session() shieldd.SessionOptions {
@@ -90,6 +137,8 @@ func (o DialOptions) session() shieldd.SessionOptions {
 		DigitalCancel:      o.DigitalCancel,
 		Concerto:           o.Concerto,
 		ExtraIMDs:          o.ExtraIMDs,
+		Protocol:           o.Protocol,
+		AutoReconnect:      o.AutoReconnect,
 	}
 }
 
@@ -138,6 +187,89 @@ func (r *RemoteSimulation) ProtectedExchangeWith(imdIdx int, kind CommandKind) (
 	rep.EavesdropperBER = resp.EavesBER
 	rep.CancellationDB = resp.CancellationDB
 	return rep, nil
+}
+
+// BatchItem addresses one exchange inside ProtectedExchangeBatch.
+type BatchItem struct {
+	// IMD is the implant index (0 = primary).
+	IMD int
+	// Command is the exchange's command kind.
+	Command CommandKind
+}
+
+// ProtectedExchangeBatch runs up to 256 protected exchanges in one
+// sealed round trip (the wire-v2 BATCH-EXCHANGE), amortizing sealing
+// and framing. Results arrive in item order and are identical to the
+// same items run as individual ProtectedExchangeWith calls.
+func (r *RemoteSimulation) ProtectedExchangeBatch(items []BatchItem) ([]ExchangeReport, error) {
+	wireItems := make([]wire.ExchangeItem, len(items))
+	for i, it := range items {
+		wireItems[i] = wire.ExchangeItem{IMD: uint8(it.IMD), Cmd: wireCmd(it.Command)}
+	}
+	results, err := r.c.BatchExchange(wireItems)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]ExchangeReport, len(results))
+	for i, res := range results {
+		reports[i] = ExchangeReport{
+			Response:        res.Response,
+			ResponseCommand: res.ResponseCommand,
+			EavesdropperBER: res.EavesBER,
+			CancellationDB:  res.CancellationDB,
+		}
+	}
+	return reports, nil
+}
+
+// Ping sends a keepalive probe; on a wire-v2 session the server answers
+// ahead of any queued scenario work and the probe resets the idle-reap
+// clock.
+func (r *RemoteSimulation) Ping() error { return r.c.Ping() }
+
+// SessionMetrics reports this session's counters (the STATUS-METRICS
+// frame): request mix, batching, pipelining depth, and link traffic.
+type SessionMetrics struct {
+	SessionID        uint64
+	Protocol         uint8
+	Exchanges        uint64
+	Batches          uint64
+	BatchedExchanges uint64
+	Attacks          uint64
+	Experiments      uint64
+	Pings            uint64
+	Errors           uint64
+	Rekeys           uint64
+	ReplayDrops      uint64
+	BytesSealed      uint64
+	BytesOpened      uint64
+	InFlight         uint32
+	InFlightHWM      uint32
+}
+
+// SessionMetrics returns the session's STATUS-METRICS snapshot.
+func (r *RemoteSimulation) SessionMetrics() (SessionMetrics, error) {
+	m, err := r.c.Metrics()
+	if err != nil {
+		return SessionMetrics{}, err
+	}
+	return SessionMetrics{
+		SessionID:        m.SessionID,
+		Protocol:         m.Protocol,
+		Exchanges:        m.Exchanges,
+		Batches:          m.Batches,
+		BatchedExchanges: m.BatchedExchanges,
+		Attacks:          m.Attacks,
+		Experiments:      m.Experiments,
+		Pings:            m.Pings,
+		Errors:           m.Errors,
+		Rekeys:           m.Rekeys,
+		ReplayDrops:      m.ReplayDrops,
+		BytesSealed:      m.BytesSealed,
+		BytesOpened:      m.BytesOpened,
+		InFlight:         m.InFlight,
+		InFlightHWM:      m.InFlightHWM,
+	}, nil
 }
 
 // Attack runs one unauthorized-command trial, equivalent to
