@@ -20,12 +20,20 @@
 #   make sim          - regenerate every paper table/figure (quick trial counts)
 #   make golden       - re-record testdata/golden after an intentional physics
 #                       change (review the diff!)
-#   make golden-check - CI determinism gate: re-record golden files and fail
-#                       if they drift from the checked-in ones
+#   make golden-check - CI determinism gate: trial-check, then re-record golden
+#                       files and fail if they drift from the checked-in ones
+#   make trial-check  - CI trial-determinism gate: every experiment must render
+#                       byte-identically at Workers=1 and Workers=8
+#   make fuzz-nightly - the nightly deep-fuzz leg: the wire + securelink
+#                       decoders for NIGHTLY_FUZZTIME each, growing the corpus
 
 GO ?= go
 FUZZTIME ?= 30s
+NIGHTLY_FUZZTIME ?= 10m
 BENCH_THRESHOLD ?= 25
+# staticcheck is pinned here (and only here): the workflow installs it via
+# `make staticcheck-install`, so CI can never float to @latest on its own.
+STATICCHECK_VERSION ?= 2024.1.1
 # The exchange benchmarks the perf gate watches (root package + shieldd).
 BENCH_GATE = BenchmarkProtectedExchange$$|BenchmarkSessionExchange$$|BenchmarkBatchedExchange$$|BenchmarkSequentialExchanges$$
 
@@ -37,7 +45,13 @@ FUZZ_TARGETS = \
 	./internal/wire:FuzzWireDecode \
 	./internal/securelink:FuzzSecurelinkOpen
 
-.PHONY: all build test vet fmt staticcheck race fuzz ci bench benchcheck benchbaseline sim golden golden-check clean
+# The attack-surface decoders the nightly workflow fuzzes for 10 minutes
+# each (everything that parses bytes off the network).
+NIGHTLY_FUZZ_TARGETS = \
+	./internal/wire:FuzzWireDecode \
+	./internal/securelink:FuzzSecurelinkOpen
+
+.PHONY: all build test vet fmt staticcheck staticcheck-install race fuzz fuzz-nightly ci bench benchcheck benchbaseline sim golden golden-check trial-check clean
 
 all: test vet
 
@@ -60,17 +74,28 @@ staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping (CI installs it)"; \
+		echo "staticcheck not installed; skipping (CI installs it via make staticcheck-install)"; \
 	fi
+
+staticcheck-install:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
 race:
 	$(GO) test -race ./internal/shieldd/... ./internal/experiments/...
+	$(GO) test -race -run TestExperimentWorkerDeterminism -count=1 .
 
 fuzz:
 	@set -e; for t in $(FUZZ_TARGETS); do \
 		pkg=$${t%%:*}; fn=$${t##*:}; \
 		echo "fuzzing $$fn in $$pkg for $(FUZZTIME)"; \
 		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) $$pkg; \
+	done
+
+fuzz-nightly:
+	@set -e; for t in $(NIGHTLY_FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "nightly fuzzing $$fn in $$pkg for $(NIGHTLY_FUZZTIME)"; \
+		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(NIGHTLY_FUZZTIME) $$pkg; \
 	done
 
 ci: fmt vet staticcheck build test race fuzz
@@ -95,7 +120,10 @@ sim:
 golden:
 	$(GO) test -run TestGoldenExperimentOutputs -update .
 
-golden-check: golden
+trial-check:
+	$(GO) test -run TestExperimentWorkerDeterminism -count=1 .
+
+golden-check: trial-check golden
 	@git diff --exit-code testdata/golden || \
 		{ echo "golden files drifted: experiment output is nondeterministic or changed without re-recording"; exit 1; }
 

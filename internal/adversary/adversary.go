@@ -28,6 +28,10 @@ type Eavesdropper struct {
 	// the strongest-adversary assumption the confidentiality experiments
 	// use. When nil, the CFO is estimated from the (jammed) signal.
 	CFOHint *float64
+
+	// obsScratch backs the intercept observations (buffer-reuse contract
+	// with Medium.ObserveInto); an eavesdropper is single-goroutine.
+	obsScratch []complex128
 }
 
 // cfoFor resolves the carrier offset the decoder should compensate.
@@ -43,7 +47,8 @@ func (e *Eavesdropper) cfoFor(obs []complex128) float64 {
 // returning the decoded bits.
 func (e *Eavesdropper) InterceptBits(ch int, start int64, nbits int) []byte {
 	n := e.Modem.Config().SamplesForBits(nbits)
-	obs := e.RX.Process(e.Medium.Observe(e.Antenna, ch, start, n))
+	e.obsScratch = e.Medium.ObserveInto(e.obsScratch, e.Antenna, ch, start, n)
+	obs := e.RX.ProcessInPlace(e.obsScratch)
 	return e.Modem.DemodBits(obs, nbits, e.cfoFor(obs))
 }
 

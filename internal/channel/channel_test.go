@@ -257,3 +257,50 @@ func TestSelfLoopLink(t *testing.T) {
 		t.Fatalf("self observation = %v, want %v", out[0], g)
 	}
 }
+
+// The buffer-reuse contract: once a scratch buffer has grown to the
+// window size, ObserveInto must not allocate — the per-exchange GC load
+// of the receive hot path rides on this.
+func TestObserveIntoDoesNotAllocate(t *testing.T) {
+	m := NewMedium(600e3, stats.NewRNG(1))
+	m.SetLink(1, 2, Link{LossDB: 40})
+	m.NewEpoch()
+	iq := make([]complex128, 4096)
+	for i := range iq {
+		iq[i] = 1
+	}
+	m.AddBurst(&Burst{Channel: 0, Start: 100, IQ: iq, From: 1})
+
+	scratch := make([]complex128, 4096)
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = m.ObserveInto(scratch, 2, 0, 0, 4096)
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveInto with adequate scratch allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// ObserveInto must agree with Observe sample for sample, including the
+// zeroing of a dirty reused buffer.
+func TestObserveIntoMatchesObserve(t *testing.T) {
+	m := NewMedium(600e3, stats.NewRNG(2))
+	m.SetLink(1, 2, Link{LossDB: 30})
+	m.NewEpoch()
+	iq := make([]complex128, 256)
+	for i := range iq {
+		iq[i] = complex(float64(i), 1)
+	}
+	m.AddBurst(&Burst{Channel: 0, Start: 10, IQ: iq, From: 1})
+
+	want := m.Observe(2, 0, 0, 300)
+	dirty := make([]complex128, 300)
+	for i := range dirty {
+		dirty[i] = complex(99, 99)
+	}
+	got := m.ObserveInto(dirty, 2, 0, 0, 300)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: ObserveInto %v != Observe %v", i, got[i], want[i])
+		}
+	}
+}

@@ -263,10 +263,28 @@ func (m *Medium) ClearBursts() {
 // source has no link to rx contribute nothing. The caller passes the
 // result through an RXChain for noise and front-end effects.
 func (m *Medium) Observe(rx AntennaID, ch int, start int64, n int) []complex128 {
+	return m.ObserveInto(nil, rx, ch, start, n)
+}
+
+// ObserveInto is Observe with a caller-owned destination: dst is grown if
+// its capacity is short, zeroed, filled, and returned at length n. Hot
+// paths (the shield's defense scans, the IMD's receive windows) pass a
+// per-device scratch buffer so a full exchange observes the medium without
+// allocating. The returned slice aliases dst's backing array and is valid
+// until the caller's next ObserveInto with the same scratch.
+func (m *Medium) ObserveInto(dst []complex128, rx AntennaID, ch int, start int64, n int) []complex128 {
 	if n < 0 {
 		panic(fmt.Sprintf("channel: negative observation length %d", n))
 	}
-	out := make([]complex128, n)
+	var out []complex128
+	if cap(dst) >= n {
+		out = dst[:n]
+		for i := range out {
+			out[i] = 0
+		}
+	} else {
+		out = make([]complex128, n)
+	}
 	s := m.burst[ch]
 	if s == nil {
 		return out

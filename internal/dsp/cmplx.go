@@ -86,32 +86,63 @@ func Clone(x []complex128) []complex128 {
 	return y
 }
 
+// mixRenormEvery bounds the phasor recurrence used by Mix and Tone: the
+// running phasor is re-anchored to an exact Sincos every this many samples,
+// so rounding error in the complex products never accumulates past ~1e-13
+// regardless of block length.
+const mixRenormEvery = 256
+
 // Mix multiplies x by a complex exponential of frequency freqHz (sample rate
 // fs, initial phase phase radians), in place, and returns the phase after the
 // last sample so callers can continue a phase-continuous mix across blocks.
+//
+// The oscillator is a phasor recurrence — one complex multiply per sample
+// instead of a Sincos call — re-anchored to an exact Sincos every
+// mixRenormEvery samples so amplitude and phase error stay at the rounding
+// floor. This is the TX/RX carrier-offset hot path: every burst placed on
+// the medium by a CFO-bearing chain runs through it.
 func Mix(x []complex128, freqHz, fs, phase float64) float64 {
 	if len(x) == 0 {
 		return phase
 	}
 	step := 2 * math.Pi * freqHz / fs
-	ph := phase
-	for i := range x {
-		s, c := math.Sincos(ph)
-		x[i] *= complex(c, s)
-		ph += step
+	ss, cs := math.Sincos(step)
+	rot := complex(cs, ss)
+	for blk := 0; blk < len(x); blk += mixRenormEvery {
+		s, c := math.Sincos(phase + float64(blk)*step)
+		ph := complex(c, s)
+		end := blk + mixRenormEvery
+		if end > len(x) {
+			end = len(x)
+		}
+		for i := blk; i < end; i++ {
+			x[i] *= ph
+			ph *= rot
+		}
 	}
 	// Keep the phase bounded so long streams do not lose precision.
-	return math.Mod(ph, 2*math.Pi)
+	return math.Mod(phase+float64(len(x))*step, 2*math.Pi)
 }
 
 // Tone synthesizes n samples of a unit-amplitude complex exponential at
-// freqHz with sample rate fs and initial phase phase.
+// freqHz with sample rate fs and initial phase phase, using the same
+// re-anchored phasor recurrence as Mix.
 func Tone(n int, freqHz, fs, phase float64) []complex128 {
 	x := make([]complex128, n)
 	step := 2 * math.Pi * freqHz / fs
-	for i := range x {
-		s, c := math.Sincos(phase + float64(i)*step)
-		x[i] = complex(c, s)
+	ss, cs := math.Sincos(step)
+	rot := complex(cs, ss)
+	for blk := 0; blk < n; blk += mixRenormEvery {
+		s, c := math.Sincos(phase + float64(blk)*step)
+		ph := complex(c, s)
+		end := blk + mixRenormEvery
+		if end > n {
+			end = n
+		}
+		for i := blk; i < end; i++ {
+			x[i] = ph
+			ph *= rot
+		}
 	}
 	return x
 }

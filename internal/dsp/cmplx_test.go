@@ -132,3 +132,55 @@ func TestAmplitudeForPower(t *testing.T) {
 		t.Fatalf("scaled tone power = %g, want 4", p)
 	}
 }
+
+// The phasor-recurrence Mix must agree with the per-sample Sincos
+// reference to the rounding floor across block lengths that straddle the
+// renorm anchors, including long blocks where naive recurrence error
+// would otherwise accumulate.
+func TestMixMatchesSincosReference(t *testing.T) {
+	fs := 600e3
+	for _, n := range []int{1, 255, 256, 257, 1000, 12000, 70000} {
+		for _, freq := range []float64{50, -123.456, 45e3, -150e3} {
+			x := make([]complex128, n)
+			ref := make([]complex128, n)
+			for i := range x {
+				x[i] = complex(1, 0.5)
+				ref[i] = x[i]
+			}
+			phase := 0.7
+			Mix(x, freq, fs, phase)
+			step := 2 * math.Pi * freq / fs
+			for i := range ref {
+				s, c := math.Sincos(phase + float64(i)*step)
+				ref[i] *= complex(c, s)
+			}
+			for i := range x {
+				if !cAlmostEqual(x[i], ref[i], 1e-10) {
+					t.Fatalf("n=%d freq=%g: sample %d = %v, reference %v", n, freq, i, x[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// Tone must stay unit-magnitude everywhere (the recurrence is re-anchored
+// before amplitude drift becomes visible).
+func TestTonePhasorUnitMagnitude(t *testing.T) {
+	x := Tone(50000, 12345, 600e3, 0.3)
+	for i, v := range x {
+		if m := math.Hypot(real(v), imag(v)); math.Abs(m-1) > 1e-12 {
+			t.Fatalf("sample %d magnitude = %g, want 1", i, m)
+		}
+	}
+}
+
+func BenchmarkMix12k(b *testing.B) {
+	x := make([]complex128, 12000)
+	for i := range x {
+		x[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mix(x, 45e3, 600e3, 0)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"heartshield/internal/adversary"
 	"heartshield/internal/phy"
 	"heartshield/internal/testbed"
 )
@@ -19,33 +20,41 @@ type AblationAntidoteResult struct {
 }
 
 // AblationAntidote runs paired decode attempts with the antidote enabled
-// and disabled.
+// and disabled. Each keyed trial runs both arms, so the pairing survives
+// the worker fan-out.
 func AblationAntidote(cfg Config) AblationAntidoteResult {
 	trials := cfg.trials(30, 10)
 	res := AblationAntidoteResult{Trials: trials}
-	sc := testbed.NewScenario(testbed.Options{Seed: cfg.Seed + 3000})
-	sc.CalibrateShieldRSSI()
-	for i := 0; i < trials; i++ {
-		for _, enabled := range []bool{true, false} {
-			sc.NewTrial()
-			sc.Shield.AntidoteEnabled = enabled
-			sc.PrepareShield()
-			pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
-			if err != nil {
-				continue
-			}
-			sc.IMD.ProcessWindow(0, 12000)
-			out := pending.Collect()
-			if out.Response != nil {
-				if enabled {
-					res.DecodedWith++
-				} else {
-					res.DecodedWithout++
+	outs := runTrials(cfg, testbed.Options{Seed: cfg.seed("ablation-antidote")}, trials, calibrate,
+		func(_ int, sc *testbed.Scenario, _ struct{}) [2]bool {
+			var decoded [2]bool
+			for arm, enabled := range []bool{true, false} {
+				if arm > 0 {
+					sc.NewTrial()
 				}
+				sc.Shield.AntidoteEnabled = enabled
+				sc.PrepareShield()
+				pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
+				if err != nil {
+					continue
+				}
+				sc.IMD.ProcessWindow(0, 12000)
+				out := pending.Collect()
+				decoded[arm] = out.Response != nil
 			}
+			// The worker's scenario is reused for its next trial; leave the
+			// non-reseeded flag as a fresh build would have it.
+			sc.Shield.AntidoteEnabled = true
+			return decoded
+		})
+	for _, d := range outs {
+		if d[0] {
+			res.DecodedWith++
+		}
+		if d[1] {
+			res.DecodedWithout++
 		}
 	}
-	sc.Shield.AntidoteEnabled = true
 	return res
 }
 
@@ -70,34 +79,39 @@ type AblationDigitalResult struct {
 }
 
 // AblationDigitalCancel measures the benefit of digital cancellation at a
-// jamming level beyond the antenna antidote's comfortable budget.
+// jamming level beyond the antenna antidote's comfortable budget. The two
+// arms are separate scenario shapes sharing one seed (the paired
+// comparison the ablation wants); each arm's trials fan out keyed.
 func AblationDigitalCancel(cfg Config) AblationDigitalResult {
 	trials := cfg.trials(40, 12)
 	res := AblationDigitalResult{RelJamDB: 30, Trials: trials}
 	for _, digital := range []bool{false, true} {
-		sc := testbed.NewScenario(testbed.Options{
-			Seed:          cfg.Seed + 3100,
+		lost := runTrials(cfg, testbed.Options{
+			Seed:          cfg.seed("ablation-digital"),
 			JamPowerRelDB: res.RelJamDB,
 			DigitalCancel: digital,
-		})
-		sc.CalibrateShieldRSSI()
-		for i := 0; i < trials; i++ {
-			sc.NewTrial()
-			sc.PrepareShield()
-			pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
-			if err != nil {
-				continue
-			}
-			re := sc.IMD.ProcessWindow(0, 12000)
-			if !re.Responded {
-				continue
-			}
-			if out := pending.Collect(); out.Response == nil {
-				if digital {
-					res.LostDigital++
-				} else {
-					res.LostPlain++
+		}, trials, calibrate,
+			func(_ int, sc *testbed.Scenario, _ struct{}) bool {
+				sc.PrepareShield()
+				pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
+				if err != nil {
+					return false
 				}
+				re := sc.IMD.ProcessWindow(0, 12000)
+				if !re.Responded {
+					return false
+				}
+				out := pending.Collect()
+				return out.Response == nil
+			})
+		for _, l := range lost {
+			if !l {
+				continue
+			}
+			if digital {
+				res.LostDigital++
+			} else {
+				res.LostPlain++
 			}
 		}
 	}
@@ -139,34 +153,42 @@ func AblationBThresh(cfg Config) AblationBThreshResult {
 	var other [phy.SerialBytes]byte
 	copy(other[:], "QQQ7777777")
 
+	type obs struct {
+		detected bool
+		checked  bool
+		errors   int
+	}
+	type pairObs struct{ own, foreign obs }
+
 	// Weak-signal scenario: FCC adversary near the shield's detection
 	// floor (location 11) — the shield receives the command with
-	// occasional bit errors, the situation bthresh exists for.
-	sc := testbed.NewScenario(testbed.Options{Seed: cfg.Seed + 3200, Location: 11})
-	sc.CalibrateShieldRSSI()
-	adv := newActive(sc)
+	// occasional bit errors, the situation bthresh exists for. Each keyed
+	// trial observes one own-device and one other-device packet.
+	outs := runTrials(cfg, testbed.Options{Seed: cfg.seed("ablation-bthresh"), Location: 11}, trials,
+		calibrateActive,
+		func(_ int, sc *testbed.Scenario, adv *adversary.Active) pairObs {
+			var po pairObs
+			sc.PrepareShield()
+			b := adv.Replay(sc.Channel(), 800, sc.InterrogateFrame())
+			rep := sc.Shield.DefendWindow(0, int(b.End())+1500)
+			po.own = obs{rep.BurstDetected, rep.SidChecked, rep.SidErrors}
 
-	type obs struct {
-		checked bool
-		errors  int
-	}
+			sc.NewTrial()
+			sc.PrepareShield()
+			f := &phy.Frame{Serial: other, Command: phy.CmdInterrogate, Payload: testbed.CommandPayload()}
+			b = adv.Replay(sc.Channel(), 800, f)
+			rep = sc.Shield.DefendWindow(0, int(b.End())+1500)
+			po.foreign = obs{rep.BurstDetected, rep.SidChecked, rep.SidErrors}
+			return po
+		})
+
 	var own, foreign []obs
-	for i := 0; i < trials; i++ {
-		sc.NewTrial()
-		sc.PrepareShield()
-		b := adv.Replay(sc.Channel(), 800, sc.InterrogateFrame())
-		rep := sc.Shield.DefendWindow(0, int(b.End())+1500)
-		if rep.BurstDetected {
-			own = append(own, obs{rep.SidChecked, rep.SidErrors})
+	for _, po := range outs {
+		if po.own.detected {
+			own = append(own, po.own)
 		}
-
-		sc.NewTrial()
-		sc.PrepareShield()
-		f := &phy.Frame{Serial: other, Command: phy.CmdInterrogate, Payload: testbed.CommandPayload()}
-		b = adv.Replay(sc.Channel(), 800, f)
-		rep = sc.Shield.DefendWindow(0, int(b.End())+1500)
-		if rep.BurstDetected {
-			foreign = append(foreign, obs{rep.SidChecked, rep.SidErrors})
+		if po.foreign.detected {
+			foreign = append(foreign, po.foreign)
 		}
 	}
 

@@ -37,22 +37,23 @@ type BatteryResult struct {
 
 // Battery derives the energy analysis from simulated air times.
 func Battery(cfg Config) BatteryResult {
-	sc := testbed.NewScenario(testbed.Options{Seed: cfg.Seed + 4000})
-	sc.CalibrateShieldRSSI()
-	sc.NewTrial()
-	sc.PrepareShield()
-
-	// One proxied exchange: command air time + jammed response window.
-	pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
-	var jamSec float64
-	if err == nil {
-		sc.IMD.ProcessWindow(0, 12000)
-		out := pending.Collect()
-		if out.Jam != nil {
-			jamSec = sc.FSK.Config().Duration(int(out.Jam.End - out.Jam.Start))
-		}
-		jamSec += sc.FSK.Config().Duration(len(out.CommandBurst.IQ))
-	}
+	// One proxied exchange (a single keyed trial): command air time +
+	// jammed response window.
+	jamSec := runTrials(cfg, testbed.Options{Seed: cfg.seed("battery")}, 1, calibrate,
+		func(_ int, sc *testbed.Scenario, _ struct{}) float64 {
+			sc.PrepareShield()
+			pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
+			if err != nil {
+				return 0
+			}
+			sc.IMD.ProcessWindow(0, 12000)
+			out := pending.Collect()
+			var sec float64
+			if out.Jam != nil {
+				sec = sc.FSK.Config().Duration(int(out.Jam.End - out.Jam.Start))
+			}
+			return sec + sc.FSK.Config().Duration(len(out.CommandBurst.IQ))
+		})[0]
 
 	res := BatteryResult{
 		JamSecPerExchange: jamSec,

@@ -15,6 +15,7 @@ import (
 
 	"heartshield/internal/adversary"
 	"heartshield/internal/phy"
+	"heartshield/internal/stats"
 	"heartshield/internal/testbed"
 )
 
@@ -27,11 +28,13 @@ type Config struct {
 	Trials int
 	// Quick reduces trial counts for CI/bench runs.
 	Quick bool
-	// Workers bounds the number of concurrent scenario workers for the
-	// per-location/per-point experiments; 0 or 1 runs serially. Every work
-	// item owns its scenario and derives its RNG stream from the same seed
-	// arithmetic the serial loop uses, and results are merged in item
-	// order, so the output is byte-identical for any worker count.
+	// Workers bounds the number of concurrent scenario workers; 0 or 1
+	// runs serially. Every experiment — single-scenario trial loops and
+	// point sweeps alike — distributes keyed (point, trial) work items
+	// whose randomness is a pure function of the seed and the item index
+	// (see runSweep and testbed.Scenario.NewTrialAt), and results merge
+	// in item order, so the output is byte-identical for any worker
+	// count.
 	Workers int
 }
 
@@ -52,6 +55,138 @@ func (c Config) workers() int {
 		return c.Workers
 	}
 	return 1
+}
+
+// seed derives the scenario base seed for a named experiment (or a named
+// sub-part of one) from the run seed. Every experiment keys its scenarios
+// through here — label-hashed derivation instead of hand-picked numeric
+// offsets (the old cfg.Seed+7 / +100*loc style), so no registry reordering
+// or offset reuse can silently alias two experiments onto one stream.
+// Sweep experiments further derive per-point seeds with stats.TrialSeed on
+// the value returned here.
+func (c Config) seed(label string) int64 {
+	return stats.DeriveSeed(c.Seed, label)
+}
+
+// runSweep is the trial-parallel experiment engine. It evaluates perPoint
+// keyed trials at each of `points` sweep points (a point = one scenario
+// shape: a location, a power setting, …) and returns the results indexed
+// [point][trial].
+//
+// Work is distributed at trial granularity over cfg.workers() workers.
+// Each worker owns at most one scenario at a time, built with optsAt(p)
+// and prepared with prep (calibration, adversary construction); because a
+// worker's claimed work indices only increase, it crosses each point
+// boundary at most once, so at most points+workers-1 scenarios are built
+// in total. Before fn runs, the engine calls sc.NewTrialAt(trial), which
+// re-derives every random stream from (point seed, trial index) — so
+// fn(p, i) computes the same value on any worker, for any worker count,
+// in any execution order, and the assembled output is byte-identical to
+// the serial run. fn must confine itself to its own scenario and its
+// per-trial streams (no cross-trial state).
+func runSweep[S, T any](cfg Config, points, perPoint int,
+	optsAt func(point int) testbed.Options,
+	prep func(*testbed.Scenario) S,
+	fn func(point, trial int, sc *testbed.Scenario, st S) T) [][]T {
+
+	out := make([][]T, points)
+	for p := range out {
+		out[p] = make([]T, perPoint)
+	}
+	total := points * perPoint
+	if total == 0 {
+		return out
+	}
+
+	w := cfg.workers()
+	if w > total {
+		w = total
+	}
+	worker := func(claim func() int) {
+		lastP := -1
+		var sc *testbed.Scenario
+		var st S
+		var prepRSSI float64
+		var prepHaveRSSI bool
+		for {
+			j := claim()
+			if j >= total {
+				return
+			}
+			p, i := j/perPoint, j%perPoint
+			if p != lastP {
+				sc = testbed.NewScenario(optsAt(p))
+				if prep != nil {
+					st = prep(sc)
+				}
+				prepRSSI, prepHaveRSSI = sc.Shield.IMDRSSI()
+				lastP = p
+			}
+			sc.NewTrialAt(i)
+			// Pin the prep-time calibration state explicitly: NewTrialAt
+			// snapshots whatever the shield currently holds, so a trial
+			// body that measured or cleared the RSSI would otherwise leak
+			// it into whichever trial this worker runs next — a
+			// worker-count-dependent divergence. Re-imposing the prep
+			// state here makes the determinism structural.
+			if prepHaveRSSI {
+				sc.Shield.SetIMDRSSI(prepRSSI)
+			} else {
+				sc.Shield.ClearIMDRSSI()
+			}
+			out[p][i] = fn(p, i, sc, st)
+		}
+	}
+
+	if w <= 1 {
+		j := 0
+		worker(func() int { j++; return j - 1 })
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			worker(func() int { return int(next.Add(1)) - 1 })
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runTrials is runSweep for the single-scenario experiments: n keyed
+// trials of one scenario shape, fanned out over cfg.workers().
+func runTrials[S, T any](cfg Config, opts testbed.Options, n int,
+	prep func(*testbed.Scenario) S,
+	fn func(trial int, sc *testbed.Scenario, st S) T) []T {
+	out := runSweep(cfg, 1, n,
+		func(int) testbed.Options { return opts },
+		prep,
+		func(_, trial int, sc *testbed.Scenario, st S) T { return fn(trial, sc, st) })
+	return out[0]
+}
+
+// calibrate is the standard prep for experiments that only need the
+// shield's IMD-RSSI calibration.
+func calibrate(sc *testbed.Scenario) struct{} {
+	sc.CalibrateShieldRSSI()
+	return struct{}{}
+}
+
+// calibrateEaves preps a scenario for confidentiality measurements:
+// calibration plus the standard eavesdropper.
+func calibrateEaves(sc *testbed.Scenario) *adversary.Eavesdropper {
+	sc.CalibrateShieldRSSI()
+	return newEaves(sc)
+}
+
+// calibrateActive preps a scenario for attack trials: calibration plus
+// the standard active adversary.
+func calibrateActive(sc *testbed.Scenario) *adversary.Active {
+	sc.CalibrateShieldRSSI()
+	return newActive(sc)
 }
 
 // parallelMap runs fn(i) for i in [0, n) across w workers and returns the

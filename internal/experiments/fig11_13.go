@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"heartshield/internal/adversary"
+	"heartshield/internal/stats"
 	"heartshield/internal/testbed"
 )
 
@@ -24,47 +26,65 @@ type AttackResult struct {
 	HighPower bool
 }
 
+// attackTrial is one trial's paired off/on outcome.
+type attackTrial struct {
+	offOK, onOK, alarmed bool
+}
+
 // runAttackExperiment measures per-location success probabilities for a
-// replayed command with the shield off and on. Locations are independent
-// scenarios, so they fan out over cfg.Workers and merge in location order.
-func runAttackExperiment(cfg Config, title string, maker frameMaker, success func(activeTrialOutcome) bool, locations int, powerDBm float64) AttackResult {
+// replayed command with the shield off and on. Every (location, trial)
+// pair is an independent keyed work item (scenario seeds derive from the
+// experiment label and the location index), so the whole grid fans out
+// over cfg.Workers and merges in (location, trial) order.
+func runAttackExperiment(cfg Config, label, title string, maker frameMaker, success func(activeTrialOutcome) bool, locations int, powerDBm float64) AttackResult {
 	trials := cfg.trials(100, 12)
 	res := AttackResult{Title: title, HighPower: powerDBm > testbed.FCCLimitDBm}
-	res.Points = parallelMap(cfg.workers(), locations, func(li int) AttackPoint {
-		idx := li + 1
-		sc := testbed.NewScenario(testbed.Options{
-			Seed:              cfg.Seed + int64(100*idx),
-			Location:          idx,
-			AdversaryPowerDBm: powerDBm,
+	base := cfg.seed(label)
+	outs := runSweep(cfg, locations, trials,
+		func(p int) testbed.Options {
+			return testbed.Options{
+				Seed:              stats.TrialSeed(base, p),
+				Location:          p + 1,
+				AdversaryPowerDBm: powerDBm,
+			}
+		},
+		calibrateActive,
+		func(_, _ int, sc *testbed.Scenario, adv *adversary.Active) attackTrial {
+			var tr attackTrial
+			tr.offOK = success(runActiveTrial(sc, adv, maker, false))
+			out := runActiveTrial(sc, adv, maker, true)
+			tr.onOK = success(out)
+			tr.alarmed = out.Alarmed
+			return tr
 		})
-		sc.CalibrateShieldRSSI()
-		adv := newActive(sc)
-		pt := AttackPoint{Location: sc.Location, TrialsPerArm: trials}
+
+	res.Points = make([]AttackPoint, locations)
+	for li, ts := range outs {
+		pt := AttackPoint{Location: testbed.LocationByIndex(li + 1), TrialsPerArm: trials}
 		offOK, onOK, alarms := 0, 0, 0
-		for i := 0; i < trials; i++ {
-			if success(runActiveTrial(sc, adv, maker, false)) {
+		for _, tr := range ts {
+			if tr.offOK {
 				offOK++
 			}
-			out := runActiveTrial(sc, adv, maker, true)
-			if success(out) {
+			if tr.onOK {
 				onOK++
 			}
-			if out.Alarmed {
+			if tr.alarmed {
 				alarms++
 			}
 		}
 		pt.ProbOff = float64(offOK) / float64(trials)
 		pt.ProbOn = float64(onOK) / float64(trials)
 		pt.ProbAlarm = float64(alarms) / float64(trials)
-		return pt
-	})
+		res.Points[li] = pt
+	}
 	return res
 }
 
 // Fig11 reproduces the battery-depletion attack: an off-the-shelf
 // programmer replaying interrogation commands to make the IMD transmit.
 func Fig11(cfg Config) AttackResult {
-	return runAttackExperiment(cfg,
+	return runAttackExperiment(cfg, "fig11",
 		"Fig. 11 — probability the IMD replies to a replayed interrogation",
 		interrogateFrame,
 		func(o activeTrialOutcome) bool { return o.Responded },
@@ -73,7 +93,7 @@ func Fig11(cfg Config) AttackResult {
 
 // Fig12 reproduces the therapy-modification attack.
 func Fig12(cfg Config) AttackResult {
-	return runAttackExperiment(cfg,
+	return runAttackExperiment(cfg, "fig12",
 		"Fig. 12 — probability the IMD changes treatment on a replayed command",
 		therapyFrame,
 		func(o activeTrialOutcome) bool { return o.TherapyChanged },
@@ -83,7 +103,7 @@ func Fig12(cfg Config) AttackResult {
 // Fig13 reproduces the high-powered adversary experiment (100× the
 // shield's power), including the alarm series.
 func Fig13(cfg Config) AttackResult {
-	return runAttackExperiment(cfg,
+	return runAttackExperiment(cfg, "fig13",
 		"Fig. 13 — high-powered (100×) adversary: therapy change and alarms",
 		therapyFrame,
 		func(o activeTrialOutcome) bool { return o.TherapyChanged },

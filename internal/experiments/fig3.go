@@ -26,22 +26,33 @@ type Fig3Result struct {
 	T1Ms, T2Ms    float64
 }
 
-// Fig3 runs the response-timing experiment.
+// fig3Trial is one response-timing attempt: which arm it belongs to and
+// what the IMD did.
+type fig3Trial struct {
+	busy      bool
+	responded bool
+	delayMs   float64
+}
+
+// Fig3 runs the response-timing experiment. The idle and busy arms are
+// flattened into one keyed trial sequence (trials [0,n) idle, [n,2n)
+// busy), so both arms fan out over cfg.Workers deterministically.
 func Fig3(cfg Config) Fig3Result {
 	trials := cfg.trials(40, 10)
-	sc := testbed.NewScenario(testbed.Options{Seed: cfg.Seed + 3})
+	opts := testbed.Options{Seed: cfg.seed("fig3")}
+	profile := opts.Normalized().Profile
 	res := Fig3Result{
 		TrialsPerArm: trials,
-		T1Ms:         sc.IMD.Profile.T1 * 1e3,
-		T2Ms:         sc.IMD.Profile.T2 * 1e3,
+		T1Ms:         profile.T1 * 1e3,
+		T2Ms:         profile.T2 * 1e3,
 	}
-	fs := sc.FSK.Config().SampleRate
 
-	for _, busy := range []bool{false, true} {
-		for i := 0; i < trials; i++ {
-			sc.NewTrial()
+	outs := runTrials(cfg, opts, 2*trials, nil,
+		func(trial int, sc *testbed.Scenario, _ struct{}) fig3Trial {
+			tr := fig3Trial{busy: trial >= trials}
+			fs := sc.FSK.Config().SampleRate
 			b := sc.Prog.Transmit(sc.Channel(), 0, sc.InterrogateFrame())
-			if busy {
+			if tr.busy {
 				// A random transmission within 1 ms of the command's end,
 				// long enough to span the response window (Fig. 3b).
 				noise := sc.RNG.ComplexNormalVec(make([]complex128, 6000), 1e-5)
@@ -51,16 +62,22 @@ func Fig3(cfg Config) Fig3Result {
 				})
 			}
 			re := sc.IMD.ProcessWindow(0, int(b.End())+1500)
-			if !re.Responded {
-				continue
+			if re.Responded {
+				tr.responded = true
+				tr.delayMs = float64(re.ResponseBurst.Start-b.End()) / fs * 1e3
 			}
-			delay := float64(re.ResponseBurst.Start-b.End()) / fs * 1e3
-			if busy {
-				res.DelaysBusyMs = append(res.DelaysBusyMs, delay)
-				res.RespondedBusy++
-			} else {
-				res.DelaysIdleMs = append(res.DelaysIdleMs, delay)
-			}
+			return tr
+		})
+
+	for _, tr := range outs {
+		if !tr.responded {
+			continue
+		}
+		if tr.busy {
+			res.DelaysBusyMs = append(res.DelaysBusyMs, tr.delayMs)
+			res.RespondedBusy++
+		} else {
+			res.DelaysIdleMs = append(res.DelaysIdleMs, tr.delayMs)
 		}
 	}
 	return res

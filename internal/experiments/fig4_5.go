@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"heartshield/internal/adversary"
 	"heartshield/internal/dsp"
 	"heartshield/internal/modem"
 	"heartshield/internal/shieldcore"
@@ -57,7 +58,7 @@ type Fig4Result struct {
 
 // Fig4 measures the IMD transmission's power profile.
 func Fig4(cfg Config) Fig4Result {
-	sc := testbed.NewScenario(testbed.Options{Seed: cfg.Seed + 4})
+	sc := testbed.NewScenario(testbed.Options{Seed: cfg.seed("fig4")})
 	bits := sc.RNG.Bits(16384)
 	iq := sc.FSK.Modulate(bits)
 	s := spectrumOf("Virtuoso-style FSK", iq, sc.FSK.Config().SampleRate, 128)
@@ -106,11 +107,11 @@ func Fig5(cfg Config) Fig5Result {
 	res := Fig5Result{MarginalRelDB: -4}
 	fs := modem.DefaultFSK.SampleRate
 
-	sc := testbed.NewScenario(testbed.Options{Seed: cfg.Seed + 5})
+	sc := testbed.NewScenario(testbed.Options{Seed: cfg.seed("fig5")})
 	res.IMDProfile = spectrumOf("IMD FSK", sc.FSK.Modulate(sc.RNG.Bits(16384)), fs, 128)
 
-	shapedGen := shieldcore.NewJamGenerator(shieldcore.ShapedJam, modem.DefaultFSK, stats.NewRNG(cfg.Seed+51))
-	flatGen := shieldcore.NewJamGenerator(shieldcore.FlatJam, modem.DefaultFSK, stats.NewRNG(cfg.Seed+52))
+	shapedGen := shieldcore.NewJamGenerator(shieldcore.ShapedJam, modem.DefaultFSK, stats.NewRNG(cfg.seed("fig5-shaped")))
+	flatGen := shieldcore.NewJamGenerator(shieldcore.FlatJam, modem.DefaultFSK, stats.NewRNG(cfg.seed("fig5-flat")))
 	shapedIQ := shapedGen.Generate(1 << 16)
 	flatIQ := flatGen.Generate(1 << 16)
 	res.ShapedProfile = spectrumOf("shaped jam", shapedIQ, fs, 128)
@@ -127,42 +128,57 @@ func Fig5(cfg Config) Fig5Result {
 	// channel draw each trial, so shadowing does not confound the
 	// comparison.
 	trials := cfg.trials(12, 6)
-	res.BERShaped, res.BERFlat = pairedJammedBER(cfg.Seed+53, res.MarginalRelDB, trials)
+	res.BERShaped, res.BERFlat = pairedJammedBER(cfg, res.MarginalRelDB, trials)
 	return res
+}
+
+// pairedBERTrial is one trial's BER under each jam shape; the OK flags
+// report whether that shape's exchange completed.
+type pairedBERTrial struct {
+	shaped, flat     float64
+	shapedOK, flatOK bool
 }
 
 // pairedJammedBER measures the eavesdropper's mean BER under shaped and
 // flat jamming of identical total power, pairing the two measurements on
-// the same channel epoch every trial.
-func pairedJammedBER(seed int64, relDB float64, trials int) (shaped, flat float64) {
-	sc := testbed.NewScenario(testbed.Options{
-		Seed: seed, Location: 1, JamPowerRelDB: relDB,
-	})
-	sc.CalibrateShieldRSSI()
-	eaves := newEaves(sc)
+// the same keyed channel epoch every trial. Trials fan out over
+// cfg.Workers.
+func pairedJammedBER(cfg Config, relDB float64, trials int) (shaped, flat float64) {
+	outs := runTrials(cfg, testbed.Options{
+		Seed: cfg.seed("fig5-paired"), Location: 1, JamPowerRelDB: relDB,
+	}, trials, calibrateEaves,
+		func(_ int, sc *testbed.Scenario, eaves *adversary.Eavesdropper) pairedBERTrial {
+			var tr pairedBERTrial
+			for _, shape := range []shieldcore.JamShape{shieldcore.ShapedJam, shieldcore.FlatJam} {
+				sc.Medium.ClearBursts()
+				sc.Shield.SetJamShape(shape)
+				sc.PrepareShield()
+				pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
+				if err != nil {
+					continue
+				}
+				re := sc.IMD.ProcessWindow(0, 12000)
+				if !re.Responded {
+					continue
+				}
+				pending.Collect()
+				truth := re.Response.MarshalBits()
+				ber := eaves.InterceptBER(sc.Channel(), re.ResponseBurst.Start, truth)
+				if shape == shieldcore.ShapedJam {
+					tr.shaped, tr.shapedOK = ber, true
+				} else {
+					tr.flat, tr.flatOK = ber, true
+				}
+			}
+			return tr
+		})
 	var shapedBERs, flatBERs []float64
-	for i := 0; i < trials; i++ {
-		sc.NewTrial()
-		for _, shape := range []shieldcore.JamShape{shieldcore.ShapedJam, shieldcore.FlatJam} {
-			sc.Medium.ClearBursts()
-			sc.Shield.SetJamShape(shape)
-			sc.PrepareShield()
-			pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
-			if err != nil {
-				continue
-			}
-			re := sc.IMD.ProcessWindow(0, 12000)
-			if !re.Responded {
-				continue
-			}
-			pending.Collect()
-			truth := re.Response.MarshalBits()
-			ber := eaves.InterceptBER(sc.Channel(), re.ResponseBurst.Start, truth)
-			if shape == shieldcore.ShapedJam {
-				shapedBERs = append(shapedBERs, ber)
-			} else {
-				flatBERs = append(flatBERs, ber)
-			}
+	for _, tr := range outs {
+		if tr.shapedOK {
+			shapedBERs = append(shapedBERs, tr.shaped)
+		}
+		if tr.flatOK {
+			flatBERs = append(flatBERs, tr.flat)
 		}
 	}
 	return stats.Mean(shapedBERs), stats.Mean(flatBERs)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"heartshield/internal/adversary"
 	"heartshield/internal/phy"
 	"heartshield/internal/stats"
 	"heartshield/internal/testbed"
@@ -19,16 +20,17 @@ type Fig7Result struct {
 
 // Fig7 measures antenna cancellation over many independent trials, each
 // with fresh channel estimation followed by channel drift (100 kb of jam
-// with and without the antidote, per the paper's method).
+// with and without the antidote, per the paper's method). Trials are
+// keyed by index, so they fan out over cfg.Workers with byte-identical
+// results at any worker count.
 func Fig7(cfg Config) Fig7Result {
 	trials := cfg.trials(200, 40)
-	sc := testbed.NewScenario(testbed.Options{Seed: cfg.Seed + 7})
-	sc.CalibrateShieldRSSI()
-	var res Fig7Result
-	for i := 0; i < trials; i++ {
-		sc.NewTrial()
-		sc.PrepareShield()
-		res.CancellationsDB = append(res.CancellationsDB, sc.Shield.CancellationDB(8192))
+	res := Fig7Result{
+		CancellationsDB: runTrials(cfg, testbed.Options{Seed: cfg.seed("fig7")}, trials, calibrate,
+			func(_ int, sc *testbed.Scenario, _ struct{}) float64 {
+				sc.PrepareShield()
+				return sc.Shield.CancellationDB(8192)
+			}),
 	}
 	res.MeanDB = stats.Mean(res.CancellationsDB)
 	res.StdDB = stats.Std(res.CancellationsDB)
@@ -61,42 +63,60 @@ type Fig8Result struct {
 	Points []Fig8Point
 }
 
+// fig8Trial is one protected exchange's worth of Fig. 8 counters.
+type fig8Trial struct {
+	tried, lost bool
+	errs, bits  int
+}
+
 // Fig8 sweeps the shield's relative jamming power and measures the
 // eavesdropper BER and shield PER at each setting. The eavesdropper sits
-// at location 1 (20 cm), per §10.1(b). Sweep points are independent
-// scenarios, so they fan out over cfg.Workers and merge in sweep order.
+// at location 1 (20 cm), per §10.1(b). Every (sweep point, trial) pair is
+// an independent keyed work item, so the whole sweep fans out over
+// cfg.Workers and merges in (point, trial) order.
 func Fig8(cfg Config) Fig8Result {
 	perPoint := cfg.trials(60, 12)
 	rels := []float64{1, 5, 10, 15, 20, 25}
-	points := parallelMap(cfg.workers(), len(rels), func(ri int) Fig8Point {
-		rel := rels[ri]
-		sc := testbed.NewScenario(testbed.Options{
-			Seed: cfg.Seed + 8 + int64(rel*10), Location: 1, JamPowerRelDB: rel,
-		})
-		sc.CalibrateShieldRSSI()
-		eaves := newEaves(sc)
-		pt := Fig8Point{RelJamDB: rel}
-		for i := 0; i < perPoint; i++ {
-			sc.NewTrial()
+	base := cfg.seed("fig8")
+	outs := runSweep(cfg, len(rels), perPoint,
+		func(p int) testbed.Options {
+			return testbed.Options{
+				Seed: stats.TrialSeed(base, p), Location: 1, JamPowerRelDB: rels[p],
+			}
+		},
+		calibrateEaves,
+		func(_, _ int, sc *testbed.Scenario, eaves *adversary.Eavesdropper) fig8Trial {
+			var tr fig8Trial
 			sc.PrepareShield()
 			pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
 			if err != nil {
-				continue
+				return tr
 			}
 			re := sc.IMD.ProcessWindow(0, 12000)
 			if !re.Responded {
-				continue
+				return tr
 			}
 			result := pending.Collect()
-			pt.PacketsTried++
-			if result.Response == nil {
-				pt.PacketsLost++
-			}
+			tr.tried = true
+			tr.lost = result.Response == nil
 			truth := re.Response.MarshalBits()
 			got := eaves.InterceptBits(sc.Channel(), re.ResponseBurst.Start, len(truth))
-			errs, n := phy.CountBitErrors(got, truth)
-			pt.BitErrorsSeen += errs
-			pt.BitsCompared += n
+			tr.errs, tr.bits = phy.CountBitErrors(got, truth)
+			return tr
+		})
+
+	res := Fig8Result{Points: make([]Fig8Point, len(rels))}
+	for p, trials := range outs {
+		pt := Fig8Point{RelJamDB: rels[p]}
+		for _, tr := range trials {
+			if tr.tried {
+				pt.PacketsTried++
+				if tr.lost {
+					pt.PacketsLost++
+				}
+			}
+			pt.BitErrorsSeen += tr.errs
+			pt.BitsCompared += tr.bits
 		}
 		if pt.BitsCompared > 0 {
 			pt.EavesBER = float64(pt.BitErrorsSeen) / float64(pt.BitsCompared)
@@ -104,9 +124,9 @@ func Fig8(cfg Config) Fig8Result {
 		if pt.PacketsTried > 0 {
 			pt.ShieldPER = float64(pt.PacketsLost) / float64(pt.PacketsTried)
 		}
-		return pt
-	})
-	return Fig8Result{Points: points}
+		res.Points[p] = pt
+	}
+	return res
 }
 
 // Render prints the Fig. 8 sweep rows.

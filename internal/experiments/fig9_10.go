@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"heartshield/internal/adversary"
 	"heartshield/internal/stats"
 	"heartshield/internal/testbed"
 )
@@ -23,49 +24,46 @@ type Fig9_10Result struct {
 	Packets  int
 }
 
-// fig9LocOutcome is one location's worth of trials, produced by a worker
-// and merged in location order.
-type fig9LocOutcome struct {
-	bers        []float64 // per-packet eavesdropper BERs, in trial order
-	lost, tried int
+// fig9Trial is one protected exchange's confidentiality outcome.
+type fig9Trial struct {
+	tried, lost bool
+	ber         float64
 }
 
 // Fig9And10 runs the confidentiality experiment: at every location the
 // shield triggers IMD transmissions, jams them, and decodes them, while
-// the eavesdropper attempts the same with an optimal decoder. Locations
-// are independent scenarios (each seeded from cfg.Seed and its index), so
-// they fan out over cfg.Workers and merge deterministically.
+// the eavesdropper attempts the same with an optimal decoder. Every
+// (location, trial) pair is an independent keyed work item, so the whole
+// experiment fans out over cfg.Workers and merges deterministically in
+// (location, trial) order.
 func Fig9And10(cfg Config) Fig9_10Result {
 	perLoc := cfg.trials(100, 8)
-	outs := parallelMap(cfg.workers(), len(testbed.Locations), func(li int) fig9LocOutcome {
-		loc := testbed.Locations[li]
-		sc := testbed.NewScenario(testbed.Options{
-			Seed: cfg.Seed + 9 + int64(loc.Index), Location: loc.Index,
-		})
-		sc.CalibrateShieldRSSI()
-		eaves := newEaves(sc)
-		var out fig9LocOutcome
-		for i := 0; i < perLoc; i++ {
-			sc.NewTrial()
+	base := cfg.seed("fig9")
+	outs := runSweep(cfg, len(testbed.Locations), perLoc,
+		func(p int) testbed.Options {
+			return testbed.Options{
+				Seed: stats.TrialSeed(base, p), Location: testbed.Locations[p].Index,
+			}
+		},
+		calibrateEaves,
+		func(_, _ int, sc *testbed.Scenario, eaves *adversary.Eavesdropper) fig9Trial {
+			var tr fig9Trial
 			sc.PrepareShield()
 			pending, err := sc.Shield.PlaceCommand(sc.InterrogateFrame(), 0)
 			if err != nil {
-				continue
+				return tr
 			}
 			re := sc.IMD.ProcessWindow(0, 12000)
 			if !re.Responded {
-				continue
+				return tr
 			}
 			result := pending.Collect()
-			out.tried++
-			if result.Response == nil {
-				out.lost++
-			}
+			tr.tried = true
+			tr.lost = result.Response == nil
 			truth := re.Response.MarshalBits()
-			out.bers = append(out.bers, eaves.InterceptBER(sc.Channel(), re.ResponseBurst.Start, truth))
-		}
-		return out
-	})
+			tr.ber = eaves.InterceptBER(sc.Channel(), re.ResponseBurst.Start, truth)
+			return tr
+		})
 
 	res := Fig9_10Result{
 		PerLocationBER: make(map[int]float64),
@@ -73,17 +71,27 @@ func Fig9And10(cfg Config) Fig9_10Result {
 		LossCDF:        &stats.CDF{},
 	}
 	totalLost, totalTried := 0, 0
-	for li, out := range outs {
+	for li, trials := range outs {
 		loc := testbed.Locations[li]
-		for _, ber := range out.bers {
-			res.BERCDF.Add(ber)
+		var bers []float64
+		lost, tried := 0, 0
+		for _, tr := range trials {
+			if !tr.tried {
+				continue
+			}
+			tried++
+			if tr.lost {
+				lost++
+			}
+			bers = append(bers, tr.ber)
+			res.BERCDF.Add(tr.ber)
 		}
-		res.PerLocationBER[loc.Index] = stats.Mean(out.bers)
-		if out.tried > 0 {
-			res.LossCDF.Add(float64(out.lost) / float64(out.tried))
+		res.PerLocationBER[loc.Index] = stats.Mean(bers)
+		if tried > 0 {
+			res.LossCDF.Add(float64(lost) / float64(tried))
 		}
-		totalLost += out.lost
-		totalTried += out.tried
+		totalLost += lost
+		totalTried += tried
 	}
 	if totalTried > 0 {
 		res.MeanLoss = float64(totalLost) / float64(totalTried)

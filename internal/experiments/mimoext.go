@@ -19,11 +19,16 @@ type MIMOExtensionResult struct {
 }
 
 // MIMOExtension sweeps the IMD↔jammer separation against the strongest
-// (genie-channel) zero-forcing eavesdropper.
+// (genie-channel) zero-forcing eavesdropper. Each separation draws from
+// its keyed stream (SplitN of the experiment seed), so the sweep fans out
+// over cfg.Workers deterministically.
 func MIMOExtension(cfg Config) MIMOExtensionResult {
-	rng := stats.NewRNG(cfg.Seed + 6000)
+	rng := stats.NewRNG(cfg.seed("mimo"))
 	seps := []float64{0.02, 0.05, 0.10, 0.20, mimo.Wavelength / 2, mimo.Wavelength}
-	return MIMOExtensionResult{Points: mimo.Sweep(seps, rng)}
+	points := parallelMap(cfg.workers(), len(seps), func(i int) mimo.Result {
+		return mimo.EvaluateSeparation(seps[i], rng.SplitN(i))
+	})
+	return MIMOExtensionResult{Points: points}
 }
 
 // Render prints the separation sweep.

@@ -18,17 +18,26 @@ type OFDMExtensionResult struct {
 	MultiOFDMDB       []float64 // per-subcarrier antidote, two-tap coupling
 }
 
+// ofdmTrial is one trial's cancellation triple.
+type ofdmTrial struct {
+	flatNarrow, multiNarrow, multiOFDM float64
+}
+
 // OFDMExtension measures cancellation for both antidote strategies on
-// flat and frequency-selective coupling channels.
+// flat and frequency-selective coupling channels. Trials draw from keyed
+// per-trial streams (SplitN of the experiment seed), so they fan out over
+// cfg.Workers deterministically.
 func OFDMExtension(cfg Config) OFDMExtensionResult {
 	trials := cfg.trials(30, 8)
 	res := OFDMExtensionResult{Trials: trials}
-	rng := stats.NewRNG(cfg.Seed + 5000)
-	for i := 0; i < trials; i++ {
+	base := stats.NewRNG(cfg.seed("ofdm"))
+	outs := parallelMap(cfg.workers(), trials, func(i int) ofdmTrial {
+		rng := base.SplitN(i)
 		direct := complex(0.17, 0) * rng.UnitPhasor()
 		echo := complex(0.08, 0) * rng.UnitPhasor()
 		selfTap := complex(0.79, 0) * rng.UnitPhasor()
 
+		var tr ofdmTrial
 		flat := &ofdm.JammerCumReceiver{
 			Modem:    ofdm.NewModem(ofdm.DefaultConfig),
 			HJamToRx: ofdm.Channel{Taps: []complex128{direct}},
@@ -36,8 +45,7 @@ func OFDMExtension(cfg Config) OFDMExtensionResult {
 			RNG:      rng.Split(),
 			NoiseVar: 1e-7,
 		}
-		fr := flat.Compare(16)
-		res.FlatNarrowbandDB = append(res.FlatNarrowbandDB, fr.NarrowbandDB)
+		tr.flatNarrow = flat.Compare(16).NarrowbandDB
 
 		multi := &ofdm.JammerCumReceiver{
 			Modem:    ofdm.NewModem(ofdm.DefaultConfig),
@@ -47,8 +55,14 @@ func OFDMExtension(cfg Config) OFDMExtensionResult {
 			NoiseVar: 1e-7,
 		}
 		mr := multi.Compare(16)
-		res.MultiNarrowbandDB = append(res.MultiNarrowbandDB, mr.NarrowbandDB)
-		res.MultiOFDMDB = append(res.MultiOFDMDB, mr.PerSubcarrierDB)
+		tr.multiNarrow = mr.NarrowbandDB
+		tr.multiOFDM = mr.PerSubcarrierDB
+		return tr
+	})
+	for _, tr := range outs {
+		res.FlatNarrowbandDB = append(res.FlatNarrowbandDB, tr.flatNarrow)
+		res.MultiNarrowbandDB = append(res.MultiNarrowbandDB, tr.multiNarrow)
+		res.MultiOFDMDB = append(res.MultiOFDMDB, tr.multiOFDM)
 	}
 	return res
 }

@@ -5,55 +5,85 @@ import (
 	"testing"
 )
 
-// The parallel runner's contract: for a fixed seed, any worker count
-// produces byte-identical Render output to the serial run, because every
-// work item owns its scenario (seeded by index) and results merge in item
-// order. Worker counts above GOMAXPROCS are included so the test
-// exercises real goroutine interleaving even on a single-CPU machine.
+// The trial-parallel runner's contract: for a fixed seed, any worker
+// count produces byte-identical Render output to the serial run, because
+// every (point, trial) work item re-derives its randomness from a keyed
+// seed and results merge in item order. The fixed counts {3, 8} exercise
+// uneven work splits and more workers than sweep points; NumCPU is added
+// so the test sees real goroutine interleaving on multi-core machines.
 func workerCounts() []int {
-	w := []int{4, 7}
+	w := []int{3, 8}
 	if n := runtime.NumCPU(); n > 1 {
 		w = append(w, n)
 	}
 	return w
 }
 
-func TestFig9And10ParallelEquivalence(t *testing.T) {
-	serial := Fig9And10(Config{Seed: 42, Trials: 2, Workers: 1}).Render()
+// checkWorkerInvariance renders the experiment serially and at each
+// worker count and fails on any byte difference.
+func checkWorkerInvariance(t *testing.T, name string, run func(Config) Renderer, cfg Config) {
+	t.Helper()
+	cfg.Workers = 1
+	serial := run(cfg).Render()
 	for _, w := range workerCounts() {
-		got := Fig9And10(Config{Seed: 42, Trials: 2, Workers: w}).Render()
-		if got != serial {
-			t.Fatalf("Fig9And10 with %d workers diverges from serial output:\n--- serial ---\n%s\n--- workers=%d ---\n%s", w, serial, w, got)
+		wc := cfg
+		wc.Workers = w
+		if got := run(wc).Render(); got != serial {
+			t.Fatalf("%s with %d workers diverges from serial output:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				name, w, serial, w, got)
 		}
 	}
+}
+
+// Single-scenario trial loops — the experiments this PR made
+// trial-parallel via keyed NewTrialAt reseeds.
+
+func TestFig3ParallelEquivalence(t *testing.T) {
+	checkWorkerInvariance(t, "Fig3", func(c Config) Renderer { return Fig3(c) }, Config{Seed: 42, Trials: 4})
+}
+
+func TestFig7ParallelEquivalence(t *testing.T) {
+	checkWorkerInvariance(t, "Fig7", func(c Config) Renderer { return Fig7(c) }, Config{Seed: 42, Trials: 6})
+}
+
+func TestTable2ParallelEquivalence(t *testing.T) {
+	checkWorkerInvariance(t, "Table2", func(c Config) Renderer { return Table2(c) }, Config{Seed: 42, Trials: 4})
+}
+
+func TestAblationAntidoteParallelEquivalence(t *testing.T) {
+	checkWorkerInvariance(t, "AblationAntidote", func(c Config) Renderer { return AblationAntidote(c) }, Config{Seed: 42, Trials: 4})
+}
+
+func TestAblationBThreshParallelEquivalence(t *testing.T) {
+	checkWorkerInvariance(t, "AblationBThresh", func(c Config) Renderer { return AblationBThresh(c) }, Config{Seed: 42, Trials: 4})
+}
+
+func TestProbeStalenessParallelEquivalence(t *testing.T) {
+	checkWorkerInvariance(t, "ProbeStaleness", func(c Config) Renderer { return ProbeStaleness(c) }, Config{Seed: 42, Trials: 3})
+}
+
+func TestOFDMExtensionParallelEquivalence(t *testing.T) {
+	checkWorkerInvariance(t, "OFDMExtension", func(c Config) Renderer { return OFDMExtension(c) }, Config{Seed: 42, Trials: 5})
+}
+
+func TestMIMOExtensionParallelEquivalence(t *testing.T) {
+	checkWorkerInvariance(t, "MIMOExtension", func(c Config) Renderer { return MIMOExtension(c) }, Config{Seed: 42})
+}
+
+// Sweep experiments — (point, trial) work grids.
+
+func TestFig8ParallelEquivalence(t *testing.T) {
+	checkWorkerInvariance(t, "Fig8", func(c Config) Renderer { return Fig8(c) }, Config{Seed: 42, Trials: 3})
+}
+
+func TestFig9And10ParallelEquivalence(t *testing.T) {
+	checkWorkerInvariance(t, "Fig9And10", func(c Config) Renderer { return Fig9And10(c) }, Config{Seed: 42, Trials: 2})
 }
 
 func TestFig11ParallelEquivalence(t *testing.T) {
-	serial := Fig11(Config{Seed: 42, Trials: 3, Workers: 1}).Render()
-	for _, w := range workerCounts() {
-		got := Fig11(Config{Seed: 42, Trials: 3, Workers: w}).Render()
-		if got != serial {
-			t.Fatalf("Fig11 with %d workers diverges from serial output", w)
-		}
-	}
+	checkWorkerInvariance(t, "Fig11", func(c Config) Renderer { return Fig11(c) }, Config{Seed: 42, Trials: 3})
 }
 
 func TestTable1ParallelEquivalence(t *testing.T) {
-	serial := Table1(Config{Seed: 42, Trials: 3, Workers: 1}).Render()
-	for _, w := range workerCounts() {
-		got := Table1(Config{Seed: 42, Trials: 3, Workers: w}).Render()
-		if got != serial {
-			t.Fatalf("Table1 with %d workers diverges from serial output", w)
-		}
-	}
-}
-
-func TestFig8ParallelEquivalence(t *testing.T) {
-	serial := Fig8(Config{Seed: 42, Trials: 3, Workers: 1}).Render()
-	for _, w := range workerCounts() {
-		got := Fig8(Config{Seed: 42, Trials: 3, Workers: w}).Render()
-		if got != serial {
-			t.Fatalf("Fig8 with %d workers diverges from serial output", w)
-		}
-	}
+	checkWorkerInvariance(t, "Table1", func(c Config) Renderer { return Table1(c) }, Config{Seed: 42, Trials: 3})
 }

@@ -26,24 +26,30 @@ type ProbeStalenessPoint struct {
 }
 
 // ProbeStaleness sweeps the number of channel-drift steps between the
-// shield's estimate and its use of the antidote.
+// shield's estimate and its use of the antidote. The staleness levels and
+// their trials flatten into one keyed trial grid that fans out over
+// cfg.Workers; every level shares the same scenario seed, so trial i sees
+// the same estimate and the same drift-path prefix at every level — a
+// paired comparison in which only the staleness differs.
 func ProbeStaleness(cfg Config) ProbeStalenessResult {
 	trials := cfg.trials(60, 15)
-	var res ProbeStalenessResult
-	sc := testbed.NewScenario(testbed.Options{Seed: cfg.Seed + 7000})
-	sc.CalibrateShieldRSSI()
-	for _, steps := range []int{1, 2, 4, 8, 16} {
-		var g []float64
-		for i := 0; i < trials; i++ {
-			sc.NewTrial()
+	stepsList := []int{1, 2, 4, 8, 16}
+	opts := testbed.Options{Seed: cfg.seed("ablation-probe")}
+	outs := runSweep(cfg, len(stepsList), trials,
+		func(int) testbed.Options { return opts },
+		calibrate,
+		func(point, _ int, sc *testbed.Scenario, _ struct{}) float64 {
 			sc.Shield.EstimateChannels()
-			for k := 0; k < steps; k++ {
+			for k := 0; k < stepsList[point]; k++ {
 				sc.Medium.Perturb()
 			}
-			g = append(g, sc.Shield.CancellationDB(4096))
-		}
+			return sc.Shield.CancellationDB(4096)
+		})
+
+	var res ProbeStalenessResult
+	for p, g := range outs {
 		res.Points = append(res.Points, ProbeStalenessPoint{
-			DriftSteps: steps,
+			DriftSteps: stepsList[p],
 			MeanDB:     stats.Mean(g),
 			P10DB:      stats.Percentile(g, 10),
 		})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"heartshield/internal/adversary"
 	"heartshield/internal/stats"
 	"heartshield/internal/testbed"
 )
@@ -24,46 +25,44 @@ type Table1Result struct {
 	Attempts   int
 }
 
-// table1Point is one power setting's worth of trials, merged in sweep
-// order.
-type table1Point struct {
-	successRSSIs []float64
-	attempts     int
+// table1Trial is one jammed attempt's outcome at one power setting.
+type table1Trial struct {
+	responded bool
+	rssi      float64
 }
 
 // Table1 sweeps the adversary's transmit power at location 1 with the
 // shield jamming, and records the RSSI of every attempt that still
-// triggered the IMD. Power points are independent scenarios, so they fan
-// out over cfg.Workers and merge in sweep order.
+// triggered the IMD. Every (power point, trial) pair is an independent
+// keyed work item, fanned out over cfg.Workers and merged in sweep order.
 func Table1(cfg Config) Table1Result {
 	perPower := cfg.trials(20, 5)
 	var powers []float64
 	for power := -12.0; power <= 16.0; power += 2 {
 		powers = append(powers, power)
 	}
-	outs := parallelMap(cfg.workers(), len(powers), func(pi int) table1Point {
-		power := powers[pi]
-		sc := testbed.NewScenario(testbed.Options{
-			Seed:              cfg.Seed + 1000 + int64(power*10),
-			Location:          1,
-			AdversaryPowerDBm: power,
-		})
-		sc.CalibrateShieldRSSI()
-		adv := newActive(sc)
-		var pt table1Point
-		for i := 0; i < perPower; i++ {
+	base := cfg.seed("table1")
+	outs := runSweep(cfg, len(powers), perPower,
+		func(p int) testbed.Options {
+			return testbed.Options{
+				Seed:              stats.TrialSeed(base, p),
+				Location:          1,
+				AdversaryPowerDBm: powers[p],
+			}
+		},
+		calibrateActive,
+		func(_, _ int, sc *testbed.Scenario, adv *adversary.Active) table1Trial {
 			out := runActiveTrial(sc, adv, interrogateFrame, true)
-			pt.attempts++
-			if out.Responded {
-				pt.successRSSIs = append(pt.successRSSIs, out.RSSIAtShield)
+			return table1Trial{responded: out.Responded, rssi: out.RSSIAtShield}
+		})
+	var res Table1Result
+	for _, trials := range outs {
+		for _, tr := range trials {
+			res.Attempts++
+			if tr.responded {
+				res.SuccessRSSIs = append(res.SuccessRSSIs, tr.rssi)
 			}
 		}
-		return pt
-	})
-	var res Table1Result
-	for _, pt := range outs {
-		res.Attempts += pt.attempts
-		res.SuccessRSSIs = append(res.SuccessRSSIs, pt.successRSSIs...)
 	}
 	if len(res.SuccessRSSIs) > 0 {
 		res.MinDBm = stats.Min(res.SuccessRSSIs)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"heartshield/internal/adversary"
 	"heartshield/internal/channel"
 	"heartshield/internal/modem"
 	"heartshield/internal/stats"
@@ -26,59 +27,89 @@ type Table2Result struct {
 	TurnaroundStdUs  float64
 }
 
+// table2Prep is the per-scenario coexistence cast: the radiosonde modem
+// and antenna plus the replaying adversary.
+type table2Prep struct {
+	gmsk     *modem.GMSK
+	sondeAnt channel.AntennaID
+	adv      *adversary.Active
+}
+
+// table2Trial is one alternation of cross-traffic and IMD-addressed
+// packets.
+type table2Trial struct {
+	crossJammed  bool
+	imdDetected  bool
+	imdJammed    bool
+	turnaroundUs float64 // valid when imdJammed and > 0
+}
+
 // Table2 alternates radiosonde cross-traffic and IMD-addressed commands
 // and logs the shield's jam decisions. The command source sits at
 // location 1, close enough that the shield can hear the transmission end
 // through its own jam residual — the regime whose turn-around the paper
 // measures (weaker adversaries get the conservative max-packet backstop
-// instead).
+// instead). Trials are keyed, so they fan out over cfg.Workers; the
+// radiosonde antenna is installed identically on every worker's clone
+// before its first trial, keeping the per-trial link replay exact.
 func Table2(cfg Config) Table2Result {
 	trials := cfg.trials(60, 12)
-	sc := testbed.NewScenario(testbed.Options{Seed: cfg.Seed + 2000, Location: 1})
-	sc.CalibrateShieldRSSI()
-	adv := newActive(sc)
+	outs := runTrials(cfg, testbed.Options{Seed: cfg.seed("table2"), Location: 1}, trials,
+		func(sc *testbed.Scenario) table2Prep {
+			sc.CalibrateShieldRSSI()
+			p := table2Prep{adv: newActive(sc)}
+			// The radiosonde transmits GMSK at FCC power from its own
+			// antenna 3 m away (Vaisala RS92-AGP stand-in).
+			p.gmsk = modem.NewGMSK(modem.GMSKConfig{
+				SampleRate: sc.FSK.Config().SampleRate,
+				SymbolRate: 4800,
+				BT:         0.5,
+			})
+			p.sondeAnt = sc.NewAntennaAt(3.0, 0, 2)
+			return p
+		},
+		func(_ int, sc *testbed.Scenario, p table2Prep) table2Trial {
+			var tr table2Trial
+			// Cross-traffic packet. (The same power class as the
+			// adversary's chain; reuse its parameters.)
+			sc.PrepareShield()
+			sondeIQ := sc.AdvTX.TransmitAt(p.gmsk.Modulate(sc.RNG.Bits(240)), testbed.FCCLimitDBm)
+			sb := &channel.Burst{Channel: sc.Channel(), Start: 800, IQ: sondeIQ, From: p.sondeAnt}
+			sc.Medium.AddBurst(sb)
+			rep := sc.Shield.DefendWindow(0, int(sb.End())+2000)
+			tr.crossJammed = rep.Jammed
 
-	// The radiosonde transmits GMSK at FCC power from its own antenna 3 m
-	// away (Vaisala RS92-AGP stand-in).
-	gmsk := modem.NewGMSK(modem.GMSKConfig{
-		SampleRate: sc.FSK.Config().SampleRate,
-		SymbolRate: 4800,
-		BT:         0.5,
-	})
-	sondeAnt := sc.NewAntennaAt(3.0, 0, 2)
-	sondeTX := sc.AdvTX // same power class; reuse the chain parameters
+			// IMD-addressed packet.
+			sc.NewTrial()
+			sc.PrepareShield()
+			ab := p.adv.Replay(sc.Channel(), 800, sc.InterrogateFrame())
+			rep = sc.Shield.DefendWindow(0, int(ab.End())+4000)
+			tr.imdDetected = rep.BurstDetected && rep.Matched
+			if rep.Jammed {
+				tr.imdJammed = true
+				// Turn-around: how long the jamming continued past the
+				// end of the adversary's transmission.
+				if over := rep.JamEnd - ab.End(); over > 0 {
+					tr.turnaroundUs = float64(over) / sc.FSK.Config().SampleRate * 1e6
+				}
+			}
+			return tr
+		})
 
 	var res Table2Result
-	for i := 0; i < trials; i++ {
-		// Cross-traffic packet.
-		sc.NewTrial()
-		sc.PrepareShield()
-		sondeIQ := sondeTX.TransmitAt(gmsk.Modulate(sc.RNG.Bits(240)), testbed.FCCLimitDBm)
-		sb := &channel.Burst{Channel: sc.Channel(), Start: 800, IQ: sondeIQ, From: sondeAnt}
-		sc.Medium.AddBurst(sb)
-		rep := sc.Shield.DefendWindow(0, int(sb.End())+2000)
+	for _, tr := range outs {
 		res.CrossPackets++
-		if rep.Jammed {
+		if tr.crossJammed {
 			res.CrossJammed++
 		}
-
-		// IMD-addressed packet.
-		sc.NewTrial()
-		sc.PrepareShield()
-		ab := adv.Replay(sc.Channel(), 800, sc.InterrogateFrame())
-		rep = sc.Shield.DefendWindow(0, int(ab.End())+4000)
 		res.IMDPackets++
-		if rep.BurstDetected && rep.Matched {
+		if tr.imdDetected {
 			res.IMDDetected++
 		}
-		if rep.Jammed {
+		if tr.imdJammed {
 			res.IMDJammed++
-			// Turn-around: how long the jamming continued past the end of
-			// the adversary's transmission.
-			over := rep.JamEnd - ab.End()
-			if over > 0 {
-				res.TurnaroundUs = append(res.TurnaroundUs,
-					float64(over)/sc.FSK.Config().SampleRate*1e6)
+			if tr.turnaroundUs > 0 {
+				res.TurnaroundUs = append(res.TurnaroundUs, tr.turnaroundUs)
 			}
 		}
 	}

@@ -96,6 +96,9 @@ type Device struct {
 
 	therapy TherapyParams
 	rng     *stats.RNG
+	// obsScratch backs ProcessWindow's observation (the buffer-reuse
+	// contract with Medium.ObserveInto); the device is single-goroutine.
+	obsScratch []complex128
 
 	// Counters for battery/energy accounting and experiment bookkeeping.
 	txSamples   int64
@@ -173,7 +176,8 @@ type Reaction struct {
 // response burst is added to the medium and returned in the Reaction.
 func (d *Device) ProcessWindow(start int64, n int) Reaction {
 	var re Reaction
-	obs := d.RX.Process(d.Medium.Observe(d.Antenna, d.Channel, start, n))
+	d.obsScratch = d.Medium.ObserveInto(d.obsScratch, d.Antenna, d.Channel, start, n)
+	obs := d.RX.ProcessInPlace(d.obsScratch)
 	rx, ok := d.Modem.ReceiveFrame(obs, SyncThreshold)
 	if !ok {
 		return re

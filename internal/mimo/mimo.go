@@ -174,10 +174,19 @@ func magSq(c complex128) float64 { return real(c)*real(c) + imag(c)*imag(c) }
 // which is why the shield must be worn directly over the implant.
 func Sweep(separations []float64, rng *stats.RNG) []Result {
 	out := make([]Result, 0, len(separations))
-	for _, sep := range separations {
-		cfg := DefaultConfig()
-		cfg.ShieldSeparation = sep
-		out = append(out, Evaluate(cfg, rng.Split()))
+	for i, sep := range separations {
+		// Keyed per-separation streams: sweep point i draws the same
+		// randomness whether the sweep runs serially or fanned out.
+		out = append(out, EvaluateSeparation(sep, rng.SplitN(i)))
 	}
 	return out
+}
+
+// EvaluateSeparation evaluates the default geometry at one IMD↔jammer
+// separation — the per-point body Sweep and any parallel sweep share, so
+// the two cannot drift apart.
+func EvaluateSeparation(sep float64, rng *stats.RNG) Result {
+	cfg := DefaultConfig()
+	cfg.ShieldSeparation = sep
+	return Evaluate(cfg, rng)
 }

@@ -107,7 +107,16 @@ const DefaultOverloadMarginDB = 12
 // CFO-rotated, with thermal noise, overload distortion, and ADC
 // quantization applied. The input is not modified.
 func (r *RXChain) Process(iq []complex128) []complex128 {
-	out := dsp.Clone(iq)
+	return r.ProcessInPlace(dsp.Clone(iq))
+}
+
+// ProcessInPlace applies the front end directly to iq and returns it —
+// the buffer-reuse half of the receive contract: callers that own their
+// observation buffer (everything that observes the medium through
+// ObserveInto) chain it through the front end without a copy. The noise,
+// distortion, and quantization draws are identical to Process's.
+func (r *RXChain) ProcessInPlace(iq []complex128) []complex128 {
+	out := iq
 	if r.CFOHz != 0 {
 		dsp.Mix(out, -r.CFOHz, r.SampleRate, 0)
 	}

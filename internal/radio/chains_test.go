@@ -192,3 +192,40 @@ func TestRSSIdBm(t *testing.T) {
 		t.Fatalf("RSSI = %g, want -40", got)
 	}
 }
+
+// ProcessInPlace must draw the same noise stream as Process and must not
+// allocate — the receive-path buffer-reuse contract.
+func TestProcessInPlaceMatchesProcess(t *testing.T) {
+	mk := func(seed int64) *RXChain {
+		return &RXChain{
+			NoiseFloorDBm: -100, ChannelBW: 300e3, SampleRate: 600e3,
+			OverloadDBm: -20, RNG: stats.NewRNG(seed),
+		}
+	}
+	iq := unitTone(2048)
+	a := mk(7).Process(iq)
+	inPlace := dsp.Clone(iq)
+	b := mk(7).ProcessInPlace(inPlace)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d: ProcessInPlace %v != Process %v", i, b[i], a[i])
+		}
+	}
+	if &b[0] != &inPlace[0] {
+		t.Fatal("ProcessInPlace must return its input buffer")
+	}
+}
+
+func TestProcessInPlaceDoesNotAllocate(t *testing.T) {
+	rx := &RXChain{
+		NoiseFloorDBm: -100, ChannelBW: 300e3, SampleRate: 600e3,
+		RNG: stats.NewRNG(9),
+	}
+	buf := unitTone(2048)
+	allocs := testing.AllocsPerRun(50, func() {
+		rx.ProcessInPlace(buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("ProcessInPlace allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -62,7 +62,8 @@ func (s *Shield) DefendChannelWindow(ch int, start int64, n int) DefenseReport {
 	cfg := s.Modem.Config()
 	chunk := cfg.SamplesForDuration(senseChunkSec)
 
-	obs := s.RX.Process(s.Medium.Observe(s.RxAntenna, ch, start, n))
+	s.obsScratch = s.Medium.ObserveInto(s.obsScratch, s.RxAntenna, ch, start, n)
+	obs := s.RX.ProcessInPlace(s.obsScratch)
 
 	// Energy scan for the burst start.
 	detRel := -1
@@ -223,7 +224,10 @@ func (s *Shield) externallyBusy(ch int, at int64, chunk int, jamPowerDBm float64
 	if at < 0 {
 		return false
 	}
-	obs := s.RX.Process(s.Medium.Observe(s.RxAntenna, ch, at, chunk))
+	// senseScratch, not obsScratch: the caller's defense window is still
+	// live in obsScratch while these in-jam carrier checks run.
+	s.senseScratch = s.Medium.ObserveInto(s.senseScratch, s.RxAntenna, ch, at, chunk)
+	obs := s.RX.ProcessInPlace(s.senseScratch)
 	return radio.RSSIdBm(obs) > s.inJamSenseFloorDBm(jamPowerDBm)
 }
 
@@ -263,7 +267,8 @@ const selfCancelMarginDB = 24
 func (s *Shield) MonitorOwnTransmission(burst *channel.Burst, sentIQ []complex128) TxMonitorResult {
 	var res TxMonitorResult
 	n := len(sentIQ)
-	obs := s.Medium.Observe(s.RxAntenna, s.Channel, burst.Start, n)
+	s.obsScratch = s.Medium.ObserveInto(s.obsScratch, s.RxAntenna, s.Channel, burst.Start, n)
+	obs := s.obsScratch
 	// Subtract own contribution through the estimated self-loop.
 	hs := s.est.HSelf
 	var ownP float64
@@ -273,7 +278,7 @@ func (s *Shield) MonitorOwnTransmission(burst *channel.Burst, sentIQ []complex12
 		obs[i] -= own
 	}
 	ownP /= float64(n)
-	obs = s.RX.Process(obs)
+	obs = s.RX.ProcessInPlace(obs)
 
 	// Threshold: above the thermal floor and above the self-cancellation
 	// residual left by channel drift.
@@ -322,18 +327,22 @@ func (s *Shield) CancellationDB(n int) float64 {
 	hTrue := s.Medium.Gain(s.JamAntenna, s.RxAntenna)
 	hSelf := s.Medium.Gain(s.RxAntenna, s.RxAntenna)
 
-	without := make([]complex128, n)
-	for i := range without {
-		without[i] = hTrue * jamTx[i]
+	// One reused buffer serves both measurements sequentially; the noise
+	// draw order (without first, then with) matches the two-buffer form.
+	if cap(s.cancelScratch) < n {
+		s.cancelScratch = make([]complex128, n)
 	}
+	buf := s.cancelScratch[:n]
+	for i := range buf {
+		buf[i] = hTrue * jamTx[i]
+	}
+	pwDBm := radio.RSSIdBm(s.RX.ProcessInPlace(buf))
 	ratio := -s.est.HJamToRx / s.est.HSelf
-	with := make([]complex128, n)
-	for i := range with {
-		with[i] = hTrue*jamTx[i] + hSelf*ratio*jamTx[i]
+	for i := range buf {
+		buf[i] = hTrue*jamTx[i] + hSelf*ratio*jamTx[i]
 	}
-	pw := s.RX.Process(without)
-	pc := s.RX.Process(with)
-	return radio.RSSIdBm(pw) - radio.RSSIdBm(pc)
+	pcDBm := radio.RSSIdBm(s.RX.ProcessInPlace(buf))
+	return pwDBm - pcDBm
 }
 
 // JamProfile exposes the generator's spectral template for the Fig. 5

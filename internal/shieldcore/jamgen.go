@@ -9,6 +9,7 @@ package shieldcore
 
 import (
 	"math"
+	"sync"
 
 	"heartshield/internal/dsp"
 	"heartshield/internal/modem"
@@ -57,19 +58,26 @@ type JamGenerator struct {
 	// unnormalized inverse FFT and skip a scaling pass per block.
 	binAmp []float64
 	rng    *stats.RNG
+	// scratch backs Generate's output; callers hand the samples straight
+	// to a TX chain (which copies) so the buffer can be reused per call.
+	scratch []complex128
 }
 
 // NewJamGenerator builds a generator for the given shape. The IMD profile
 // is derived from the modem's own modulation: the shield modulates a long
-// random bit sequence with the IMD's FSK parameters and measures its PSD —
-// exactly the "shape the noise to the IMD modulation" procedure of §6(a).
+// reference bit sequence with the IMD's FSK parameters and measures its
+// PSD — exactly the "shape the noise to the IMD modulation" procedure of
+// §6(a). The template is a function of the FSK config alone (the
+// reference bits come from a fixed internal seed) and is cached, so
+// per-trial scenario reseeds — which rebuild the generator — do not
+// re-measure it.
 func NewJamGenerator(shape JamShape, fskCfg modem.FSKConfig, rng *stats.RNG) *JamGenerator {
 	g := &JamGenerator{shape: shape, rng: rng}
 	switch shape {
 	case FlatJam:
 		g.profile = flatProfile(fskCfg.SampleRate)
 	default:
-		g.profile = fskProfile(fskCfg, rng.Split())
+		g.profile = fskProfile(fskCfg)
 	}
 	g.binAmp = make([]float64, len(g.profile))
 	for k, v := range g.profile {
@@ -89,14 +97,30 @@ func (g *JamGenerator) Shape() JamShape { return g.shape }
 // (shared slice; do not modify).
 func (g *JamGenerator) Profile() []float64 { return g.profile }
 
+// fskProfileSeed seeds the reference bit sequence the shaped template is
+// measured from. It is a fixed constant: the template describes the IMD's
+// modulation, not a per-scenario random quantity, and a deterministic
+// derivation is what makes the cache below valid for every scenario.
+const fskProfileSeed = 0x51d
+
+// fskProfileCache memoizes the measured template per FSK config; shaped
+// generators are rebuilt on every per-trial scenario reseed, and the
+// 8192-bit reference modulation + PSD is far too expensive to redo there.
+var fskProfileCache sync.Map // modem.FSKConfig -> []float64
+
 // fskProfile measures the PSD of a reference FSK transmission and converts
 // it into a per-bin variance template normalized to mean 1.
-func fskProfile(cfg modem.FSKConfig, rng *stats.RNG) []float64 {
+func fskProfile(cfg modem.FSKConfig) []float64 {
+	if p, ok := fskProfileCache.Load(cfg); ok {
+		return p.([]float64)
+	}
 	m := modem.NewFSK(cfg)
-	ref := m.Modulate(rng.Bits(8192))
+	ref := m.Modulate(stats.NewRNG(fskProfileSeed).Bits(8192))
 	psd := dsp.PSD(ref, jamFFTSize, dsp.Hann) // centered order
 	dsp.FFTShiftFloat(psd)                    // back to natural order
-	return normalizeProfile(psd)
+	p := normalizeProfile(psd)
+	fskProfileCache.Store(cfg, p)
+	return p
 }
 
 // flatProfile is uniform across the 300 kHz channel centered at DC and
@@ -135,18 +159,25 @@ func normalizeProfile(p []float64) []float64 {
 // signal: per block, every FFT bin gets an independent complex Gaussian
 // with the template variance, and the IFFT yields the time-domain jam
 // (§6(a) of the paper, verbatim).
+//
+// The returned slice aliases an internal buffer and is only valid until
+// the next Generate call on this generator; retain a copy if needed (the
+// TX chains the shield feeds it through copy on transmit).
 func (g *JamGenerator) Generate(n int) []complex128 {
 	if n <= 0 {
 		return nil
 	}
-	out := make([]complex128, 0, n+jamFFTSize)
-	block := make([]complex128, jamFFTSize)
-	for len(out) < n {
+	need := (n + jamFFTSize - 1) / jamFFTSize * jamFFTSize
+	if cap(g.scratch) < need {
+		g.scratch = make([]complex128, need)
+	}
+	out := g.scratch[:need]
+	for off := 0; off < need; off += jamFFTSize {
+		block := out[off : off+jamFFTSize]
 		for k := range block {
 			block[k] = g.rng.ComplexNormalAmp(g.binAmp[k])
 		}
 		jamFFT.InverseRaw(block)
-		out = append(out, block...)
 	}
 	return out[:n]
 }

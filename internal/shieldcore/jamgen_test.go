@@ -22,7 +22,9 @@ func TestJamGeneratorUnitPower(t *testing.T) {
 
 func TestJamGeneratorFreshRandomness(t *testing.T) {
 	g := NewJamGenerator(ShapedJam, modem.DefaultFSK, stats.NewRNG(2))
-	a := g.Generate(1024)
+	// Generate reuses its internal buffer, so the first jam must be copied
+	// out before drawing the second — the documented retention contract.
+	a := dsp.Clone(g.Generate(1024))
 	b := g.Generate(1024)
 	// Normalized correlation between independent jams must be tiny.
 	num := dsp.Dot(a, b)

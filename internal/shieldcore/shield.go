@@ -101,6 +101,18 @@ type Shield struct {
 	haveRSSI   bool
 
 	alarms []Alarm
+
+	// Reusable observation buffers (the buffer-reuse contract with
+	// Medium.ObserveInto/RXChain.ProcessInPlace): obsScratch backs the
+	// main defense/decode windows, senseScratch the short in-jam carrier
+	// checks that run while obsScratch is live, probeScratch the channel-
+	// estimation probes, and cancelScratch the cancellation measurements.
+	// The shield is single-goroutine (like the Medium), so plain fields
+	// suffice.
+	obsScratch    []complex128
+	senseScratch  []complex128
+	probeScratch  []complex128
+	cancelScratch []complex128
 }
 
 // ChannelEstimate holds the probe-derived channel knowledge.
@@ -242,7 +254,11 @@ func (s *Shield) ResetAlarms() { s.alarms = nil }
 // correlated against it. In deployment this runs before every jam and
 // every 200 ms when idle.
 func (s *Shield) EstimateChannels() ChannelEstimate {
-	probe := s.rng.ComplexNormalVec(make([]complex128, s.ProbeLen), 1)
+	if cap(s.probeScratch) < s.ProbeLen {
+		s.probeScratch = make([]complex128, s.ProbeLen)
+	}
+	probe := s.probeScratch[:s.ProbeLen]
+	s.rng.FillComplexNormal(probe, 1)
 	s.est = ChannelEstimate{
 		HJamToRx: s.estimateOneChannel(probe, s.TXJam, s.JamAntenna),
 		HSelf:    s.estimateOneChannel(probe, s.TXRx, s.RxAntenna),
@@ -259,11 +275,14 @@ func (s *Shield) EstimateChannels() ChannelEstimate {
 func (s *Shield) estimateOneChannel(probe []complex128, tx *radio.TXChain, fromAnt channel.AntennaID) complex128 {
 	sent := tx.TransmitAt(probe, s.ProbePowerDBm)
 	h := s.Medium.Gain(fromAnt, s.RxAntenna)
-	rxObs := make([]complex128, len(sent))
+	if cap(s.cancelScratch) < len(sent) {
+		s.cancelScratch = make([]complex128, len(sent))
+	}
+	rxObs := s.cancelScratch[:len(sent)]
 	for i := range sent {
 		rxObs[i] = h * sent[i]
 	}
-	rxObs = s.RX.Process(rxObs)
+	rxObs = s.RX.ProcessInPlace(rxObs)
 	// Least-squares: Ĥ = <y, x> / <x, x>.
 	num := dsp.Dot(rxObs, sent)
 	den := dsp.Energy(sent)
@@ -277,10 +296,19 @@ func (s *Shield) estimateOneChannel(probe []complex128, tx *radio.TXChain, fromA
 // [start, start+n) at the receive antenna; the shield uses it to set its
 // jamming power JamPowerRelDB above the IMD's received power.
 func (s *Shield) MeasureIMDRSSI(start int64, n int) float64 {
-	obs := s.RX.Process(s.Medium.Observe(s.RxAntenna, s.Channel, start, n))
+	s.obsScratch = s.Medium.ObserveInto(s.obsScratch, s.RxAntenna, s.Channel, start, n)
+	obs := s.RX.ProcessInPlace(s.obsScratch)
 	s.imdRSSIDBm = radio.RSSIdBm(obs)
 	s.haveRSSI = true
 	return s.imdRSSIDBm
+}
+
+// IMDRSSI returns the measured IMD power at the receive antenna and
+// whether a measurement exists. Scenario recycling snapshots it across a
+// per-trial reseed so calibrate-once-then-trial-many experiments keep
+// their calibration.
+func (s *Shield) IMDRSSI() (float64, bool) {
+	return s.imdRSSIDBm, s.haveRSSI
 }
 
 // SetIMDRSSI overrides the measured IMD power (used by calibration
@@ -288,6 +316,15 @@ func (s *Shield) MeasureIMDRSSI(start int64, n int) float64 {
 func (s *Shield) SetIMDRSSI(dbm float64) {
 	s.imdRSSIDBm = dbm
 	s.haveRSSI = true
+}
+
+// ClearIMDRSSI discards the RSSI measurement, returning the shield to
+// its un-calibrated state. The trial engine uses it (with SetIMDRSSI) to
+// pin the prep-time calibration state before every trial, so a trial
+// body that measures RSSI cannot leak state into later trials.
+func (s *Shield) ClearIMDRSSI() {
+	s.imdRSSIDBm = 0
+	s.haveRSSI = false
 }
 
 // jamTxPowerDBm converts the target jam level at the receive antenna
@@ -381,7 +418,8 @@ func (s *Shield) JamResponseWindow(cmdEnd int64) *JamPlacement {
 // demodulation.
 func (s *Shield) DecodeWhileJamming(jp *JamPlacement) (modem.RxFrame, bool) {
 	n := int(jp.End - jp.Start)
-	obs := s.Medium.Observe(s.RxAntenna, jp.Channel, jp.Start, n)
+	s.obsScratch = s.Medium.ObserveInto(s.obsScratch, s.RxAntenna, jp.Channel, jp.Start, n)
+	obs := s.obsScratch
 	if s.DigitalCancel {
 		// Adaptive digital cancellation (§5's analog/digital canceler
 		// note): the probe estimates built the antidote, so subtracting
@@ -398,7 +436,7 @@ func (s *Shield) DecodeWhileJamming(jp *JamPlacement) (modem.RxFrame, bool) {
 			}
 		}
 	}
-	obs = s.RX.Process(obs)
+	obs = s.RX.ProcessInPlace(obs)
 	return s.Modem.ReceiveFrame(obs, imd.SyncThreshold)
 }
 
@@ -407,8 +445,8 @@ func (s *Shield) DecodeWhileJamming(jp *JamPlacement) (modem.RxFrame, bool) {
 // compare it with and without the antidote present.
 func (s *Shield) ResidualJamDBm(jp *JamPlacement) float64 {
 	n := int(jp.End - jp.Start)
-	obs := s.Medium.Observe(s.RxAntenna, jp.Channel, jp.Start, n)
-	return radio.RSSIdBm(obs)
+	s.obsScratch = s.Medium.ObserveInto(s.obsScratch, s.RxAntenna, jp.Channel, jp.Start, n)
+	return radio.RSSIdBm(s.obsScratch)
 }
 
 // String identifies the shield for logs.

@@ -214,9 +214,13 @@ func TestPipelinedExchangesStayDeterministic(t *testing.T) {
 }
 
 // The idle reaper must close a quiet session and return its scenario to
-// the pool, while PING keepalives hold a session open.
+// the pool, while PING keepalives hold a session open. The keepalive
+// interval sits at a quarter of the idle window: under the race detector
+// on a loaded single-core machine a sleep can overshoot by tens of
+// milliseconds, and a half-window interval made the reaper win those
+// races spuriously.
 func TestIdleReaperReturnsScenarioToPool(t *testing.T) {
-	srv := newServer(t, shieldd.ServerConfig{IdleTimeout: 80 * time.Millisecond, PoolPerShape: 4})
+	srv := newServer(t, shieldd.ServerConfig{IdleTimeout: 400 * time.Millisecond, PoolPerShape: 4})
 	c, err := srv.Pipe(shieldd.SessionOptions{Seed: 30})
 	if err != nil {
 		t.Fatal(err)
@@ -228,7 +232,7 @@ func TestIdleReaperReturnsScenarioToPool(t *testing.T) {
 
 	// Keepalives across several idle windows: the session must survive.
 	for i := 0; i < 6; i++ {
-		time.Sleep(40 * time.Millisecond)
+		time.Sleep(100 * time.Millisecond)
 		if err := c.Ping(); err != nil {
 			t.Fatalf("keepalive %d failed: %v", i, err)
 		}

@@ -69,6 +69,11 @@ type Scenario struct {
 	// the Options.ExtraIMDs additional devices.
 	IMDs []*imd.Device
 
+	// baseSeed is the seed the scenario was built (or last Reset) with;
+	// NewTrialAt keys its per-trial reseeds off it, so the keyed trial
+	// streams survive the Opt.Seed bookkeeping a reseed performs.
+	baseSeed int64
+
 	// Adversary radio (driven by the adversary package).
 	AdvTX *radio.TXChain
 	AdvRX *radio.RXChain
@@ -113,6 +118,7 @@ func NewScenario(opt Options) *Scenario {
 		Medium:   med,
 		Location: loc,
 		nextAnt:  antNextFree,
+		baseSeed: opt.Seed,
 	}
 
 	// --- Links ------------------------------------------------------------
@@ -274,9 +280,23 @@ func ExtraIMDProfile(base imd.Profile, i int) imd.Profile {
 // Reset is what makes shieldd sessions deterministic per session seed
 // regardless of which server handled them or in what order.
 //
-// Reset assumes the scenario's link set is the one NewScenario built (no
-// NewAntennaAt calls since construction).
+// The reseed replays install-order gain draws for whatever link set the
+// scenario currently has, in cached sorted-pair order — links added after
+// construction (NewAntennaAt) are replayed too, deterministically. Note
+// that equivalence to a *fresh build* holds only for the link set
+// NewScenario built: with extra links the guarantee is the weaker (and
+// for trials, sufficient) one that identically-constructed scenarios
+// reseed identically.
 func (sc *Scenario) Reset(seed int64) {
+	sc.baseSeed = seed
+	sc.reseed(seed)
+}
+
+// reseed is Reset's stream re-derivation without the base-seed
+// bookkeeping: every random stream is re-derived from seed in
+// construction order. NewTrialAt uses it directly so per-trial reseeds do
+// not move the base seed the trial keying derives from.
+func (sc *Scenario) reseed(seed int64) {
 	sc.Opt.Seed = seed
 	rng := stats.NewRNG(seed)
 	sc.RNG = rng
@@ -313,12 +333,36 @@ func (sc *Scenario) Reset(seed int64) {
 func (sc *Scenario) Channel() int { return sc.Opt.MICSChannel }
 
 // NewTrial starts an independent trial: fresh shadowing and phases, and a
-// clean medium.
+// clean medium. The trial's randomness continues the scenario's running
+// streams, so trial i depends on every trial before it; experiments that
+// fan trials out over workers use NewTrialAt instead.
 func (sc *Scenario) NewTrial() {
 	sc.Medium.NewEpoch()
 	sc.Medium.ClearBursts()
 	for _, dev := range sc.IMDs {
 		dev.SetTherapy(imd.DefaultTherapy)
+	}
+}
+
+// NewTrialAt starts trial number `trial` of the scenario's keyed trial
+// sequence: every random stream is re-derived — in construction order,
+// exactly as Reset does — from stats.TrialSeed(baseSeed, trial), a pure
+// function of the build seed and the trial index. Trial i therefore draws
+// identical randomness no matter how many trials ran before it on this
+// scenario, in which order, or on which of several worker-owned clones —
+// the determinism contract that lets single-scenario trial loops fan out
+// over a worker pool with byte-identical results at any worker count.
+//
+// The shield's IMD-RSSI calibration is snapshotted across the reseed, so
+// the calibrate-once-then-trial-many experiment pattern keeps its (seed-
+// deterministic) calibration. Links added after construction (e.g. a
+// cross-traffic antenna) are replayed too, provided every clone installed
+// them identically before its first NewTrialAt.
+func (sc *Scenario) NewTrialAt(trial int) {
+	rssi, haveRSSI := sc.Shield.IMDRSSI()
+	sc.reseed(stats.TrialSeed(sc.baseSeed, trial))
+	if haveRSSI {
+		sc.Shield.SetIMDRSSI(rssi)
 	}
 }
 

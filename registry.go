@@ -22,9 +22,9 @@ type ExperimentConfig struct {
 	Trials int
 	// Quick selects reduced trial counts for smoke runs.
 	Quick bool
-	// Workers fans the per-location/per-point experiments out over a
-	// worker pool (0 or 1 = serial). Output is byte-identical for any
-	// worker count.
+	// Workers fans every experiment — trial loops and sweeps alike — out
+	// over a worker pool (0 or 1 = serial). Output is byte-identical for
+	// any worker count.
 	Workers int
 }
 

@@ -1,0 +1,29 @@
+package heartshield
+
+import "testing"
+
+// TestExperimentWorkerDeterminism is the CI trial-determinism gate: every
+// registered experiment must render byte-identical output at Workers=1
+// and Workers=8 (the golden configuration's seed and trial counts). The
+// golden files pin the output of ONE worker count against history; this
+// test pins the worker counts against each other, so a scheduling- or
+// keying-dependent divergence fails even before the goldens are compared.
+// It also runs in the race-detector CI leg, where the 8-worker pass
+// doubles as a data-race probe over every experiment's scenario fan-out.
+func TestExperimentWorkerDeterminism(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			serialCfg := goldenConfig()
+			serialCfg.Workers = 1
+			parallelCfg := goldenConfig()
+			parallelCfg.Workers = 8
+			serial := e.Run(serialCfg).Render()
+			parallel := e.Run(parallelCfg).Render()
+			if serial != parallel {
+				t.Errorf("%s output differs between Workers=1 and Workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+					e.Name, serial, parallel)
+			}
+		})
+	}
+}
