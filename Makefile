@@ -24,8 +24,14 @@
 #                       files and fail if they drift from the checked-in ones
 #   make trial-check  - CI trial-determinism gate: every experiment must render
 #                       byte-identically at Workers=1 and Workers=8
-#   make fuzz-nightly - the nightly deep-fuzz leg: the wire + securelink
+#   make fuzz-nightly - the nightly deep-fuzz leg: the wire + dgram + securelink
 #                       decoders for NIGHTLY_FUZZTIME each, growing the corpus
+#   make cover        - coverage profile over the protocol stack (securelink +
+#                       wire + dgram), printing the combined total
+#   make covercheck   - CI coverage gate: fail if the combined securelink+wire
+#                       coverage drops below the floor in COVER_baseline.txt
+#   make coverbaseline- re-record COVER_baseline.txt (measured total minus a
+#                       1-point churn margin; explain the refresh in the PR)
 
 GO ?= go
 FUZZTIME ?= 30s
@@ -43,15 +49,24 @@ FUZZ_TARGETS = \
 	./internal/phy:FuzzBitsRoundTrip \
 	./internal/modem:FuzzReceiveFrame \
 	./internal/wire:FuzzWireDecode \
+	./internal/wire/dgram:FuzzDgramDecode \
 	./internal/securelink:FuzzSecurelinkOpen
 
 # The attack-surface decoders the nightly workflow fuzzes for 10 minutes
 # each (everything that parses bytes off the network).
 NIGHTLY_FUZZ_TARGETS = \
 	./internal/wire:FuzzWireDecode \
+	./internal/wire/dgram:FuzzDgramDecode \
 	./internal/securelink:FuzzSecurelinkOpen
 
-.PHONY: all build test vet fmt staticcheck staticcheck-install race fuzz fuzz-nightly ci bench benchcheck benchbaseline sim golden golden-check trial-check clean
+# The protocol-stack packages the coverage gate watches: everything that
+# parses or seals bytes off the network. The profile is driven by their
+# own tests plus the shieldd + faultnet suites (the chaos wall is what
+# actually exercises the receive window and the datagram framing).
+COVER_PKGS = heartshield/internal/securelink,heartshield/internal/wire,heartshield/internal/wire/dgram
+COVER_TEST_PKGS = ./internal/securelink ./internal/wire/... ./internal/shieldd ./internal/faultnet
+
+.PHONY: all build test vet fmt staticcheck staticcheck-install race fuzz fuzz-nightly ci bench benchcheck benchbaseline sim golden golden-check trial-check cover covercheck coverbaseline clean
 
 all: test vet
 
@@ -81,7 +96,7 @@ staticcheck-install:
 	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
 race:
-	$(GO) test -race ./internal/shieldd/... ./internal/experiments/...
+	$(GO) test -race ./internal/shieldd/... ./internal/experiments/... ./internal/faultnet ./internal/wire/dgram
 	$(GO) test -race -run TestExperimentWorkerDeterminism -count=1 .
 
 fuzz:
@@ -127,6 +142,22 @@ golden-check: trial-check golden
 	@git diff --exit-code testdata/golden || \
 		{ echo "golden files drifted: experiment output is nondeterministic or changed without re-recording"; exit 1; }
 
+cover:
+	$(GO) test -count=1 -coverprofile=COVER_latest.out -coverpkg='$(COVER_PKGS)' $(COVER_TEST_PKGS)
+	@$(GO) tool cover -func=COVER_latest.out | tail -n 1
+
+covercheck: cover
+	@total=$$($(GO) tool cover -func=COVER_latest.out | awk '/^total:/ {gsub("%","",$$3); print $$3}'); \
+	base=$$(cat COVER_baseline.txt); \
+	awk -v t=$$total -v b=$$base 'BEGIN { \
+		if (t+0 < b+0) { printf "coverage gate FAILED: %.1f%% < baseline %.1f%%\n", t, b; exit 1 } \
+		printf "coverage gate ok: %.1f%% >= baseline %.1f%%\n", t, b }'
+
+coverbaseline: cover
+	@total=$$($(GO) tool cover -func=COVER_latest.out | awk '/^total:/ {gsub("%","",$$3); print $$3}'); \
+	awk -v t=$$total 'BEGIN { printf "%.1f\n", t - 1.0 }' > COVER_baseline.txt; \
+	echo "re-recorded COVER_baseline.txt ($$(cat COVER_baseline.txt)% floor) — explain the refresh in the PR"
+
 clean:
-	rm -f BENCH_latest.txt BENCH_latest.json
+	rm -f BENCH_latest.txt BENCH_latest.json COVER_latest.out
 	$(GO) clean -testcache

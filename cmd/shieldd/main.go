@@ -8,11 +8,17 @@
 //	shieldd -listen :7700 -secret swordfish
 //	shieldd -listen 127.0.0.1:7700 -secret-file /etc/shieldd.secret -max-sessions 128
 //	shieldd -listen :7700 -secret swordfish -metrics 30s -idle-timeout 2m
+//	shieldd -listen :7700 -listen-udp :7701 -secret swordfish
+//
+// -listen-udp additionally serves the datagram transport (wire v2 with
+// client retransmission and server-side request dedup) on a UDP socket,
+// alongside TCP.
 //
 // Drive it with cmd/shieldsim's client mode:
 //
 //	shieldsim -server 127.0.0.1:7700 -secret swordfish -run fig7 -quick
 //	shieldsim -server 127.0.0.1:7700 -secret swordfish -batch 64
+//	shieldsim -server 127.0.0.1:7701 -transport udp -secret swordfish -batch 64
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 func main() {
 	var (
 		listen      = flag.String("listen", ":7700", "TCP listen address")
+		listenUDP   = flag.String("listen-udp", "", "also serve the datagram transport on this UDP address")
 		secret      = flag.String("secret", "", "master pairing secret (shared with clients)")
 		secretFile  = flag.String("secret-file", "", "file holding the master pairing secret")
 		maxSessions = flag.Int("max-sessions", 64, "concurrently active session bound")
@@ -74,6 +81,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+
+	if *listenUDP != "" {
+		pc, err := net.ListenPacket("udp", *listenUDP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("shieldd datagram transport on %s\n", pc.LocalAddr())
+		go func() {
+			err := srv.ServePacket(pc)
+			fmt.Fprintln(os.Stderr, "udp error:", err)
+		}()
 	}
 
 	if *metricsEach > 0 {

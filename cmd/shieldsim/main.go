@@ -10,6 +10,14 @@
 //	shieldsim -run fig11 -trials 100 -seed 7
 //	shieldsim -server 127.0.0.1:7700 -secret swordfish -run fig7 -quick
 //	shieldsim -server 127.0.0.1:7700 -secret swordfish -batch 64 -session-metrics
+//	shieldsim -server 127.0.0.1:7701 -transport udp -secret swordfish -batch 64
+//	shieldsim -transport udp -impair "drop=0.1,dup=0.05,reorder=0.05" -exchanges 64
+//
+// -transport udp dials the server's datagram listener instead of TCP.
+// -impair (no -server) runs a self-contained chaos session: an
+// in-process server and a datagram client joined by the deterministic
+// faultnet impairment layer, reporting retransmit and securelink window
+// activity — the CLI face of the chaos test wall.
 package main
 
 import (
@@ -17,25 +25,41 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"heartshield"
+	"heartshield/internal/faultnet"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments")
-		run     = flag.String("run", "", "experiment name, or 'all'")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
-		trials  = flag.Int("trials", 0, "per-point trials (0 = experiment default)")
-		quick   = flag.Bool("quick", false, "reduced trial counts")
-		workers = flag.Int("workers", runtime.NumCPU(), "parallel scenario workers (output is identical for any value)")
-		server  = flag.String("server", "", "run experiments remotely on this shieldd address")
-		secret  = flag.String("secret", "", "pairing secret for -server")
-		batch   = flag.Int("batch", 0, "with -server: run this many protected exchanges as BATCH-EXCHANGE frames")
-		sessMet = flag.Bool("session-metrics", false, "with -server: print the session's STATUS-METRICS before closing")
+		list      = flag.Bool("list", false, "list available experiments")
+		run       = flag.String("run", "", "experiment name, or 'all'")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		trials    = flag.Int("trials", 0, "per-point trials (0 = experiment default)")
+		quick     = flag.Bool("quick", false, "reduced trial counts")
+		workers   = flag.Int("workers", runtime.NumCPU(), "parallel scenario workers (output is identical for any value)")
+		server    = flag.String("server", "", "run experiments remotely on this shieldd address")
+		secret    = flag.String("secret", "", "pairing secret for -server")
+		batch     = flag.Int("batch", 0, "with -server: run this many protected exchanges as BATCH-EXCHANGE frames")
+		sessMet   = flag.Bool("session-metrics", false, "with -server: print the session's STATUS-METRICS before closing")
+		transport = flag.String("transport", "tcp", "with -server: tcp or udp (datagram sessions with retransmission)")
+		impair    = flag.String("impair", "", "run a self-contained impaired datagram session: drop=P,dup=P,reorder=P,corrupt=P,delay=D,jitter=D")
+		impSeed   = flag.Int64("impair-seed", 1, "faultnet impairment schedule seed (deterministic per seed)")
+		exchanges = flag.Int("exchanges", 64, "with -impair: individual protected exchanges to drive through the impaired link")
 	)
 	flag.Parse()
+
+	if *impair != "" {
+		if *server != "" {
+			fmt.Fprintln(os.Stderr, "error: -impair runs in-process; drop -server")
+			os.Exit(2)
+		}
+		runImpaired(*impair, *impSeed, *seed, *exchanges)
+		return
+	}
 
 	if *list || (*run == "" && *batch == 0) {
 		fmt.Println("experiments (use -run <name> or -run all):")
@@ -67,14 +91,21 @@ func main() {
 	var remote *heartshield.RemoteSimulation
 	if *server != "" {
 		var err error
-		remote, err = heartshield.Dial(*server, []byte(*secret),
-			heartshield.DialOptions{SimOptions: heartshield.SimOptions{Seed: *seed}})
+		opt := heartshield.DialOptions{SimOptions: heartshield.SimOptions{Seed: *seed}}
+		switch *transport {
+		case "tcp":
+			remote, err = heartshield.Dial(*server, []byte(*secret), opt)
+		case "udp":
+			remote, err = heartshield.DialUDP(*server, []byte(*secret), opt)
+		default:
+			err = fmt.Errorf("unknown -transport %q (tcp or udp)", *transport)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
 		defer remote.Close()
-		fmt.Printf("[session %d on %s]\n\n", remote.SessionID(), *server)
+		fmt.Printf("[session %d on %s/%s]\n\n", remote.SessionID(), *transport, *server)
 	}
 
 	if *batch > 0 {
@@ -147,6 +178,137 @@ func runBatch(remote *heartshield.RemoteSimulation, n int) {
 		float64(elapsed.Milliseconds())/float64(n), sumBER/float64(n), sumCancel/float64(n))
 }
 
+// parseImpairment parses "drop=0.1,dup=0.05,reorder=0.05,corrupt=0.01,
+// delay=2ms,jitter=1ms" into a faultnet impairment.
+func parseImpairment(spec string) (faultnet.Impairment, error) {
+	var imp faultnet.Impairment
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return imp, fmt.Errorf("impairment field %q is not key=value", field)
+		}
+		switch key {
+		case "drop", "dup", "reorder", "corrupt":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return imp, fmt.Errorf("impairment %s=%q: want a probability in [0,1]", key, val)
+			}
+			switch key {
+			case "drop":
+				imp.Drop = p
+			case "dup":
+				imp.Dup = p
+			case "reorder":
+				imp.Reorder = p
+			case "corrupt":
+				imp.Corrupt = p
+			}
+		case "delay", "jitter":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return imp, fmt.Errorf("impairment %s=%q: %v", key, val, err)
+			}
+			if key == "delay" {
+				imp.Delay = d
+			} else {
+				imp.Jitter = d
+			}
+		case "depth":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return imp, fmt.Errorf("impairment depth=%q: %v", val, err)
+			}
+			imp.ReorderDepth = n
+		default:
+			return imp, fmt.Errorf("unknown impairment key %q", key)
+		}
+	}
+	return imp, nil
+}
+
+// runImpaired is the self-contained chaos mode: an in-process server
+// and a datagram session joined by the deterministic faultnet layer,
+// driving n individual protected exchanges and reporting what the loss
+// cost — retransmits on both sides, securelink window activity, and
+// the impairment schedule's own counters.
+func runImpaired(spec string, impairSeed, sessionSeed int64, n int) {
+	imp, err := parseImpairment(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+	nw := faultnet.New(impairSeed, imp)
+	defer nw.Close()
+
+	secret := []byte("shieldsim-impair")
+	srv, err := heartshield.NewServer(heartshield.ServeOptions{Secret: secret})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	spc, err := nw.Listen("server")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	go srv.ServePacket(spc)
+
+	cpc, err := nw.Listen("client")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	remote, err := heartshield.DialPacket(cpc, faultnet.Addr("server"), secret, heartshield.DialOptions{
+		SimOptions:   heartshield.SimOptions{Seed: sessionSeed},
+		RetryTimeout: 20 * time.Millisecond,
+		MaxRetries:   12,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	defer remote.Close()
+	dialTime := time.Since(start)
+
+	start = time.Now()
+	var sumBER, sumCancel float64
+	for i := 0; i < n; i++ {
+		kind := heartshield.Interrogate
+		if i%2 == 1 {
+			kind = heartshield.SetTherapy
+		}
+		rep, err := remote.ProtectedExchange(kind)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: exchange %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		sumBER += rep.EavesdropperBER
+		sumCancel += rep.CancellationDB
+	}
+	elapsed := time.Since(start)
+
+	m, err := remote.SessionMetrics()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	st := nw.Stats()
+	fmt.Printf("impaired datagram session (%s, impair seed %d, session seed %d):\n", spec, impairSeed, sessionSeed)
+	fmt.Printf("  %d exchanges in %v (%.2f ms/exchange, handshake %v): mean BER %.4f, mean cancellation %.2f dB\n",
+		n, elapsed.Round(time.Millisecond), float64(elapsed.Microseconds())/1000/float64(n),
+		dialTime.Round(time.Millisecond), sumBER/float64(n), sumCancel/float64(n))
+	fmt.Printf("  client: retransmits=%d timeouts=%d\n", m.ClientRetransmits, m.ClientTimeouts)
+	fmt.Printf("  server: cachedResends=%d replayDrops=%d windowAccepts=%d rekeys=%d\n",
+		m.Retransmits, m.ReplayDrops, m.WindowAccepts, m.Rekeys)
+	fmt.Printf("  faultnet: sent=%d delivered=%d dropped=%d dupped=%d reordered=%d corrupted=%d\n",
+		st.Sent, st.Delivered, st.Dropped, st.Dupped, st.Reordered, st.Corrupted)
+}
+
 // printSessionMetrics prints the session's STATUS-METRICS when asked.
 func printSessionMetrics(remote *heartshield.RemoteSimulation, enabled bool) {
 	if !enabled {
@@ -157,8 +319,9 @@ func printSessionMetrics(remote *heartshield.RemoteSimulation, enabled bool) {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return
 	}
-	fmt.Printf("[session %d metrics: protocol v%d exchanges=%d batches=%d batched=%d attacks=%d experiments=%d pings=%d errors=%d inflightHWM=%d sealedB=%d openedB=%d rekeys=%d]\n",
+	fmt.Printf("[session %d metrics: protocol v%d exchanges=%d batches=%d batched=%d attacks=%d experiments=%d pings=%d errors=%d inflightHWM=%d sealedB=%d openedB=%d rekeys=%d srvRetransmits=%d replayDrops=%d windowAccepts=%d cliRetransmits=%d cliTimeouts=%d]\n",
 		m.SessionID, m.Protocol, m.Exchanges, m.Batches, m.BatchedExchanges,
 		m.Attacks, m.Experiments, m.Pings, m.Errors, m.InFlightHWM,
-		m.BytesSealed, m.BytesOpened, m.Rekeys)
+		m.BytesSealed, m.BytesOpened, m.Rekeys,
+		m.Retransmits, m.ReplayDrops, m.WindowAccepts, m.ClientRetransmits, m.ClientTimeouts)
 }

@@ -1,0 +1,495 @@
+// Package faultnet is a deterministic in-process datagram network with
+// configurable packet impairment: drop, duplication, bounded reordering,
+// single-bit corruption, and order-preserving delay. It exists to
+// exercise the securelink receive window and the shieldd datagram
+// transport's retry/dedup machinery under the loss patterns a real
+// wireless link produces — without a real network and without
+// flakiness.
+//
+// Determinism contract: every impairment decision for a flow (an ordered
+// src→dst endpoint pair) is drawn from an RNG seeded by
+// stats.DeriveSeed(networkSeed, "src->dst"), and each datagram consumes a
+// fixed number of draws. The k-th datagram a sender writes to a given
+// destination therefore suffers exactly the same fate on every run with
+// the same seed, regardless of goroutine scheduling or what other flows
+// are doing — the same keyed-derivation idea the trial-parallel
+// experiment engine uses, applied to packet fate. Concurrent flows stay
+// mutually deterministic because they never share RNG state.
+//
+// Ordering contract: within one flow, datagrams are delivered in write
+// order except where an explicit Reorder decision holds one back; Delay
+// adds latency through a per-flow FIFO worker, so it never reorders by
+// itself. Across flows there is no ordering guarantee (as on a real
+// network).
+package faultnet
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"heartshield/internal/stats"
+)
+
+// inboxCap bounds each endpoint's receive queue; datagrams arriving at a
+// full inbox are dropped (and counted), which is exactly what a kernel
+// socket buffer does.
+const inboxCap = 256
+
+// MaxDatagram bounds a single datagram's payload, mirroring UDP's
+// practical limit so tests cannot pass traffic a real socket would
+// refuse.
+const MaxDatagram = 65507
+
+// Impairment configures the per-datagram fault probabilities. All
+// probabilities are in [0,1]; the zero value is a perfect network.
+type Impairment struct {
+	// Drop is the probability a datagram is silently discarded.
+	Drop float64
+	// Dup is the probability a datagram is delivered twice back-to-back.
+	Dup float64
+	// Reorder is the probability a datagram is held back and delivered
+	// only after the next ReorderDepth datagrams of its flow have passed
+	// it. While one datagram is held, further reorder decisions are
+	// ignored (holdback depth 1).
+	Reorder float64
+	// ReorderDepth is how many subsequent datagrams overtake a held one
+	// (default 1 — a simple swap).
+	ReorderDepth int
+	// Corrupt is the probability a single bit of the payload is flipped.
+	Corrupt float64
+	// Delay and Jitter add per-datagram latency uniform in
+	// [Delay, Delay+Jitter]; delivery order within a flow is preserved.
+	Delay  time.Duration
+	Jitter time.Duration
+}
+
+// Stats counts what the network did to traffic, summed over all flows.
+type Stats struct {
+	Sent       uint64 // datagrams written by endpoints
+	Delivered  uint64 // datagrams handed to a destination inbox
+	Dropped    uint64 // lost to the Drop probability
+	Dupped     uint64 // extra copies injected by Dup
+	Reordered  uint64 // datagrams held back by Reorder
+	Corrupted  uint64 // datagrams with a flipped bit
+	Overflowed uint64 // dropped at a full destination inbox
+	NoRoute    uint64 // written to an address with no endpoint
+}
+
+// Addr is a faultnet endpoint address.
+type Addr string
+
+// Network names the faultnet address family.
+func (a Addr) Network() string { return "faultnet" }
+
+// String returns the endpoint name.
+func (a Addr) String() string { return string(a) }
+
+// Network is an in-process datagram network: a set of named endpoints
+// plus the impairment applied to every flow between them.
+type Network struct {
+	seed int64
+	imp  Impairment
+
+	mu     sync.Mutex
+	eps    map[string]*Endpoint
+	flows  map[string]*flow
+	closed bool
+
+	stSent       atomic.Uint64
+	stDelivered  atomic.Uint64
+	stDropped    atomic.Uint64
+	stDupped     atomic.Uint64
+	stReordered  atomic.Uint64
+	stCorrupted  atomic.Uint64
+	stOverflowed atomic.Uint64
+	stNoRoute    atomic.Uint64
+}
+
+// New builds a network whose impairment schedule is keyed by seed.
+func New(seed int64, imp Impairment) *Network {
+	if imp.ReorderDepth <= 0 {
+		imp.ReorderDepth = 1
+	}
+	return &Network{
+		seed:  seed,
+		imp:   imp,
+		eps:   make(map[string]*Endpoint),
+		flows: make(map[string]*flow),
+	}
+}
+
+// Stats snapshots the network's impairment counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Sent:       n.stSent.Load(),
+		Delivered:  n.stDelivered.Load(),
+		Dropped:    n.stDropped.Load(),
+		Dupped:     n.stDupped.Load(),
+		Reordered:  n.stReordered.Load(),
+		Corrupted:  n.stCorrupted.Load(),
+		Overflowed: n.stOverflowed.Load(),
+		NoRoute:    n.stNoRoute.Load(),
+	}
+}
+
+// Listen registers a named endpoint and returns its packet connection.
+func (n *Network) Listen(addr string) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, net.ErrClosed
+	}
+	if _, ok := n.eps[addr]; ok {
+		return nil, fmt.Errorf("faultnet: address %q already in use", addr)
+	}
+	e := &Endpoint{
+		n:      n,
+		addr:   Addr(addr),
+		inbox:  make(chan packet, inboxCap),
+		closed: make(chan struct{}),
+		dlCh:   make(chan struct{}),
+	}
+	n.eps[addr] = e
+	return e, nil
+}
+
+// Close tears the network down: every endpoint read unblocks with
+// net.ErrClosed and further writes fail.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	for addr, e := range n.eps {
+		e.closeLocked()
+		delete(n.eps, addr)
+	}
+	for key, f := range n.flows {
+		f.close()
+		delete(n.flows, key)
+	}
+	return nil
+}
+
+// unregister removes a closed endpoint.
+func (n *Network) unregister(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.eps, addr)
+}
+
+// packet is one datagram in flight.
+type packet struct {
+	from Addr
+	data []byte
+}
+
+// flow holds the per-(src,dst) impairment state: its keyed RNG, the
+// reorder holdback slot, and (when Delay is configured) the FIFO delay
+// worker. The mutex serializes decisions so the draw sequence follows
+// the sender's write order.
+type flow struct {
+	mu  sync.Mutex
+	rng *stats.RNG
+
+	// held is the datagram a Reorder decision parked; heldWait counts how
+	// many subsequent datagrams must pass before it is released.
+	held     *packet
+	heldWait int
+
+	// delayQ feeds the per-flow delay worker when Delay > 0; nil
+	// otherwise (inline delivery).
+	delayQ chan delayed
+	done   chan struct{}
+}
+
+type delayed struct {
+	pkt   packet
+	dst   string
+	after time.Duration
+}
+
+func (f *flow) close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done != nil {
+		select {
+		case <-f.done:
+		default:
+			close(f.done)
+		}
+	}
+}
+
+// flowFor finds or creates the impairment state of src→dst.
+func (n *Network) flowFor(src, dst string) *flow {
+	key := src + "->" + dst
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f, ok := n.flows[key]
+	if !ok {
+		f = &flow{rng: stats.NewRNG(stats.DeriveSeed(n.seed, key))}
+		if n.imp.Delay > 0 || n.imp.Jitter > 0 {
+			f.delayQ = make(chan delayed, 4*inboxCap)
+			f.done = make(chan struct{})
+			go n.delayWorker(f)
+		}
+		n.flows[key] = f
+	}
+	return f
+}
+
+// delayWorker delivers a flow's datagrams after their drawn latency,
+// strictly in order (one worker per flow = FIFO).
+func (n *Network) delayWorker(f *flow) {
+	for {
+		select {
+		case <-f.done:
+			return
+		case d := <-f.delayQ:
+			timer := time.NewTimer(d.after)
+			select {
+			case <-f.done:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+			n.handoff(d.dst, d.pkt)
+		}
+	}
+}
+
+// send runs one datagram through the flow's impairment schedule. Exactly
+// seven RNG draws happen per datagram — drop, dup, reorder, corrupt,
+// corrupt position, corrupt bit, jitter — whether or not each fault
+// fires, so datagram k's fate depends only on (seed, flow, k).
+func (n *Network) send(src, dst Addr, payload []byte) {
+	n.stSent.Add(1)
+	f := n.flowFor(string(src), string(dst))
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	drop := f.rng.Float64() < n.imp.Drop
+	dup := f.rng.Float64() < n.imp.Dup
+	reorder := f.rng.Float64() < n.imp.Reorder
+	corrupt := f.rng.Float64() < n.imp.Corrupt
+	posDraw := f.rng.Float64()
+	bitDraw := f.rng.Float64()
+	jitterDraw := f.rng.Float64()
+
+	if drop {
+		n.stDropped.Add(1)
+		return
+	}
+
+	data := append([]byte(nil), payload...)
+	if corrupt && len(data) > 0 {
+		pos := int(posDraw * float64(len(data)))
+		if pos >= len(data) {
+			pos = len(data) - 1
+		}
+		data[pos] ^= 1 << (int(bitDraw*8) & 7)
+		n.stCorrupted.Add(1)
+	}
+	pkt := packet{from: src, data: data}
+
+	latency := time.Duration(0)
+	if n.imp.Delay > 0 || n.imp.Jitter > 0 {
+		latency = n.imp.Delay + time.Duration(jitterDraw*float64(n.imp.Jitter))
+	}
+
+	// enqueue pushes one copy through the holdback accounting and on to
+	// delivery. Called with f.mu held.
+	enqueue := func(p packet) {
+		n.dispatch(f, string(dst), p, latency)
+		if f.held != nil {
+			f.heldWait--
+			if f.heldWait <= 0 {
+				h := *f.held
+				f.held = nil
+				n.dispatch(f, string(dst), h, latency)
+			}
+		}
+	}
+
+	if reorder && f.held == nil {
+		// Park this datagram; the next ReorderDepth datagrams of the flow
+		// overtake it.
+		f.held = &pkt
+		f.heldWait = n.imp.ReorderDepth
+		n.stReordered.Add(1)
+		if dup {
+			// The duplicate copy is not parked — it overtakes immediately,
+			// which is the classic dup+reorder pattern.
+			n.stDupped.Add(1)
+			enqueue(pkt)
+		}
+		return
+	}
+
+	enqueue(pkt)
+	if dup {
+		n.stDupped.Add(1)
+		enqueue(pkt)
+	}
+}
+
+// dispatch hands a datagram to the delay worker (order-preserving) or
+// straight to the destination inbox.
+func (n *Network) dispatch(f *flow, dst string, pkt packet, latency time.Duration) {
+	if f.delayQ != nil {
+		select {
+		case f.delayQ <- delayed{pkt: pkt, dst: dst, after: latency}:
+		default:
+			n.stOverflowed.Add(1)
+		}
+		return
+	}
+	n.handoff(dst, pkt)
+}
+
+// handoff places a datagram in the destination inbox, dropping on
+// overflow or missing endpoint.
+func (n *Network) handoff(dst string, pkt packet) {
+	n.mu.Lock()
+	e, ok := n.eps[dst]
+	n.mu.Unlock()
+	if !ok {
+		n.stNoRoute.Add(1)
+		return
+	}
+	select {
+	case e.inbox <- pkt:
+		n.stDelivered.Add(1)
+	default:
+		n.stOverflowed.Add(1)
+	}
+}
+
+// Endpoint is one named attachment point; it implements net.PacketConn.
+type Endpoint struct {
+	n     *Network
+	addr  Addr
+	inbox chan packet
+
+	mu       sync.Mutex
+	deadline time.Time
+	dlCh     chan struct{} // replaced (and the old one closed) on deadline change
+	closed   chan struct{}
+	isClosed bool
+}
+
+var _ net.PacketConn = (*Endpoint)(nil)
+
+// LocalAddr returns the endpoint's faultnet address.
+func (e *Endpoint) LocalAddr() net.Addr { return e.addr }
+
+// WriteTo sends one datagram through the network's impairment schedule.
+func (e *Endpoint) WriteTo(p []byte, addr net.Addr) (int, error) {
+	if len(p) > MaxDatagram {
+		return 0, fmt.Errorf("faultnet: datagram of %d bytes exceeds MaxDatagram", len(p))
+	}
+	select {
+	case <-e.closed:
+		return 0, net.ErrClosed
+	default:
+	}
+	e.n.send(e.addr, Addr(addr.String()), p)
+	return len(p), nil
+}
+
+// ReadFrom blocks for the next delivered datagram, honoring the read
+// deadline; deadline expiry returns os.ErrDeadlineExceeded like the net
+// package.
+func (e *Endpoint) ReadFrom(p []byte) (int, net.Addr, error) {
+	for {
+		select {
+		case <-e.closed:
+			return 0, nil, net.ErrClosed
+		default:
+		}
+		e.mu.Lock()
+		deadline, dlCh := e.deadline, e.dlCh
+		e.mu.Unlock()
+
+		var timer *time.Timer
+		var timeout <-chan time.Time
+		if !deadline.IsZero() {
+			d := time.Until(deadline)
+			if d <= 0 {
+				return 0, nil, os.ErrDeadlineExceeded
+			}
+			timer = time.NewTimer(d)
+			timeout = timer.C
+		}
+
+		select {
+		case pkt := <-e.inbox:
+			if timer != nil {
+				timer.Stop()
+			}
+			nCopy := copy(p, pkt.data)
+			return nCopy, pkt.from, nil
+		case <-e.closed:
+			if timer != nil {
+				timer.Stop()
+			}
+			return 0, nil, net.ErrClosed
+		case <-timeout:
+			return 0, nil, os.ErrDeadlineExceeded
+		case <-dlCh:
+			// Deadline changed mid-read; drop the stale timer and re-arm.
+			if timer != nil {
+				timer.Stop()
+			}
+		}
+	}
+}
+
+// Close detaches the endpoint; blocked reads unblock with net.ErrClosed.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.isClosed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.isClosed = true
+	close(e.closed)
+	e.mu.Unlock()
+	e.n.unregister(string(e.addr))
+	return nil
+}
+
+// closeLocked is Close for use under the network mutex (no unregister).
+func (e *Endpoint) closeLocked() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.isClosed {
+		return
+	}
+	e.isClosed = true
+	close(e.closed)
+}
+
+// SetDeadline sets the read deadline (writes never block).
+func (e *Endpoint) SetDeadline(t time.Time) error { return e.SetReadDeadline(t) }
+
+// SetReadDeadline sets the deadline for blocked and future ReadFrom
+// calls; a deadline in the past unblocks an in-flight read immediately.
+func (e *Endpoint) SetReadDeadline(t time.Time) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.deadline = t
+	close(e.dlCh) // wake in-flight reads to re-arm
+	e.dlCh = make(chan struct{})
+	return nil
+}
+
+// SetWriteDeadline is a no-op (writes never block).
+func (e *Endpoint) SetWriteDeadline(t time.Time) error { return nil }

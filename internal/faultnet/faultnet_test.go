@@ -1,0 +1,305 @@
+package faultnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect drives n numbered datagrams through a fresh network with the
+// given seed and impairment and returns the delivered payloads in
+// arrival order — the observable impairment schedule of the a→b flow.
+func collect(t *testing.T, seed int64, imp Impairment, n int) [][]byte {
+	t.Helper()
+	nw := New(seed, imp)
+	defer nw.Close()
+	a, err := nw.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nw.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		var p [4]byte
+		binary.BigEndian.PutUint32(p[:], uint32(i))
+		if _, err := a.WriteTo(p[:], Addr("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything that will arrive has arrived (inline delivery when
+	// Delay == 0); drain with a short deadline.
+	var got [][]byte
+	buf := make([]byte, 16)
+	_ = b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	for {
+		nRead, _, err := b.ReadFrom(buf)
+		if err != nil {
+			break
+		}
+		got = append(got, append([]byte(nil), buf[:nRead]...))
+	}
+	return got
+}
+
+// The determinism contract: same seed, same write sequence ⇒ the same
+// delivered sequence (drops, dups, reorders, and corruptions land on the
+// same datagrams), and a different seed gives a different schedule.
+func TestImpairmentScheduleIsDeterministic(t *testing.T) {
+	imp := Impairment{Drop: 0.2, Dup: 0.1, Reorder: 0.15, Corrupt: 0.1}
+	one := collect(t, 7, imp, 400)
+	two := collect(t, 7, imp, 400)
+	if !reflect.DeepEqual(one, two) {
+		t.Fatalf("same seed produced different schedules: %d vs %d datagrams", len(one), len(two))
+	}
+	other := collect(t, 8, imp, 400)
+	if reflect.DeepEqual(one, other) {
+		t.Fatal("different seeds produced identical 400-datagram schedules")
+	}
+	if len(one) == 400 {
+		t.Fatal("20% drop left all 400 datagrams intact")
+	}
+}
+
+// A zero-value impairment is a perfect, order-preserving network.
+func TestPerfectNetworkDeliversEverythingInOrder(t *testing.T) {
+	got := collect(t, 1, Impairment{}, 100)
+	if len(got) != 100 {
+		t.Fatalf("delivered %d/100", len(got))
+	}
+	for i, p := range got {
+		if binary.BigEndian.Uint32(p) != uint32(i) {
+			t.Fatalf("datagram %d carries index %d: perfect network reordered", i, binary.BigEndian.Uint32(p))
+		}
+	}
+	st := New(1, Impairment{}).Stats()
+	if st.Sent != 0 {
+		t.Fatal("fresh network has traffic")
+	}
+}
+
+// Reorder must hold a datagram back exactly ReorderDepth positions and
+// never lose it.
+func TestReorderHoldsBackAndReleases(t *testing.T) {
+	got := collect(t, 3, Impairment{Reorder: 0.3, ReorderDepth: 1}, 200)
+	if len(got) != 200 {
+		t.Fatalf("reorder-only network delivered %d/200", len(got))
+	}
+	seen := make(map[uint32]bool)
+	swaps := 0
+	prev := -1
+	for _, p := range got {
+		idx := binary.BigEndian.Uint32(p)
+		if seen[idx] {
+			t.Fatalf("datagram %d delivered twice without Dup", idx)
+		}
+		seen[idx] = true
+		if int(idx) < prev {
+			swaps++
+		} else {
+			prev = int(idx)
+		}
+	}
+	if swaps == 0 {
+		t.Fatal("30% reorder produced zero out-of-order deliveries in 200 datagrams")
+	}
+}
+
+// Dup must deliver extra identical copies; Corrupt must flip exactly one
+// bit of the affected datagram.
+func TestDupAndCorruptCounters(t *testing.T) {
+	nw := New(11, Impairment{Dup: 0.2, Corrupt: 0.2})
+	defer nw.Close()
+	a, _ := nw.Listen("a")
+	b, _ := nw.Listen("b")
+	payload := bytes.Repeat([]byte{0xAA}, 32)
+	const n = 200 // n*(1+Dup) must stay under the inbox capacity
+	for i := 0; i < n; i++ {
+		if _, err := a.WriteTo(payload, Addr("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var clean, corrupted int
+	buf := make([]byte, 64)
+	_ = b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	for {
+		nRead, _, err := b.ReadFrom(buf)
+		if err != nil {
+			break
+		}
+		if bytes.Equal(buf[:nRead], payload) {
+			clean++
+			continue
+		}
+		diff := 0
+		for i := range payload {
+			diff += popcount(buf[i] ^ payload[i])
+		}
+		if diff != 1 {
+			t.Fatalf("corrupted datagram differs in %d bits, want exactly 1", diff)
+		}
+		corrupted++
+	}
+	st := nw.Stats()
+	if st.Dupped == 0 || corrupted == 0 {
+		t.Fatalf("dup=%d corrupted=%d: impairments did not fire", st.Dupped, corrupted)
+	}
+	if uint64(clean+corrupted) != st.Delivered {
+		t.Fatalf("drained %d, network says delivered %d", clean+corrupted, st.Delivered)
+	}
+	// A corrupted datagram that is also duplicated arrives twice, so the
+	// delivered corrupted count is at least the per-datagram counter.
+	if uint64(corrupted) < st.Corrupted {
+		t.Fatalf("corrupt counter %d, observed only %d corrupted deliveries", st.Corrupted, corrupted)
+	}
+}
+
+// Delay must add latency without reordering a flow.
+func TestDelayPreservesFlowOrder(t *testing.T) {
+	nw := New(5, Impairment{Delay: 2 * time.Millisecond, Jitter: 2 * time.Millisecond})
+	defer nw.Close()
+	a, _ := nw.Listen("a")
+	b, _ := nw.Listen("b")
+	const n = 50
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		var p [4]byte
+		binary.BigEndian.PutUint32(p[:], uint32(i))
+		if _, err := a.WriteTo(p[:], Addr("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 16)
+	_ = b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for i := 0; i < n; i++ {
+		nRead, _, err := b.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got := binary.BigEndian.Uint32(buf[:nRead]); got != uint32(i) {
+			t.Fatalf("delayed flow reordered: position %d carries %d", i, got)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("50 delayed datagrams arrived in %v: delay not applied", elapsed)
+	}
+}
+
+// Concurrent independent flows must not perturb each other's schedules:
+// the a→b schedule with a noisy c→b neighbor equals the a→b schedule
+// alone.
+func TestFlowsAreIndependentUnderConcurrency(t *testing.T) {
+	imp := Impairment{Drop: 0.2, Dup: 0.1, Reorder: 0.1}
+	alone := collect(t, 21, imp, 300)
+
+	nw := New(21, imp)
+	defer nw.Close()
+	a, _ := nw.Listen("a")
+	b, _ := nw.Listen("b")
+	c, _ := nw.Listen("c")
+	d, _ := nw.Listen("d")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			var p [8]byte
+			_, _ = c.WriteTo(p[:], Addr("d"))
+		}
+	}()
+	for i := 0; i < 300; i++ {
+		var p [4]byte
+		binary.BigEndian.PutUint32(p[:], uint32(i))
+		if _, err := a.WriteTo(p[:], Addr("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	_ = d.Close()
+
+	var got [][]byte
+	buf := make([]byte, 16)
+	_ = b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	for {
+		nRead, _, err := b.ReadFrom(buf)
+		if err != nil {
+			break
+		}
+		got = append(got, append([]byte(nil), buf[:nRead]...))
+	}
+	if !reflect.DeepEqual(alone, got) {
+		t.Fatalf("a→b schedule changed under a concurrent c→d flow: %d vs %d datagrams", len(alone), len(got))
+	}
+}
+
+// net.PacketConn surface: deadlines interrupt blocked reads, close
+// unblocks with net.ErrClosed, writes to unknown addresses are counted
+// as routing losses.
+func TestPacketConnSemantics(t *testing.T) {
+	nw := New(1, Impairment{})
+	defer nw.Close()
+	a, _ := nw.Listen("a")
+
+	_ = a.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+	buf := make([]byte, 8)
+	if _, _, err := a.ReadFrom(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("deadline read error = %v", err)
+	}
+
+	// A deadline set while a read is blocked must interrupt it.
+	_ = a.SetReadDeadline(time.Time{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := a.ReadFrom(buf)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	_ = a.SetReadDeadline(time.Now().Add(-time.Second))
+	select {
+	case err := <-done:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("interrupted read error = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("SetReadDeadline did not interrupt a blocked read")
+	}
+
+	if _, err := a.WriteTo([]byte("x"), Addr("nobody")); err != nil {
+		t.Fatalf("write to unknown address errored: %v", err)
+	}
+	if st := nw.Stats(); st.NoRoute != 1 {
+		t.Fatalf("NoRoute = %d, want 1", st.NoRoute)
+	}
+
+	if _, err := nw.Listen("a"); err == nil {
+		t.Fatal("duplicate Listen succeeded")
+	}
+
+	_ = a.Close()
+	if _, _, err := a.ReadFrom(buf); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("read after close error = %v", err)
+	}
+	if _, err := a.WriteTo([]byte("x"), Addr("b")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("write after close error = %v", err)
+	}
+
+	if _, err := a.WriteTo(make([]byte, MaxDatagram+1), Addr("b")); err == nil {
+		t.Fatal("oversize datagram accepted")
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}

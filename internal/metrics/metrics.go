@@ -22,6 +22,7 @@ type Session struct {
 	Experiments      atomic.Uint64
 	Pings            atomic.Uint64
 	Errors           atomic.Uint64 // requests answered with an Error frame
+	Retransmits      atomic.Uint64 // responses re-sent from the datagram dedup cache
 
 	inFlight    atomic.Int64
 	inFlightHWM atomic.Int64
@@ -59,13 +60,21 @@ type Server struct {
 	TotalAttacks     atomic.Uint64
 	TotalExperiments atomic.Uint64
 	TotalPings       atomic.Uint64
+	// TotalRetransmits counts responses re-sent from datagram-session
+	// dedup caches, server-wide: the server-side cost of transport loss.
+	TotalRetransmits atomic.Uint64
 
 	// Link traffic, absorbed from each session's securelink stats when
-	// the session ends.
-	BytesSealed atomic.Uint64
-	BytesOpened atomic.Uint64
-	Rekeys      atomic.Uint64
-	ReplayDrops atomic.Uint64
+	// the session ends. ReplayDrops counts duplicates of accepted
+	// frames, LateDrops counts frames that fell behind the receive
+	// window, WindowAccepts counts out-of-order frames the window
+	// absorbed — together the loss story of the datagram transport.
+	BytesSealed   atomic.Uint64
+	BytesOpened   atomic.Uint64
+	Rekeys        atomic.Uint64
+	ReplayDrops   atomic.Uint64
+	LateDrops     atomic.Uint64
+	WindowAccepts atomic.Uint64
 }
 
 // ServerSnapshot is a point-in-time copy of a Server's counters.
@@ -78,10 +87,13 @@ type ServerSnapshot struct {
 	TotalAttacks     uint64
 	TotalExperiments uint64
 	TotalPings       uint64
+	TotalRetransmits uint64
 	BytesSealed      uint64
 	BytesOpened      uint64
 	Rekeys           uint64
 	ReplayDrops      uint64
+	LateDrops        uint64
+	WindowAccepts    uint64
 }
 
 // Snapshot copies the server counters.
@@ -95,10 +107,13 @@ func (m *Server) Snapshot() ServerSnapshot {
 		TotalAttacks:     m.TotalAttacks.Load(),
 		TotalExperiments: m.TotalExperiments.Load(),
 		TotalPings:       m.TotalPings.Load(),
+		TotalRetransmits: m.TotalRetransmits.Load(),
 		BytesSealed:      m.BytesSealed.Load(),
 		BytesOpened:      m.BytesOpened.Load(),
 		Rekeys:           m.Rekeys.Load(),
 		ReplayDrops:      m.ReplayDrops.Load(),
+		LateDrops:        m.LateDrops.Load(),
+		WindowAccepts:    m.WindowAccepts.Load(),
 	}
 }
 
@@ -107,9 +122,9 @@ func (m *Server) Snapshot() ServerSnapshot {
 func (s ServerSnapshot) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sessions=%d active=%d reaped=%d", s.TotalSessions, s.ActiveSessions, s.ReapedSessions)
-	fmt.Fprintf(&b, " exchanges=%d batches=%d attacks=%d experiments=%d pings=%d",
-		s.TotalExchanges, s.TotalBatches, s.TotalAttacks, s.TotalExperiments, s.TotalPings)
-	fmt.Fprintf(&b, " sealedB=%d openedB=%d rekeys=%d replayDrops=%d",
-		s.BytesSealed, s.BytesOpened, s.Rekeys, s.ReplayDrops)
+	fmt.Fprintf(&b, " exchanges=%d batches=%d attacks=%d experiments=%d pings=%d retransmits=%d",
+		s.TotalExchanges, s.TotalBatches, s.TotalAttacks, s.TotalExperiments, s.TotalPings, s.TotalRetransmits)
+	fmt.Fprintf(&b, " sealedB=%d openedB=%d rekeys=%d replayDrops=%d lateDrops=%d windowAccepts=%d",
+		s.BytesSealed, s.BytesOpened, s.Rekeys, s.ReplayDrops, s.LateDrops, s.WindowAccepts)
 	return b.String()
 }

@@ -69,13 +69,15 @@ type Link struct {
 	recvKey []byte
 
 	// stats counters (atomic so Stats can snapshot from any goroutine).
-	stMsgsSealed  atomic.Uint64
-	stBytesSealed atomic.Uint64
-	stMsgsOpened  atomic.Uint64
-	stBytesOpened atomic.Uint64
-	stRekeys      atomic.Uint64
-	stReplayDrops atomic.Uint64
-	stAuthFails   atomic.Uint64
+	stMsgsSealed    atomic.Uint64
+	stBytesSealed   atomic.Uint64
+	stMsgsOpened    atomic.Uint64
+	stBytesOpened   atomic.Uint64
+	stRekeys        atomic.Uint64
+	stReplayDrops   atomic.Uint64
+	stLateDrops     atomic.Uint64
+	stWindowAccepts atomic.Uint64
+	stAuthFails     atomic.Uint64
 
 	sendSeq uint64
 	recvSeq uint64 // highest sequence accepted so far + 1
@@ -220,9 +222,14 @@ func (l *Link) Open(msg []byte) ([]byte, error) {
 	behind := uint64(0) // how far behind the highest accepted seq, 0 = forward
 	if l.recvSeq > 0 && seq < l.recvSeq {
 		behind = (l.recvSeq - 1) - seq
-		if behind > l.window || behind == 0 {
-			// behind == 0 means seq == highest accepted: always a replay.
-			// (When window == 0 every behind value lands here: strict.)
+		if behind > l.window {
+			// Too far behind to ever have been tracked: a late arrival
+			// (or, with window == 0, any out-of-order delivery).
+			l.stLateDrops.Add(1)
+			return nil, ErrReplay
+		}
+		if behind == 0 {
+			// seq == highest accepted: always a replay.
 			l.stReplayDrops.Add(1)
 			return nil, ErrReplay
 		}
@@ -278,6 +285,7 @@ func (l *Link) Open(msg []byte) ([]byte, error) {
 	}
 	if behind > 0 {
 		l.winMask |= 1 << behind
+		l.stWindowAccepts.Add(1)
 		return pt, nil
 	}
 	shift := seq + 1 - l.recvSeq // ≥ 1: new highest sequence
@@ -293,25 +301,36 @@ func (l *Link) Open(msg []byte) ([]byte, error) {
 // Stats is a point-in-time snapshot of a link's traffic counters. Bytes
 // are wire bytes (sealed frames including the sequence prefix and GCM
 // tag); Rekeys counts epoch advances in both directions of this end.
+//
+// The three receive-window counters tell the loss story of an unreliable
+// transport apart: WindowAccepts counts messages that arrived out of
+// order but inside the window (reordering the window absorbed),
+// ReplayDrops counts duplicates of messages already accepted (network
+// dups and replays, including old-epoch arrivals), and LateDrops counts
+// messages that fell behind the window entirely before arriving.
 type Stats struct {
-	MsgsSealed  uint64
-	BytesSealed uint64
-	MsgsOpened  uint64
-	BytesOpened uint64
-	Rekeys      uint64
-	ReplayDrops uint64
-	AuthFails   uint64
+	MsgsSealed    uint64
+	BytesSealed   uint64
+	MsgsOpened    uint64
+	BytesOpened   uint64
+	Rekeys        uint64
+	ReplayDrops   uint64
+	LateDrops     uint64
+	WindowAccepts uint64
+	AuthFails     uint64
 }
 
 // Stats snapshots the link's counters. Safe to call from any goroutine.
 func (l *Link) Stats() Stats {
 	return Stats{
-		MsgsSealed:  l.stMsgsSealed.Load(),
-		BytesSealed: l.stBytesSealed.Load(),
-		MsgsOpened:  l.stMsgsOpened.Load(),
-		BytesOpened: l.stBytesOpened.Load(),
-		Rekeys:      l.stRekeys.Load(),
-		ReplayDrops: l.stReplayDrops.Load(),
-		AuthFails:   l.stAuthFails.Load(),
+		MsgsSealed:    l.stMsgsSealed.Load(),
+		BytesSealed:   l.stBytesSealed.Load(),
+		MsgsOpened:    l.stMsgsOpened.Load(),
+		BytesOpened:   l.stBytesOpened.Load(),
+		Rekeys:        l.stRekeys.Load(),
+		ReplayDrops:   l.stReplayDrops.Load(),
+		LateDrops:     l.stLateDrops.Load(),
+		WindowAccepts: l.stWindowAccepts.Load(),
+		AuthFails:     l.stAuthFails.Load(),
 	}
 }

@@ -1,0 +1,195 @@
+package securelink_test
+
+import (
+	"errors"
+	"testing"
+
+	"heartshield/internal/securelink"
+)
+
+// windowStats is the slice of Stats the window tests assert on.
+type windowStats struct {
+	WindowAccepts uint64
+	ReplayDrops   uint64
+	LateDrops     uint64
+	Rekeys        uint64
+}
+
+// step delivers sealed frame Seq (by seal order) and expects Err.
+type step struct {
+	Seq int
+	Err error // nil = must open
+}
+
+// TestWindowEdgeCases drives the receive window and rekey ratchet
+// through the edge geometries a lossy datagram transport produces,
+// checking both the accept/reject decision and the Stats counters that
+// make the behavior observable from shieldd metrics.
+func TestWindowEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		window     int
+		rekeyEvery uint64
+		seal       int // frames sealed up front, seq 0..seal-1
+		script     []step
+		want       windowStats
+	}{
+		{
+			// The winMask shift saturates when a forward jump exceeds 64
+			// positions (the mask's width): the mask must reset cleanly,
+			// old sequences must die as late arrivals, and near sequences
+			// must still window-accept afterwards.
+			name:   "mask-shift-wraparound-on-big-jump",
+			window: 63,
+			seal:   101,
+			script: []step{
+				{Seq: 0, Err: nil},
+				{Seq: 100, Err: nil},                 // shift 100 ≥ 64: mask reset
+				{Seq: 0, Err: securelink.ErrReplay},  // 100 behind: late
+				{Seq: 36, Err: securelink.ErrReplay}, // 64 behind: just outside
+				{Seq: 37, Err: nil},                  // exactly 63 behind: boundary accept
+				{Seq: 99, Err: nil},                  // 1 behind: window accept
+				{Seq: 99, Err: securelink.ErrReplay}, // now a duplicate
+			},
+			want: windowStats{WindowAccepts: 2, ReplayDrops: 1, LateDrops: 2},
+		},
+		{
+			// A reorder of exactly window size is the inclusive boundary:
+			// the oldest admissible sequence arrives last and every
+			// intermediate one still lands.
+			name:   "exactly-window-sized-reorder",
+			window: 4,
+			seal:   6,
+			script: []step{
+				{Seq: 4, Err: nil},
+				{Seq: 0, Err: nil}, // 4 behind = window: accepted
+				{Seq: 1, Err: nil},
+				{Seq: 2, Err: nil},
+				{Seq: 3, Err: nil},
+				{Seq: 5, Err: nil},
+			},
+			want: windowStats{WindowAccepts: 4},
+		},
+		{
+			// A duplicate of a frame that was itself accepted out of order
+			// must die on the bitmask, not on the highest-seq check.
+			name:   "duplicate-after-windowed-accept",
+			window: 8,
+			seal:   3,
+			script: []step{
+				{Seq: 2, Err: nil},
+				{Seq: 0, Err: nil},
+				{Seq: 0, Err: securelink.ErrReplay},
+				{Seq: 1, Err: nil},
+				{Seq: 1, Err: securelink.ErrReplay},
+				{Seq: 2, Err: securelink.ErrReplay},
+			},
+			want: windowStats{WindowAccepts: 2, ReplayDrops: 3},
+		},
+		{
+			// Loss across a rekey boundary: the dropped frame's late
+			// arrival lands in a retired epoch and must be rejected even
+			// though it is comfortably inside the window, because the
+			// window never spans epochs.
+			name:       "rekey-epoch-boundary-under-loss",
+			window:     8,
+			rekeyEvery: 4,
+			seal:       9,
+			script: []step{
+				{Seq: 0, Err: nil},
+				{Seq: 1, Err: nil},
+				{Seq: 2, Err: nil},
+				// seq 3 dropped by the network; seq 4 opens epoch 1.
+				{Seq: 4, Err: nil},
+				{Seq: 3, Err: securelink.ErrReplay}, // late, epoch 0: dead
+				{Seq: 5, Err: nil},
+				{Seq: 6, Err: nil},
+				{Seq: 7, Err: nil},
+				{Seq: 8, Err: nil}, // epoch 2
+			},
+			want: windowStats{ReplayDrops: 1, Rekeys: 2},
+		},
+		{
+			// Reordering WITHIN the new epoch still window-accepts after a
+			// ratchet, while anything from the old epoch stays dead.
+			name:       "reorder-inside-new-epoch",
+			window:     8,
+			rekeyEvery: 4,
+			seal:       8,
+			script: []step{
+				{Seq: 0, Err: nil},
+				{Seq: 1, Err: nil},
+				{Seq: 2, Err: nil},
+				{Seq: 5, Err: nil},                  // epoch 1 (3 and 4 outstanding)
+				{Seq: 4, Err: nil},                  // same epoch, 1 behind: accepted
+				{Seq: 3, Err: securelink.ErrReplay}, // epoch 0: dead
+				{Seq: 6, Err: nil},
+				{Seq: 7, Err: nil},
+			},
+			want: windowStats{WindowAccepts: 1, ReplayDrops: 1, Rekeys: 1},
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			shield, prog, err := securelink.Pair([]byte("window-edge-secret"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			shield.SetWindow(tc.window)
+			if tc.rekeyEvery > 0 {
+				shield.EnableRekey(tc.rekeyEvery)
+				prog.EnableRekey(tc.rekeyEvery)
+			}
+			sealed := make([][]byte, tc.seal)
+			for i := range sealed {
+				sealed[i] = prog.Seal([]byte{byte(i)})
+			}
+			for i, s := range tc.script {
+				_, err := shield.Open(sealed[s.Seq])
+				if s.Err == nil && err != nil {
+					t.Fatalf("step %d (seq %d): open failed: %v", i, s.Seq, err)
+				}
+				if s.Err != nil && !errors.Is(err, s.Err) {
+					t.Fatalf("step %d (seq %d): err = %v, want %v", i, s.Seq, err, s.Err)
+				}
+			}
+			st := shield.Stats()
+			got := windowStats{
+				WindowAccepts: st.WindowAccepts,
+				ReplayDrops:   st.ReplayDrops,
+				LateDrops:     st.LateDrops,
+				Rekeys:        st.Rekeys,
+			}
+			if got != tc.want {
+				t.Fatalf("stats = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestStrictModeCountsLateDrops pins the counter split in strict mode:
+// with no window, any out-of-order arrival is "late" (it was never
+// tracked), while an exact duplicate is a replay.
+func TestStrictModeCountsLateDrops(t *testing.T) {
+	shield, prog, err := securelink.Pair([]byte("strict-counters"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := prog.Seal([]byte("m0"))
+	m1 := prog.Seal([]byte("m1"))
+	if _, err := shield.Open(m1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shield.Open(m0); !errors.Is(err, securelink.ErrReplay) {
+		t.Fatalf("out-of-order err = %v", err)
+	}
+	if _, err := shield.Open(m1); !errors.Is(err, securelink.ErrReplay) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+	st := shield.Stats()
+	if st.LateDrops != 1 || st.ReplayDrops != 1 || st.WindowAccepts != 0 {
+		t.Fatalf("stats = %+v, want 1 late, 1 replay, 0 window accepts", st)
+	}
+}

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"heartshield/internal/securelink"
 	"heartshield/internal/wire"
+	"heartshield/internal/wire/dgram"
 )
 
 // ErrClientClosed is returned for requests submitted after Close.
@@ -46,6 +49,15 @@ type SessionOptions struct {
 	// stream restarts at the session seed. Only effective for clients
 	// created with Dial (a pipe/NewClient client has nothing to re-dial).
 	AutoReconnect bool
+
+	// RetryTimeout is the initial retransmission timeout on datagram
+	// sessions (0 = 250ms); each further retransmit of a request doubles
+	// it up to a cap. Ignored on stream transports.
+	RetryTimeout time.Duration
+	// MaxRetries bounds retransmissions per request on datagram sessions
+	// before the call fails with a timeout error (0 = 8). Ignored on
+	// stream transports.
+	MaxRetries int
 }
 
 func (o SessionOptions) hello(nonce [16]byte) *wire.Hello {
@@ -110,11 +122,12 @@ type Client struct {
 	opt    SessionOptions
 	secret []byte
 	redial func() (net.Conn, error) // nil unless created by Dial
+	retry  *retrier                 // nil unless on a datagram transport
 
-	mu        sync.Mutex // guards conn/link swap, pending, nextID, err
+	mu        sync.Mutex // guards tc/link swap, pending, nextID, err
 	writeMu   sync.Mutex // serializes Seal+WriteFrame pairs
 	reconnMu  sync.Mutex // serializes reconnect attempts (never held with mu)
-	conn      net.Conn
+	tc        transportConn
 	link      *securelink.Link
 	version   uint8
 	sessionID uint64
@@ -140,16 +153,18 @@ func Dial(addr string, secret []byte, opt SessionOptions) (*Client, error) {
 	return c, nil
 }
 
-// NewClient runs the session handshake over an established transport.
+// NewClient runs the session handshake over an established stream
+// transport.
 func NewClient(conn net.Conn, secret []byte, opt SessionOptions) (*Client, error) {
 	link, version, sessionID, err := handshake(conn, secret, opt)
 	if err != nil {
 		return nil, err
 	}
+	tc := &streamConn{c: conn}
 	c := &Client{
 		opt:       opt,
 		secret:    secret,
-		conn:      conn,
+		tc:        tc,
 		link:      link,
 		version:   version,
 		sessionID: sessionID,
@@ -157,9 +172,156 @@ func NewClient(conn net.Conn, secret []byte, opt SessionOptions) (*Client, error
 		pending:   make(map[uint64]*Call),
 	}
 	if version >= 2 {
-		go c.readLoop(conn, link)
+		go c.readLoop(tc, link)
 	}
 	return c, nil
+}
+
+// DialUDP opens a datagram session with a shieldd server's UDP
+// listener: a dedicated local UDP socket, the datagram handshake
+// (with retransmits), and the client-side reliability layer.
+func DialUDP(addr string, secret []byte, opt SessionOptions) (*Client, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := net.ListenPacket("udp", ":0")
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewPacketClient(pc, raddr, secret, opt)
+	if err != nil {
+		pc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewPacketClient runs the datagram session handshake over an
+// established packet socket (UDP, or an in-process faultnet endpoint)
+// against the server at peer. The client becomes the socket's sole
+// reader. Datagram sessions are wire v2 only (the reliability layer
+// needs request IDs), so SessionOptions.Protocol must be 0 or ≥ 2, and
+// every request is tracked by the retransmit layer: loss is retried
+// transparently and surfaced in TransportStats rather than as errors,
+// until MaxRetries is exhausted.
+func NewPacketClient(pc net.PacketConn, peer net.Addr, secret []byte, opt SessionOptions) (*Client, error) {
+	if opt.Protocol == 1 {
+		return nil, fmt.Errorf("shieldd: datagram transport requires wire protocol v2")
+	}
+	dc := dgram.NewConn(pc, peer)
+	link, version, sessionID, err := packetHandshake(dc, secret, opt)
+	if err != nil {
+		return nil, err
+	}
+	tc := &packetTC{fc: dc}
+	c := &Client{
+		opt:       opt,
+		secret:    secret,
+		tc:        tc,
+		link:      link,
+		version:   version,
+		sessionID: sessionID,
+		nextID:    1,
+		pending:   make(map[uint64]*Call),
+	}
+	c.retry = newRetrier(c, opt.RetryTimeout, opt.MaxRetries)
+	go c.retry.run()
+	go c.readLoop(tc, link)
+	return c, nil
+}
+
+// packetHandshake performs HELLO → CHALLENGE → HELLO-ACK over a
+// datagram connection, retransmitting the HELLO until the sealed ACK
+// arrives. A duplicate CHALLENGE (the server re-answering a
+// retransmitted HELLO with the same nonce) just re-derives the same
+// keys; an undecryptable datagram is dropped, never fatal.
+func packetHandshake(dc *dgram.Conn, secret []byte, opt SessionOptions) (*securelink.Link, uint8, uint64, error) {
+	var nonce [16]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("shieldd: nonce: %w", err)
+	}
+	helloEnc := opt.hello(nonce).Encode()
+	rto := opt.RetryTimeout
+	if rto <= 0 {
+		rto = defaultRetryTimeout
+	}
+	tries := opt.MaxRetries
+	if tries <= 0 {
+		tries = defaultMaxRetries
+	}
+
+	var link *securelink.Link
+	for attempt := 0; attempt <= tries; attempt++ {
+		if err := dc.WriteFrame(dgram.KindHandshake, helloEnc); err != nil {
+			return nil, 0, 0, err
+		}
+		// Escalate the ACK wait per attempt, capped at a small multiple
+		// of the base timeout: handshake datagrams are tiny and a
+		// pending server handshake answers every retransmit immediately,
+		// so aggressive escalation only turns an unlucky loss stretch
+		// into seconds of stall.
+		wait := rto << uint(attempt)
+		if lim := 8 * rto; wait > lim {
+			wait = lim
+		}
+		_ = dc.SetReadDeadline(time.Now().Add(wait))
+		for {
+			kind, payload, err := dc.ReadFrame()
+			if err != nil {
+				if isTimeout(err) {
+					break // resend the HELLO
+				}
+				return nil, 0, 0, fmt.Errorf("shieldd: handshake read: %w", err)
+			}
+			if kind == dgram.KindHandshake {
+				msg, derr := wire.Decode(payload)
+				if derr != nil {
+					continue
+				}
+				switch m := msg.(type) {
+				case *wire.Error:
+					return nil, 0, 0, m
+				case *wire.Challenge:
+					nonces := append(append([]byte(nil), nonce[:]...), m.ServerNonce[:]...)
+					_, link, err = securelink.Pair(securelink.SessionSecret(secret, nonces))
+					if err != nil {
+						return nil, 0, 0, err
+					}
+					link.SetWindow(dgramWindow)
+					link.EnableRekey(sessionRekeyEvery)
+				}
+				continue
+			}
+			if link == nil {
+				continue // sealed frame before any challenge: stale noise
+			}
+			plain, oerr := link.Open(payload)
+			if oerr != nil {
+				continue // lost/duplicated ACK copy; keep waiting
+			}
+			m, derr := wire.Decode(plain)
+			if derr != nil {
+				continue
+			}
+			ack, ok := m.(*wire.HelloAck)
+			if !ok {
+				continue
+			}
+			if ack.Version < 2 || ack.Version > wire.Version {
+				return nil, 0, 0, fmt.Errorf("shieldd: server negotiated unsupported version %d", ack.Version)
+			}
+			_ = dc.SetReadDeadline(time.Time{})
+			return link, ack.Version, ack.SessionID, nil
+		}
+	}
+	return nil, 0, 0, fmt.Errorf("shieldd: handshake timed out after %d attempts", tries+1)
+}
+
+// isTimeout reports a deadline-style error.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout() || errors.Is(err, os.ErrDeadlineExceeded)
 }
 
 // handshake performs HELLO → Challenge → HELLO-ACK over conn and returns
@@ -246,25 +408,41 @@ func (c *Client) Reconnects() uint64 {
 	return c.reconns
 }
 
-// readLoop is the v2 demultiplexer: the sole reader of the connection,
+// readLoop is the v2 demultiplexer: the sole reader of the transport,
 // matching responses to pending calls by request ID. It exits when the
-// transport dies, failing every pending call.
-func (c *Client) readLoop(conn net.Conn, link *securelink.Link) {
+// transport dies, failing every pending call. On an unreliable
+// transport, frames that fail to open or decode are dropped datagrams
+// (duplicated responses die on the securelink window, corruption dies
+// on the GCM tag) — only a transport-level read error is fatal.
+func (c *Client) readLoop(tc transportConn, link *securelink.Link) {
+	lossy := tc.unreliable()
 	for {
-		raw, err := wire.ReadFrame(conn)
+		raw, hs, err := tc.readFrame()
 		if err != nil {
-			c.fail(conn, err)
+			c.fail(tc, err)
 			return
+		}
+		if hs {
+			continue // late challenge retransmit after an established session
 		}
 		plain, err := link.Open(raw)
 		if err != nil {
-			c.fail(conn, err)
+			if lossy {
+				continue
+			}
+			c.fail(tc, err)
 			return
 		}
 		id, msg, err := wire.DecodeEnvelope(plain)
 		if err != nil {
-			c.fail(conn, err)
+			if lossy {
+				continue
+			}
+			c.fail(tc, err)
 			return
+		}
+		if c.retry != nil {
+			c.retry.ack(id)
 		}
 		c.mu.Lock()
 		call := c.pending[id]
@@ -282,12 +460,12 @@ func (c *Client) readLoop(conn net.Conn, link *securelink.Link) {
 }
 
 // fail poisons the client (until a reconnect) and fails every pending
-// call. Only the readLoop for the current conn may poison; a stale
+// call. Only the readLoop for the current transport may poison; a stale
 // loop's error is ignored.
-func (c *Client) fail(conn net.Conn, err error) {
+func (c *Client) fail(tc transportConn, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn != conn {
+	if c.tc != tc {
 		return
 	}
 	if c.err == nil {
@@ -295,7 +473,55 @@ func (c *Client) fail(conn net.Conn, err error) {
 	}
 	for id, call := range c.pending {
 		delete(c.pending, id)
+		if c.retry != nil {
+			c.retry.ack(id)
+		}
 		call.finish(nil, fmt.Errorf("shieldd: session lost: %w", err))
+	}
+}
+
+// resendEnvelope re-seals and re-sends a tracked request's plaintext
+// envelope — the retrier's transmit path. Each retransmission claims a
+// fresh securelink sequence number: a byte-identical resend would be
+// replay-dropped by the server before the request ID could be examined.
+// Send errors are ignored; the retry schedule (and eventual expiry)
+// owns failure.
+func (c *Client) resendEnvelope(env []byte) {
+	c.mu.Lock()
+	if c.closed || c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	tc, link := c.tc, c.link
+	c.mu.Unlock()
+	c.writeMu.Lock()
+	_ = tc.writeFrame(link.Seal(env))
+	c.writeMu.Unlock()
+}
+
+// expireCall fails a request whose retransmissions are exhausted.
+func (c *Client) expireCall(id uint64) {
+	c.mu.Lock()
+	call := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if call != nil {
+		call.finish(nil, fmt.Errorf("shieldd: request %d timed out after %d retransmits", id, c.retry.maxTries))
+	}
+}
+
+// TransportStats reports the client-side retransmit counters of a
+// datagram session (always zero on stream transports): how many request
+// datagrams were re-sent, and how many requests gave up entirely. This
+// is where the "silent" retries of Ping, Status, and every other call
+// become observable.
+func (c *Client) TransportStats() TransportStats {
+	if c.retry == nil {
+		return TransportStats{}
+	}
+	return TransportStats{
+		Retransmits: c.retry.retransmits.Load(),
+		Timeouts:    c.retry.timeouts.Load(),
 	}
 }
 
@@ -326,7 +552,7 @@ func (c *Client) reconnect() error {
 	c.mu.Unlock()
 
 	// While c.err != nil every new request routes here and queues on
-	// reconnMu, so no one mutates conn/link/pending behind our back.
+	// reconnMu, so no one mutates tc/link/pending behind our back.
 	conn, err := c.redial()
 	if err != nil {
 		return fmt.Errorf("shieldd: reconnect: %w", err)
@@ -336,6 +562,7 @@ func (c *Client) reconnect() error {
 		conn.Close()
 		return fmt.Errorf("shieldd: reconnect: %w", err)
 	}
+	tc := &streamConn{c: conn}
 
 	c.mu.Lock()
 	if c.closed {
@@ -343,15 +570,15 @@ func (c *Client) reconnect() error {
 		conn.Close()
 		return ErrClientClosed
 	}
-	old := c.conn
-	c.conn, c.link = conn, link
+	old := c.tc
+	c.tc, c.link = tc, link
 	c.version, c.sessionID = version, sessionID
 	c.err = nil
 	c.reconns++
 	c.mu.Unlock()
-	old.Close()
+	old.close()
 	if version >= 2 {
-		go c.readLoop(conn, link)
+		go c.readLoop(tc, link)
 	}
 	return nil
 }
@@ -387,63 +614,100 @@ func (c *Client) Go(req wire.Message) *Call {
 			return call
 		}
 	}
-	conn, link, version := c.conn, c.link, c.version
-
-	if version == 1 {
+	if c.version == 1 {
+		tc, link := c.tc, c.link
 		c.mu.Unlock()
-		c.roundTripV1(call, conn, link)
+		c.roundTripV1(call, tc, link)
 		return call
 	}
-
-	id := c.nextID
-	c.nextID++
-	c.pending[id] = call
 	c.mu.Unlock()
 
-	// Seal+write as one unit so frames hit the transport in seq order.
-	c.writeMu.Lock()
-	err := wire.WriteFrame(conn, link.Seal(wire.EncodeEnvelope(id, req)))
-	c.writeMu.Unlock()
-	if err != nil {
+	// Submit, with one transparent retry through reconnect: if the
+	// write itself hits a connection the server already closed (the
+	// idle reaper racing this request), the frame never reached the
+	// server, so re-dialing and re-sending is safe and is exactly what
+	// AutoReconnect promises. Without AutoReconnect the reconnect
+	// attempt fails immediately and the call fails as before.
+	for attempt := 0; ; attempt++ {
 		c.mu.Lock()
-		if _, still := c.pending[id]; still {
-			delete(c.pending, id)
+		if c.closed || c.err != nil {
+			err := c.err
 			c.mu.Unlock()
-			call.finish(nil, err)
-		} else {
-			c.mu.Unlock() // readLoop already failed it
+			if err == nil {
+				err = ErrClientClosed
+			}
+			call.finish(nil, fmt.Errorf("shieldd: session lost: %w", err))
+			return call
 		}
-		c.fail(conn, err)
+		tc, link := c.tc, c.link
+		id := c.nextID
+		c.nextID++
+		c.pending[id] = call
+		c.mu.Unlock()
+
+		env := wire.EncodeEnvelope(id, req)
+		// Seal+write as one unit so frames hit the transport in seq order.
+		c.writeMu.Lock()
+		err := tc.writeFrame(link.Seal(env))
+		c.writeMu.Unlock()
+		if c.retry != nil {
+			// Datagram transport: keep the plaintext envelope for
+			// retransmission until the response acks it. A send error on
+			// an unreliable transport is just a dropped datagram (real
+			// UDP sockets return transient ENOBUFS-style errors under
+			// bursts) — the retry schedule re-sends it, and if the socket
+			// is truly dead the retries exhaust into a timeout. Only a
+			// closed socket poisons the session, via the readLoop.
+			c.retry.track(id, env)
+			return call
+		}
+		if err == nil {
+			return call
+		}
+		c.mu.Lock()
+		_, still := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if !still {
+			return call // readLoop already failed it
+		}
+		c.fail(tc, err)
+		// fail() skipped this call (already deregistered); retry once.
+		if attempt == 0 && c.reconnect() == nil {
+			continue
+		}
+		call.finish(nil, err)
+		return call
 	}
-	return call
 }
 
 // roundTripV1 performs one strict request/response exchange. writeMu
 // doubles as the round-trip lock: v1 has no request IDs, so the response
-// on the wire always answers the most recent request.
-func (c *Client) roundTripV1(call *Call, conn net.Conn, link *securelink.Link) {
+// on the wire always answers the most recent request. v1 only ever runs
+// on stream transports.
+func (c *Client) roundTripV1(call *Call, tc transportConn, link *securelink.Link) {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	if err := wire.WriteFrame(conn, link.Seal(call.Req.Encode())); err != nil {
-		c.fail(conn, err)
+	if err := tc.writeFrame(link.Seal(call.Req.Encode())); err != nil {
+		c.fail(tc, err)
 		call.finish(nil, err)
 		return
 	}
-	raw, err := wire.ReadFrame(conn)
+	raw, _, err := tc.readFrame()
 	if err != nil {
-		c.fail(conn, err)
+		c.fail(tc, err)
 		call.finish(nil, err)
 		return
 	}
 	plain, err := link.Open(raw)
 	if err != nil {
-		c.fail(conn, err)
+		c.fail(tc, err)
 		call.finish(nil, err)
 		return
 	}
 	m, err := wire.Decode(plain)
 	if err != nil {
-		c.fail(conn, err)
+		c.fail(tc, err)
 		call.finish(nil, err)
 		return
 	}
@@ -590,13 +854,30 @@ func (c *Client) Close() error {
 	alive := c.err == nil
 	c.mu.Unlock()
 	if alive {
-		_, _ = c.roundTrip(&wire.Bye{})
+		if c.retry != nil {
+			// Datagram transport: the BYE is best-effort. Give it a couple
+			// of retransmit windows, then close regardless — a lost BYE
+			// must not hold Close hostage to the full retry schedule (the
+			// server's idle reaper collects sessions whose BYE died).
+			call := c.Go(&wire.Bye{})
+			timer := time.NewTimer(4 * c.retry.rto)
+			select {
+			case <-call.Done:
+			case <-timer.C:
+			}
+			timer.Stop()
+		} else {
+			_, _ = c.roundTrip(&wire.Bye{})
+		}
+	}
+	if c.retry != nil {
+		c.retry.stop()
 	}
 	c.mu.Lock()
 	c.closed = true
-	conn := c.conn
+	tc := c.tc
 	c.mu.Unlock()
-	return conn.Close()
+	return tc.close()
 }
 
 // Pipe starts an in-process session against the server over a net.Pipe

@@ -261,7 +261,10 @@ func TestIdleReaperReturnsScenarioToPool(t *testing.T) {
 // The idle reaper must cover v1 sessions too: a silent v1 client cannot
 // pin a session slot and a pooled scenario forever.
 func TestIdleReaperCoversV1Sessions(t *testing.T) {
-	srv := newServer(t, shieldd.ServerConfig{IdleTimeout: 80 * time.Millisecond})
+	// The timeout must comfortably exceed the in-transit window of a
+	// request frame under -race on a loaded machine, or the reaper can
+	// kill the session between the handshake and the first exchange.
+	srv := newServer(t, shieldd.ServerConfig{IdleTimeout: 300 * time.Millisecond})
 	c, err := srv.Pipe(shieldd.SessionOptions{Seed: 32, Protocol: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -288,7 +291,10 @@ func TestAutoReconnectAfterIdleReap(t *testing.T) {
 		t.Skipf("cannot listen on loopback: %v", err)
 	}
 	defer l.Close()
-	srv := newServer(t, shieldd.ServerConfig{IdleTimeout: 60 * time.Millisecond})
+	// As above: a reap window under ~300ms races the first exchange's
+	// frame transit under -race on a loaded machine (failed 1-2/5 runs
+	// at 60ms with a concurrent experiment suite, base commit included).
+	srv := newServer(t, shieldd.ServerConfig{IdleTimeout: 300 * time.Millisecond})
 	go srv.Serve(l)
 
 	c, err := shieldd.Dial(l.Addr().String(), testSecret, shieldd.SessionOptions{Seed: 31, AutoReconnect: true})

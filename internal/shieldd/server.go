@@ -1,8 +1,12 @@
 // Package shieldd is the concurrent shield session server: a long-lived
 // daemon that owns a pool of recycled testbed scenarios (one per active
 // session) and serves the securelink-sealed wire protocol of
-// internal/wire over any net.Conn transport — TCP from cmd/shieldd, or an
-// in-process net.Pipe for tests and embedded use.
+// internal/wire over two transport families — streams (TCP from
+// cmd/shieldd, or an in-process net.Pipe for tests and embedded use)
+// and datagrams (UDP via ServePacket, or any net.PacketConn such as the
+// internal/faultnet impairment network), where loss, duplication, and
+// reordering are handled by client retransmission, the securelink
+// receive window, and server-side request deduplication.
 //
 // Every session is an independent simulated world: its own medium,
 // devices, and random streams, all derived from the session seed the
@@ -44,6 +48,7 @@ import (
 	"heartshield/internal/shieldcore"
 	"heartshield/internal/testbed"
 	"heartshield/internal/wire"
+	"heartshield/internal/wire/dgram"
 )
 
 // Session-link hardening parameters (both ends must agree; the client in
@@ -52,9 +57,11 @@ const (
 	// sessionRekeyEvery ratchets each direction's AEAD key every this many
 	// messages, so a long-lived session link never exhausts one key.
 	sessionRekeyEvery = 512
-	// sessionWindow tolerates this much sequence reordering; TCP delivers
-	// in order, so the window only matters for future datagram transports,
-	// but running with it on keeps the code path exercised end-to-end.
+	// sessionWindow tolerates this much sequence reordering on stream
+	// sessions; TCP delivers in order, so it is never hit there, but
+	// running with it on keeps the code path live end-to-end. Datagram
+	// sessions use the larger dgramWindow (transport.go), where
+	// reordering is real.
 	sessionWindow = 8
 	// maxHelloFrame bounds the plaintext HELLO (33 bytes encoded); an
 	// unauthenticated peer cannot make them allocate a larger buffer.
@@ -98,6 +105,11 @@ type Server struct {
 	cfg  ServerConfig
 	pool *scenarioPool
 	sem  chan struct{}
+	// hsSem bounds concurrent PRE-authentication datagram handshakes:
+	// an unauthenticated HELLO datagram (source address spoofable) must
+	// not buy an unbounded number of goroutines and key derivations.
+	// Excess handshakes are dropped; legitimate clients retransmit.
+	hsSem chan struct{}
 
 	nextSession atomic.Uint64
 	met         metrics.Server
@@ -121,9 +133,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.InFlightPerSession = 16
 	}
 	return &Server{
-		cfg:  cfg,
-		pool: newScenarioPool(cfg.PoolPerShape),
-		sem:  make(chan struct{}, cfg.MaxSessions),
+		cfg:   cfg,
+		pool:  newScenarioPool(cfg.PoolPerShape),
+		sem:   make(chan struct{}, cfg.MaxSessions),
+		hsSem: make(chan struct{}, 2*cfg.MaxSessions),
 	}, nil
 }
 
@@ -232,11 +245,176 @@ func (s *Server) ServeConn(conn net.Conn) {
 	defer s.absorbLinkStats(link)
 	_ = conn.SetReadDeadline(time.Time{})
 
+	tc := &streamConn{c: conn}
 	if version == 1 {
-		s.serveV1(conn, link, sess, plain)
+		s.serveV1(tc, link, sess, plain)
 		return
 	}
-	s.serveV2(conn, link, sess, plain)
+	s.serveV2(tc, link, sess, plain)
+}
+
+// ServePacket serves datagram sessions from a packet socket (UDP, or an
+// in-process faultnet endpoint) until the socket is closed: one session
+// per remote address, each beginning with a plaintext HELLO datagram.
+// Only wire protocol v2 is served — the datagram reliability layer is
+// built on v2's request IDs, which v1 does not carry. It returns the
+// socket's read error.
+func (s *Server) ServePacket(pc net.PacketConn) error {
+	l := dgram.Listen(pc)
+	defer l.Close()
+	for {
+		peer, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.servePeer(peer)
+	}
+}
+
+// servePeer runs one datagram session. The handshake mirrors ServeConn
+// — HELLO → CHALLENGE → sealed HELLO-ACK → first authenticated sealed
+// frame commits a session slot — with the lossy-transport differences:
+// a retransmitted HELLO re-sends the same CHALLENGE (and a re-sealed
+// ACK) instead of confusing the session, and undecryptable datagrams
+// are dropped instead of ending the handshake.
+//
+// Pre-authentication hardening: hsSem bounds concurrent unauthenticated
+// handshakes (the handshake deadline bounds their lifetime), so a HELLO
+// flood from spoofed addresses saturates a fixed budget instead of
+// growing goroutines without limit. The ~50-byte CHALLENGE+ACK reply to
+// a spoofed source is a small reflection surface that a stateless
+// cookie exchange would close; see ROADMAP.
+func (s *Server) servePeer(peer *dgram.PeerConn) {
+	defer peer.Close()
+	select {
+	case s.hsSem <- struct{}{}:
+	default:
+		return // handshake budget exhausted: drop; the client retransmits
+	}
+	hsHeld := true
+	releaseHS := func() {
+		if hsHeld {
+			hsHeld = false
+			<-s.hsSem
+		}
+	}
+	defer releaseHS()
+	_ = peer.SetReadDeadline(time.Now().Add(handshakeTimeout))
+
+	// Phase 1: a valid HELLO (the listener guarantees the first datagram
+	// was a handshake frame, but not that it decodes).
+	var hello *wire.Hello
+	for hello == nil {
+		kind, payload, err := peer.ReadFrame()
+		if err != nil {
+			return
+		}
+		if kind != dgram.KindHandshake {
+			continue
+		}
+		msg, err := wire.Decode(payload)
+		if err != nil {
+			continue
+		}
+		hello, _ = msg.(*wire.Hello)
+	}
+	refuse := func(msg string) {
+		_ = peer.WriteFrame(dgram.KindHandshake,
+			(&wire.Error{Code: wire.CodeBadRequest, Msg: msg}).Encode())
+	}
+	if hello.Version < 2 {
+		refuse("datagram transport requires wire protocol v2")
+		return
+	}
+	version := hello.Version
+	if version > wire.Version {
+		version = wire.Version
+	}
+	opt, err := s.scenarioOptions(hello)
+	if err != nil {
+		refuse(err.Error())
+		return
+	}
+
+	var challenge wire.Challenge
+	if _, err := rand.Read(challenge.ServerNonce[:]); err != nil {
+		return
+	}
+	nonces := append(append([]byte(nil), hello.Nonce[:]...), challenge.ServerNonce[:]...)
+	link, _, err := securelink.Pair(securelink.SessionSecret(s.cfg.Secret, nonces))
+	if err != nil {
+		return
+	}
+	link.SetWindow(dgramWindow)
+	link.EnableRekey(sessionRekeyEvery)
+
+	id := s.nextSession.Add(1)
+	ack := &wire.HelloAck{Version: version, SessionID: id}
+	// sendChallenge re-seals the ACK on every (re)send: the client's
+	// receive window accepts whichever copy lands first and replay-drops
+	// the rest.
+	sendChallenge := func() bool {
+		if err := peer.WriteFrame(dgram.KindHandshake, challenge.Encode()); err != nil {
+			return false
+		}
+		return peer.WriteFrame(dgram.KindSealed, link.Seal(ack.Encode())) == nil
+	}
+	if !sendChallenge() {
+		return
+	}
+
+	// Phase 2: the first frame that opens under the session keys commits
+	// the session. A duplicate HELLO (same client nonce) means the
+	// client missed the challenge — answer it again with the SAME
+	// nonce. A HELLO with a DIFFERENT nonce is a new client instance on
+	// the same address (the old one died with its BYE in flight):
+	// abandon this pending session so the newcomer's next retransmit
+	// starts a fresh one, instead of stalling it until the handshake
+	// deadline.
+	var plain []byte
+	for plain == nil {
+		kind, payload, err := peer.ReadFrame()
+		if err != nil {
+			return
+		}
+		if kind == dgram.KindHandshake {
+			if msg, err := wire.Decode(payload); err == nil {
+				if h, ok := msg.(*wire.Hello); ok {
+					if h.Nonce != hello.Nonce {
+						return
+					}
+					if !sendChallenge() {
+						return
+					}
+				}
+			}
+			continue
+		}
+		p, err := link.Open(payload)
+		if err != nil {
+			continue // lost to loss/corruption; the client retransmits
+		}
+		plain = p
+	}
+
+	// Authenticated: release the handshake budget and commit a session
+	// slot and a scenario, exactly like the stream path.
+	releaseHS()
+	s.met.TotalSessions.Add(1)
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	s.met.ActiveSessions.Add(1)
+	defer s.met.ActiveSessions.Add(-1)
+
+	sess := s.newSession(opt)
+	sess.id = id
+	sess.version = version
+	sess.link = link
+	defer s.pool.put(sess.sc)
+	defer s.absorbLinkStats(link)
+	_ = peer.SetReadDeadline(time.Time{})
+
+	s.serveV2(&packetTC{fc: peer}, link, sess, plain)
 }
 
 // absorbLinkStats folds a finished session's link traffic into the
@@ -247,15 +425,17 @@ func (s *Server) absorbLinkStats(link *securelink.Link) {
 	s.met.BytesOpened.Add(st.BytesOpened)
 	s.met.Rekeys.Add(st.Rekeys)
 	s.met.ReplayDrops.Add(st.ReplayDrops)
+	s.met.LateDrops.Add(st.LateDrops)
+	s.met.WindowAccepts.Add(st.WindowAccepts)
 }
 
 // startReaper watches a session for idleness: when busy() is false and
-// no frame has arrived for idle, it closes the connection (waking the
-// blocked reader; the ServeConn defers return the scenario to the pool)
+// no frame has arrived for idle, it closes the transport (waking the
+// blocked reader; the session defers return the scenario to the pool)
 // and counts the reap. A ticker-based watcher — deliberately not a read
 // deadline, which could fire mid-frame and desynchronize the framing.
 // The returned stop function must be called at session end.
-func (s *Server) startReaper(conn net.Conn, lastActivity *atomic.Int64, busy func() bool) (stop func()) {
+func (s *Server) startReaper(tc transportConn, lastActivity *atomic.Int64, busy func() bool) (stop func()) {
 	if s.cfg.IdleTimeout <= 0 {
 		return func() {}
 	}
@@ -271,7 +451,7 @@ func (s *Server) startReaper(conn net.Conn, lastActivity *atomic.Int64, busy fun
 				idleFor := time.Duration(time.Now().UnixNano() - lastActivity.Load())
 				if !busy() && idleFor >= s.cfg.IdleTimeout {
 					s.met.ReapedSessions.Add(1)
-					conn.Close()
+					tc.close()
 					return
 				}
 			}
@@ -282,15 +462,16 @@ func (s *Server) startReaper(conn net.Conn, lastActivity *atomic.Int64, busy fun
 
 // serveV1 is the strict request/response loop: one request at a time,
 // answered before the next frame is read. plain is the already-opened
-// first request.
-func (s *Server) serveV1(conn net.Conn, link *securelink.Link, sess *session, plain []byte) {
+// first request. Only stream transports reach it (datagram sessions are
+// v2-only).
+func (s *Server) serveV1(tc transportConn, link *securelink.Link, sess *session, plain []byte) {
 	// The idle reaper applies to v1 sessions too; "busy" means a request
 	// is being executed (experiments may legitimately run for minutes).
 	var lastActivity atomic.Int64
 	var busy atomic.Bool
 	lastActivity.Store(time.Now().UnixNano())
 	busy.Store(true)
-	defer s.startReaper(conn, &lastActivity, busy.Load)()
+	defer s.startReaper(tc, &lastActivity, busy.Load)()
 
 	for {
 		req, err := wire.Decode(plain)
@@ -301,7 +482,7 @@ func (s *Server) serveV1(conn net.Conn, link *securelink.Link, sess *session, pl
 		if _, isErr := resp.(*wire.Error); isErr {
 			sess.met.Errors.Add(1)
 		}
-		if err := wire.WriteFrame(conn, link.Seal(resp.Encode())); err != nil {
+		if err := tc.writeFrame(link.Seal(resp.Encode())); err != nil {
 			return
 		}
 		if done {
@@ -309,7 +490,7 @@ func (s *Server) serveV1(conn net.Conn, link *securelink.Link, sess *session, pl
 		}
 		lastActivity.Store(time.Now().UnixNano())
 		busy.Store(false)
-		raw, err := wire.ReadFrame(conn)
+		raw, _, err := tc.readFrame()
 		if err != nil {
 			return
 		}
@@ -343,16 +524,34 @@ type envelope struct {
 // A request's slot in the window is released only after its response has
 // been handed to the writer, so once the reader can claim every slot the
 // session is quiescent and the channels can be torn down safely.
-func (s *Server) serveV2(conn net.Conn, link *securelink.Link, sess *session, firstPlain []byte) {
+//
+// On an unreliable transport two more rules apply, which together give
+// exactly-once execution over an at-least-once network:
+//
+//   - securelink Open failures drop the datagram and keep reading (loss,
+//     duplication, and reordering are the transport's normal behaviour,
+//     not a compromise);
+//   - request IDs are deduplicated: a retransmitted request that is
+//     still executing is dropped, and one that already completed is
+//     answered again from the response cache without touching the
+//     scenario — re-execution would fork the deterministic per-seed
+//     result stream.
+func (s *Server) serveV2(tc transportConn, link *securelink.Link, sess *session, firstPlain []byte) {
 	window := s.cfg.InFlightPerSession
 	slots := make(chan struct{}, window) // filled = in flight
 	exec := make(chan envelope, window)  // scenario ops, arrival order
 	out := make(chan envelope, window+1) // responses to the writer
 	writerDone := make(chan struct{})
+	var dedup *dedupState
+	if tc.unreliable() {
+		dedup = newDedupState()
+	}
 
-	// Writer: sole owner of link.Seal and conn writes. On a write error
-	// it closes the connection (waking the reader) and keeps draining so
-	// no producer ever blocks forever.
+	// Writer: sole owner of link.Seal and transport writes. On a write
+	// error it closes the transport (waking the reader) and keeps
+	// draining so no producer ever blocks forever. On unreliable
+	// transports it also records every response in the dedup cache
+	// before sending, so a retransmitted request can be re-answered.
 	go func() {
 		defer close(writerDone)
 		broken := false
@@ -360,9 +559,12 @@ func (s *Server) serveV2(conn net.Conn, link *securelink.Link, sess *session, fi
 			if broken {
 				continue
 			}
-			if err := wire.WriteFrame(conn, link.Seal(wire.EncodeEnvelope(e.id, e.msg))); err != nil {
+			if dedup != nil {
+				dedup.complete(e.id, e.msg)
+			}
+			if err := tc.writeFrame(link.Seal(wire.EncodeEnvelope(e.id, e.msg))); err != nil {
 				broken = true
-				conn.Close()
+				tc.close()
 			}
 		}
 	}()
@@ -405,7 +607,7 @@ func (s *Server) serveV2(conn net.Conn, link *securelink.Link, sess *session, fi
 	// long experiments and deep pipelines are never reaped mid-work.
 	var lastActivity atomic.Int64
 	lastActivity.Store(time.Now().UnixNano())
-	defer s.startReaper(conn, &lastActivity, func() bool { return len(slots) > 0 })()
+	defer s.startReaper(tc, &lastActivity, func() bool { return len(slots) > 0 })()
 
 	// handle classifies one authenticated plaintext. It returns true when
 	// the session is done (BYE). The caller has NOT yet taken a slot.
@@ -418,6 +620,23 @@ func (s *Server) serveV2(conn net.Conn, link *securelink.Link, sess *session, fi
 			// too short to carry one) and keep the session.
 			respond(id, &wire.Error{Code: wire.CodeBadRequest, Msg: "malformed request"})
 			return false
+		}
+		if dedup != nil {
+			fresh, cached := dedup.claim(id)
+			if !fresh {
+				if cached != nil {
+					// Already answered: the response datagram was lost —
+					// re-send it without re-executing anything.
+					sess.met.Retransmits.Add(1)
+					s.met.TotalRetransmits.Add(1)
+					out <- envelope{id, cached}
+				}
+				// Still executing: drop the duplicate; the original's
+				// response is coming.
+				sess.met.LeaveFlight()
+				<-slots
+				return false
+			}
 		}
 		switch m := req.(type) {
 		case *wire.ExchangeReq, *wire.BatchReq, *wire.AttackReq:
@@ -456,16 +675,26 @@ func (s *Server) serveV2(conn net.Conn, link *securelink.Link, sess *session, fi
 		return
 	}
 	for {
-		raw, err := wire.ReadFrame(conn)
+		raw, hs, err := tc.readFrame()
 		if err != nil {
 			shutdown(0)
 			return
 		}
+		if hs {
+			// A handshake datagram straggling into an established session
+			// (late HELLO retransmit): ignore it.
+			continue
+		}
 		lastActivity.Store(time.Now().UnixNano())
 		plain, err := link.Open(raw)
 		if err != nil {
-			// Authentication/replay failure is a transport compromise:
-			// tear the session down.
+			if tc.unreliable() {
+				// Duplicated, reordered-beyond-window, or corrupted
+				// datagram: normal loss, visible in link.Stats().
+				continue
+			}
+			// On a stream, authentication/replay failure is a transport
+			// compromise: tear the session down.
 			shutdown(0)
 			return
 		}
@@ -741,8 +970,10 @@ func (s *Server) handleMetrics(sess *session) wire.Message {
 		Experiments:          sess.met.Experiments.Load(),
 		Pings:                sess.met.Pings.Load(),
 		Errors:               sess.met.Errors.Load(),
+		Retransmits:          sess.met.Retransmits.Load(),
 		Rekeys:               ls.Rekeys,
 		ReplayDrops:          ls.ReplayDrops,
+		WindowAccepts:        ls.WindowAccepts,
 		BytesSealed:          ls.BytesSealed,
 		BytesOpened:          ls.BytesOpened,
 		InFlight:             uint32(sess.met.InFlight()),

@@ -1,0 +1,320 @@
+package shieldd
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"heartshield/internal/wire"
+	"heartshield/internal/wire/dgram"
+)
+
+// transportConn is the frame transport the session loops (server
+// serveV1/serveV2, client mux) are written against: a way to move
+// securelink-sealed frames, plus the two properties that distinguish a
+// datagram transport from a stream — whether a given inbound frame is a
+// plaintext handshake datagram, and whether the transport is unreliable
+// (loss, duplication, and reordering are normal, so a failed securelink
+// Open means "drop the datagram", not "tear the session down").
+type transportConn interface {
+	// readFrame returns the next inbound frame. handshake reports a
+	// plaintext handshake frame (only ever true on datagram transports,
+	// where a retransmitted HELLO can trail into an established session).
+	readFrame() (payload []byte, handshake bool, err error)
+	// writeFrame sends one sealed session frame.
+	writeFrame(payload []byte) error
+	close() error
+	setReadDeadline(t time.Time) error
+	// unreliable reports datagram loss semantics: securelink Open
+	// failures are dropped datagrams, request IDs may arrive twice, and
+	// responses may need re-sending from the dedup cache.
+	unreliable() bool
+}
+
+// streamConn adapts a net.Conn with the wire length-prefixed framing —
+// the TCP / net.Pipe transport the server has always spoken.
+type streamConn struct {
+	c net.Conn
+}
+
+func (s *streamConn) readFrame() ([]byte, bool, error) {
+	p, err := wire.ReadFrame(s.c)
+	return p, false, err
+}
+
+func (s *streamConn) writeFrame(p []byte) error         { return wire.WriteFrame(s.c, p) }
+func (s *streamConn) close() error                      { return s.c.Close() }
+func (s *streamConn) setReadDeadline(t time.Time) error { return s.c.SetReadDeadline(t) }
+func (s *streamConn) unreliable() bool                  { return false }
+
+// packetTC adapts a dgram frame connection (client Conn or server
+// PeerConn): one datagram per frame, kind byte distinguishing plaintext
+// handshake retransmits from sealed session frames.
+type packetTC struct {
+	fc dgram.FrameConn
+}
+
+func (p *packetTC) readFrame() ([]byte, bool, error) {
+	kind, payload, err := p.fc.ReadFrame()
+	if err != nil {
+		return nil, false, err
+	}
+	return payload, kind == dgram.KindHandshake, nil
+}
+
+func (p *packetTC) writeFrame(b []byte) error         { return p.fc.WriteFrame(dgram.KindSealed, b) }
+func (p *packetTC) close() error                      { return p.fc.Close() }
+func (p *packetTC) setReadDeadline(t time.Time) error { return p.fc.SetReadDeadline(t) }
+func (p *packetTC) unreliable() bool                  { return true }
+
+// Datagram-transport session parameters.
+const (
+	// dgramWindow is the securelink receive window on datagram sessions:
+	// large enough to absorb retransmit-induced reordering, far below the
+	// 63-position cap.
+	dgramWindow = 32
+	// defaultRetryTimeout is the client's initial retransmit timeout.
+	defaultRetryTimeout = 250 * time.Millisecond
+	// defaultMaxRetries bounds retransmissions per request before the
+	// call fails with a timeout error.
+	defaultMaxRetries = 8
+	// maxRetryBackoff caps the exponential retransmit backoff.
+	maxRetryBackoff = 4 * time.Second
+	// dedupCacheCap bounds the per-session response cache on datagram
+	// transports. It must exceed the in-flight window by enough margin
+	// that a response can still be re-sent for any request the client
+	// could plausibly retransmit.
+	dedupCacheCap = 256
+)
+
+// dedupState is the server side of exactly-once execution over an
+// at-least-once transport: the reader consults it before dispatching a
+// request ID, and the writer records every response it sends, so a
+// retransmitted request is answered from cache instead of re-executing
+// against the scenario (which would fork the deterministic result
+// stream).
+type dedupState struct {
+	mu       sync.Mutex
+	inflight map[uint64]struct{}
+	done     map[uint64]wire.Message
+	order    []uint64 // done-cache FIFO eviction order
+	maxID    uint64   // highest request ID ever claimed
+}
+
+func newDedupState() *dedupState {
+	return &dedupState{
+		inflight: make(map[uint64]struct{}),
+		done:     make(map[uint64]wire.Message),
+	}
+}
+
+// claim admits a request ID. fresh means execute it; cached non-nil
+// means re-send that response; neither means drop the duplicate (it is
+// still executing, or it is older than the dedup horizon).
+func (d *dedupState) claim(id uint64) (fresh bool, cached wire.Message) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if msg, ok := d.done[id]; ok {
+		return false, msg
+	}
+	if _, ok := d.inflight[id]; ok {
+		return false, nil
+	}
+	// An ID far enough below the highest seen that its cache entry may
+	// already have been evicted must NOT execute: this is a stale
+	// retransmit of a request whose eviction we can no longer
+	// distinguish from novelty, and re-executing it would fork the
+	// deterministic result stream. Drop it; the client's retry schedule
+	// surfaces the failure as a timeout. (Client IDs are sequential, so
+	// a live pipeline never trips this.)
+	if d.maxID >= dedupCacheCap && id <= d.maxID-dedupCacheCap {
+		return false, nil
+	}
+	if id > d.maxID {
+		d.maxID = id
+	}
+	d.inflight[id] = struct{}{}
+	return true, nil
+}
+
+// complete records the response the writer is sending for id.
+func (d *dedupState) complete(id uint64, msg wire.Message) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.inflight, id)
+	if _, ok := d.done[id]; ok {
+		return
+	}
+	d.done[id] = msg
+	d.order = append(d.order, id)
+	if len(d.order) > dedupCacheCap {
+		evict := d.order[0]
+		d.order = d.order[1:]
+		delete(d.done, evict)
+	}
+}
+
+// TransportStats counts the client-side cost of an unreliable
+// transport: how many requests were retransmitted and how many gave up.
+// Always zero on stream transports.
+type TransportStats struct {
+	// Retransmits is the number of request datagrams re-sent after a
+	// retry timeout expired without a response.
+	Retransmits uint64
+	// Timeouts is the number of requests that failed after exhausting
+	// every retransmission.
+	Timeouts uint64
+}
+
+// retrier is the client-side reliability layer for datagram sessions:
+// every in-flight request's plaintext envelope is kept until its
+// response arrives, and re-sealed + retransmitted on an exponential
+// backoff schedule. Re-sealing (rather than caching the sealed bytes)
+// is load-bearing: a byte-identical resend would be swallowed by the
+// server's securelink replay protection before the request ID could be
+// matched against the dedup cache.
+type retrier struct {
+	c        *Client
+	rto      time.Duration
+	maxTries int
+
+	mu      sync.Mutex
+	entries map[uint64]*retryEntry
+	wake    chan struct{}
+	stopped bool
+
+	retransmits atomic.Uint64
+	timeouts    atomic.Uint64
+}
+
+type retryEntry struct {
+	env   []byte // plaintext envelope: id(8) || message
+	tries int
+	next  time.Time
+}
+
+func newRetrier(c *Client, rto time.Duration, maxTries int) *retrier {
+	if rto <= 0 {
+		rto = defaultRetryTimeout
+	}
+	if maxTries <= 0 {
+		maxTries = defaultMaxRetries
+	}
+	return &retrier{
+		c:        c,
+		rto:      rto,
+		maxTries: maxTries,
+		entries:  make(map[uint64]*retryEntry),
+		wake:     make(chan struct{}, 1),
+	}
+}
+
+// track registers an in-flight request for retransmission.
+func (r *retrier) track(id uint64, env []byte) {
+	r.mu.Lock()
+	if !r.stopped {
+		r.entries[id] = &retryEntry{env: env, next: time.Now().Add(r.rto)}
+	}
+	r.mu.Unlock()
+	r.poke()
+}
+
+// ack drops a request whose response arrived.
+func (r *retrier) ack(id uint64) {
+	r.mu.Lock()
+	delete(r.entries, id)
+	r.mu.Unlock()
+}
+
+// stop ends the retry loop; tracked entries are abandoned (their calls
+// are failed by whoever is tearing the client down).
+func (r *retrier) stop() {
+	r.mu.Lock()
+	r.stopped = true
+	r.entries = map[uint64]*retryEntry{}
+	r.mu.Unlock()
+	r.poke()
+}
+
+func (r *retrier) poke() {
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// backoff returns the delay before try n's successor.
+func (r *retrier) backoff(tries int) time.Duration {
+	d := r.rto << uint(tries)
+	if d > maxRetryBackoff || d <= 0 {
+		d = maxRetryBackoff
+	}
+	return d
+}
+
+// run is the retransmit loop: wake at the earliest deadline, re-send
+// everything due, expire anything out of tries.
+func (r *retrier) run() {
+	for {
+		r.mu.Lock()
+		if r.stopped {
+			r.mu.Unlock()
+			return
+		}
+		var earliest time.Time
+		for _, e := range r.entries {
+			if earliest.IsZero() || e.next.Before(earliest) {
+				earliest = e.next
+			}
+		}
+		r.mu.Unlock()
+
+		if earliest.IsZero() {
+			// Nothing in flight: sleep until poked.
+			<-r.wake
+			continue
+		}
+		if d := time.Until(earliest); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-r.wake:
+				timer.Stop()
+				continue
+			case <-timer.C:
+			}
+		}
+
+		now := time.Now()
+		var resend [][]byte
+		var expired []uint64
+		r.mu.Lock()
+		if r.stopped {
+			r.mu.Unlock()
+			return
+		}
+		for id, e := range r.entries {
+			if e.next.After(now) {
+				continue
+			}
+			e.tries++
+			if e.tries > r.maxTries {
+				expired = append(expired, id)
+				delete(r.entries, id)
+				continue
+			}
+			e.next = now.Add(r.backoff(e.tries))
+			resend = append(resend, e.env)
+		}
+		r.mu.Unlock()
+
+		for _, env := range resend {
+			r.retransmits.Add(1)
+			r.c.resendEnvelope(env)
+		}
+		for _, id := range expired {
+			r.timeouts.Add(1)
+			r.c.expireCall(id)
+		}
+	}
+}

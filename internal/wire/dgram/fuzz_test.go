@@ -1,0 +1,40 @@
+package dgram
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDgramDecode checks that the datagram framing decoder is total (no
+// input panics or over-allocates) and that every accepted (kind,
+// payload) pair re-encodes to exactly the accepted bytes — the same
+// round-trip invariant FuzzWireDecode enforces one layer up. The header
+// sits in front of securelink on a datagram socket, so it is the very
+// first parser untrusted network bytes hit.
+func FuzzDgramDecode(f *testing.F) {
+	hs, _ := Encode(KindHandshake, []byte("hello"))
+	f.Add(hs)
+	sealed, _ := Encode(KindSealed, bytes.Repeat([]byte{0x42}, 64))
+	f.Add(sealed)
+	empty, _ := Encode(KindSealed, nil)
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte{Magic})
+	f.Add([]byte{Magic, Version})
+	f.Add([]byte{Magic, Version, 0x7F, 1, 2, 3})
+	f.Add([]byte{0x00, Version, KindSealed, 9})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		kind, payload, err := Decode(raw)
+		if err != nil {
+			return
+		}
+		re, err := Encode(kind, payload)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, raw) {
+			t.Fatalf("accepted frame does not round trip:\n in: %x\nout: %x", raw, re)
+		}
+	})
+}

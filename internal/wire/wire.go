@@ -266,12 +266,17 @@ type MetricsResp struct {
 	Experiments      uint64
 	Pings            uint64
 	Errors           uint64 // requests answered with an Error frame
+	// Retransmits counts responses the server re-sent from its dedup
+	// cache because a datagram-transport client retransmitted an
+	// already-answered request (always 0 on stream transports).
+	Retransmits uint64
 
 	// Securelink counters for this session's link (server side).
-	Rekeys      uint64 // key-ratchet epoch advances, both directions
-	ReplayDrops uint64
-	BytesSealed uint64
-	BytesOpened uint64
+	Rekeys        uint64 // key-ratchet epoch advances, both directions
+	ReplayDrops   uint64
+	WindowAccepts uint64 // out-of-order frames the receive window absorbed
+	BytesSealed   uint64
+	BytesOpened   uint64
 
 	// Pipelining gauges (always 0/1 on a v1 session).
 	InFlight    uint32
@@ -547,7 +552,13 @@ func (m *MetricsResp) Encode() []byte {
 	b = appendU32(b, m.InFlightHWM)
 	b = appendU32(b, m.ServerActiveSessions)
 	b = appendU64(b, m.ServerTotalSessions)
-	return appendU64(b, m.ServerReapedSessions)
+	b = appendU64(b, m.ServerReapedSessions)
+	// The PR 5 transport counters are appended at the END of the layout
+	// deliberately: a cross-build STATUS-METRICS mismatch then fails
+	// loudly in both directions (ErrTruncated / ErrTrailing) instead of
+	// silently shifting every later counter into the wrong field.
+	b = appendU64(b, m.Retransmits)
+	return appendU64(b, m.WindowAccepts)
 }
 
 // Kind returns the wire kind byte.
@@ -725,6 +736,8 @@ func Decode(b []byte) (Message, error) {
 			ServerActiveSessions: c.u32(),
 			ServerTotalSessions:  c.u64(),
 			ServerReapedSessions: c.u64(),
+			Retransmits:          c.u64(),
+			WindowAccepts:        c.u64(),
 		}
 	case KindAttackReq:
 		m = &AttackReq{Cmd: c.u8(), ShieldOn: c.bool()}

@@ -42,7 +42,8 @@ func sampleMessages() []Message {
 		&MetricsReq{},
 		&MetricsResp{SessionID: 17, Protocol: 2, Exchanges: 9, Batches: 2,
 			BatchedExchanges: 32, Attacks: 1, Experiments: 3, Pings: 5, Errors: 1,
-			Rekeys: 4, ReplayDrops: 0, BytesSealed: 1 << 20, BytesOpened: 9000,
+			Retransmits: 7, Rekeys: 4, ReplayDrops: 0, WindowAccepts: 11,
+			BytesSealed: 1 << 20, BytesOpened: 9000,
 			InFlight: 3, InFlightHWM: 12, ServerActiveSessions: 2,
 			ServerTotalSessions: 40, ServerReapedSessions: 6},
 		&Bye{},

@@ -71,10 +71,17 @@ type ServerMetrics struct {
 	TotalAttacks     uint64
 	TotalExperiments uint64
 	TotalPings       uint64
+	// TotalRetransmits counts responses re-sent from datagram-session
+	// dedup caches (the server-side cost of transport loss).
+	TotalRetransmits uint64
 	BytesSealed      uint64
 	BytesOpened      uint64
 	Rekeys           uint64
 	ReplayDrops      uint64
+	// LateDrops counts frames that arrived behind the securelink receive
+	// window; WindowAccepts counts out-of-order frames it absorbed.
+	LateDrops     uint64
+	WindowAccepts uint64
 }
 
 // String renders the snapshot as one log line.
@@ -87,6 +94,14 @@ func (s *Server) Metrics() ServerMetrics {
 
 // Serve accepts and serves sessions until the listener is closed.
 func (s *Server) Serve(l net.Listener) error { return s.s.Serve(l) }
+
+// ServePacket serves datagram sessions from a packet socket (UDP, or
+// any net.PacketConn such as an in-process fault-injection network)
+// until the socket is closed. Datagram sessions speak wire protocol v2
+// with client-side retransmission and server-side request deduplication,
+// so exchanges complete — and stay deterministic per seed — over links
+// that drop, duplicate, and reorder datagrams.
+func (s *Server) ServePacket(pc net.PacketConn) error { return s.s.ServePacket(pc) }
 
 // Pipe opens an in-process session (zero-network transport) against this
 // server.
@@ -126,6 +141,13 @@ type DialOptions struct {
 	// closes the connection and no requests are in flight. The fresh
 	// session restarts the deterministic result stream at the seed.
 	AutoReconnect bool
+	// RetryTimeout is the initial per-request retransmission timeout on
+	// datagram sessions (0 = 250ms), doubling per retransmit. Ignored on
+	// stream transports.
+	RetryTimeout time.Duration
+	// MaxRetries bounds per-request retransmissions on datagram sessions
+	// before the call fails (0 = 8). Ignored on stream transports.
+	MaxRetries int
 }
 
 func (o DialOptions) session() shieldd.SessionOptions {
@@ -139,6 +161,8 @@ func (o DialOptions) session() shieldd.SessionOptions {
 		ExtraIMDs:          o.ExtraIMDs,
 		Protocol:           o.Protocol,
 		AutoReconnect:      o.AutoReconnect,
+		RetryTimeout:       o.RetryTimeout,
+		MaxRetries:         o.MaxRetries,
 	}
 }
 
@@ -152,6 +176,30 @@ type RemoteSimulation struct {
 // Dial opens a TCP session with a shield session server.
 func Dial(addr string, secret []byte, opt DialOptions) (*RemoteSimulation, error) {
 	c, err := shieldd.Dial(addr, secret, opt.session())
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteSimulation{c: c}, nil
+}
+
+// DialUDP opens a datagram session with a shield session server's UDP
+// listener. The session speaks wire v2 over one datagram per sealed
+// frame, with transparent client-side retransmission; retry counts are
+// surfaced in SessionMetrics and TransportStats rather than as errors.
+func DialUDP(addr string, secret []byte, opt DialOptions) (*RemoteSimulation, error) {
+	c, err := shieldd.DialUDP(addr, secret, opt.session())
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteSimulation{c: c}, nil
+}
+
+// DialPacket opens a datagram session over an established packet socket
+// against the server at peer — the transport-agnostic form of DialUDP,
+// used to run sessions through in-process fault-injection networks. The
+// client becomes the socket's sole reader.
+func DialPacket(pc net.PacketConn, peer net.Addr, secret []byte, opt DialOptions) (*RemoteSimulation, error) {
+	c, err := shieldd.NewPacketClient(pc, peer, secret, opt.session())
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +276,10 @@ func (r *RemoteSimulation) ProtectedExchangeBatch(items []BatchItem) ([]Exchange
 func (r *RemoteSimulation) Ping() error { return r.c.Ping() }
 
 // SessionMetrics reports this session's counters (the STATUS-METRICS
-// frame): request mix, batching, pipelining depth, and link traffic.
+// frame): request mix, batching, pipelining depth, link traffic, and —
+// on datagram sessions — the transport-level retransmission activity on
+// both sides, so loss is observable instead of silently absorbed by the
+// retry layer.
 type SessionMetrics struct {
 	SessionID        uint64
 	Protocol         uint8
@@ -239,37 +290,72 @@ type SessionMetrics struct {
 	Experiments      uint64
 	Pings            uint64
 	Errors           uint64
-	Rekeys           uint64
-	ReplayDrops      uint64
-	BytesSealed      uint64
-	BytesOpened      uint64
-	InFlight         uint32
-	InFlightHWM      uint32
+	// Retransmits counts responses the server re-sent from its dedup
+	// cache (a request retransmit arrived after the original response
+	// was lost). Always 0 on stream transports.
+	Retransmits uint64
+	Rekeys      uint64
+	ReplayDrops uint64
+	// WindowAccepts counts out-of-order frames the server's securelink
+	// receive window absorbed.
+	WindowAccepts uint64
+	BytesSealed   uint64
+	BytesOpened   uint64
+	InFlight      uint32
+	InFlightHWM   uint32
+	// ClientRetransmits and ClientTimeouts are the client-side retry
+	// counters (local, not from the wire): request datagrams re-sent,
+	// and requests abandoned after exhausting retransmission. Always 0
+	// on stream transports.
+	ClientRetransmits uint64
+	ClientTimeouts    uint64
 }
 
-// SessionMetrics returns the session's STATUS-METRICS snapshot.
+// SessionMetrics returns the session's STATUS-METRICS snapshot merged
+// with the client-side transport retry counters.
 func (r *RemoteSimulation) SessionMetrics() (SessionMetrics, error) {
 	m, err := r.c.Metrics()
 	if err != nil {
 		return SessionMetrics{}, err
 	}
+	ts := r.c.TransportStats()
 	return SessionMetrics{
-		SessionID:        m.SessionID,
-		Protocol:         m.Protocol,
-		Exchanges:        m.Exchanges,
-		Batches:          m.Batches,
-		BatchedExchanges: m.BatchedExchanges,
-		Attacks:          m.Attacks,
-		Experiments:      m.Experiments,
-		Pings:            m.Pings,
-		Errors:           m.Errors,
-		Rekeys:           m.Rekeys,
-		ReplayDrops:      m.ReplayDrops,
-		BytesSealed:      m.BytesSealed,
-		BytesOpened:      m.BytesOpened,
-		InFlight:         m.InFlight,
-		InFlightHWM:      m.InFlightHWM,
+		SessionID:         m.SessionID,
+		Protocol:          m.Protocol,
+		Exchanges:         m.Exchanges,
+		Batches:           m.Batches,
+		BatchedExchanges:  m.BatchedExchanges,
+		Attacks:           m.Attacks,
+		Experiments:       m.Experiments,
+		Pings:             m.Pings,
+		Errors:            m.Errors,
+		Retransmits:       m.Retransmits,
+		Rekeys:            m.Rekeys,
+		ReplayDrops:       m.ReplayDrops,
+		WindowAccepts:     m.WindowAccepts,
+		BytesSealed:       m.BytesSealed,
+		BytesOpened:       m.BytesOpened,
+		InFlight:          m.InFlight,
+		InFlightHWM:       m.InFlightHWM,
+		ClientRetransmits: ts.Retransmits,
+		ClientTimeouts:    ts.Timeouts,
 	}, nil
+}
+
+// TransportStats reports the client-side datagram retry counters
+// (always zero on stream transports).
+type TransportStats struct {
+	// Retransmits is the number of request datagrams re-sent after a
+	// retry timeout.
+	Retransmits uint64
+	// Timeouts is the number of requests that failed after exhausting
+	// every retransmission.
+	Timeouts uint64
+}
+
+// TransportStats returns the session's client-side retry counters.
+func (r *RemoteSimulation) TransportStats() TransportStats {
+	return TransportStats(r.c.TransportStats())
 }
 
 // Attack runs one unauthorized-command trial, equivalent to

@@ -72,3 +72,56 @@ func TestServerPipeExperiment(t *testing.T) {
 		t.Errorf("remote experiment diverges from local:\n--- remote ---\n%s\n--- local ---\n%s", got, want.Render())
 	}
 }
+
+// The public datagram API: ServePacket on a UDP socket, DialUDP from a
+// client, per-seed equivalence with the in-process path, and the
+// transport-retry observability surface (SessionMetrics/TransportStats).
+func TestServePacketDialUDPRoundTrip(t *testing.T) {
+	secret := []byte("public-udp-secret")
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot open UDP loopback: %v", err)
+	}
+	srv, err := heartshield.NewServer(heartshield.ServeOptions{Secret: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServePacket(pc)
+
+	remote, err := heartshield.DialUDP(pc.LocalAddr().String(), secret,
+		heartshield.DialOptions{SimOptions: heartshield.SimOptions{Seed: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	local := heartshield.NewSimulation(heartshield.SimOptions{Seed: 6})
+	want, err := local.ProtectedExchange(heartshield.SetTherapy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := remote.ProtectedExchange(heartshield.SetTherapy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EavesdropperBER != want.EavesdropperBER || got.CancellationDB != want.CancellationDB ||
+		string(got.Response) != string(want.Response) {
+		t.Errorf("UDP exchange %+v != local %+v", got, want)
+	}
+	if err := remote.Ping(); err != nil {
+		t.Errorf("ping over UDP: %v", err)
+	}
+
+	m, err := remote.SessionMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Exchanges != 1 || m.Pings != 1 {
+		t.Errorf("session metrics %+v: want 1 exchange, 1 ping", m)
+	}
+	// Loopback UDP is effectively loss-free: no retries should have
+	// been needed, and the counters must exist to say so.
+	if ts := remote.TransportStats(); ts.Timeouts != 0 {
+		t.Errorf("transport stats on loopback: %+v", ts)
+	}
+}
