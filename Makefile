@@ -26,6 +26,10 @@
 #                       byte-identically at Workers=1 and Workers=8
 #   make fuzz-nightly - the nightly deep-fuzz leg: the wire + dgram + securelink
 #                       decoders for NIGHTLY_FUZZTIME each, growing the corpus
+#   make chaos-soak   - loop the overload/partition chaos walls for
+#                       SOAK_DURATION seconds, appending to SOAK_latest.txt;
+#                       fails on any iteration failure or if fewer than
+#                       SOAK_SESSION_FLOOR sessions survived in total
 #   make cover        - coverage profile over the protocol stack (securelink +
 #                       wire + dgram), printing the combined total
 #   make covercheck   - CI coverage gate: fail if the combined securelink+wire
@@ -37,6 +41,18 @@ GO ?= go
 FUZZTIME ?= 30s
 NIGHTLY_FUZZTIME ?= 10m
 BENCH_THRESHOLD ?= 25
+# Chaos-soak knobs: loop the overload/partition wall for SOAK_DURATION
+# seconds (the nightly job sets 600) and require at least
+# SOAK_SESSION_FLOOR sessions to have survived with byte-identical
+# reports across all iterations. Each iteration runs SOAK_TESTS once,
+# which exercises SOAK_SESSIONS_PER_ITER legitimate sessions (32 chaos
+# + 4 flood + 6 partition + 3 shed + 1 reap); every one of them asserts
+# its report matches the unloaded in-process run, so a passing
+# iteration IS the survival proof.
+SOAK_DURATION ?= 60
+SOAK_SESSION_FLOOR ?= 46
+SOAK_SESSIONS_PER_ITER ?= 46
+SOAK_TESTS ?= TestChaos|TestFlood|TestPartition|TestShed|TestIdleReap|TestHandshake
 # staticcheck is pinned here (and only here): the workflow installs it via
 # `make staticcheck-install`, so CI can never float to @latest on its own.
 STATICCHECK_VERSION ?= 2024.1.1
@@ -66,7 +82,7 @@ NIGHTLY_FUZZ_TARGETS = \
 COVER_PKGS = heartshield/internal/securelink,heartshield/internal/wire,heartshield/internal/wire/dgram
 COVER_TEST_PKGS = ./internal/securelink ./internal/wire/... ./internal/shieldd ./internal/faultnet
 
-.PHONY: all build test vet fmt staticcheck staticcheck-install race fuzz fuzz-nightly ci bench benchcheck benchbaseline sim golden golden-check trial-check cover covercheck coverbaseline clean
+.PHONY: all build test vet fmt staticcheck staticcheck-install race fuzz fuzz-nightly chaos-soak ci bench benchcheck benchbaseline sim golden golden-check trial-check cover covercheck coverbaseline clean
 
 all: test vet
 
@@ -115,6 +131,24 @@ fuzz-nightly:
 
 ci: fmt vet staticcheck build test race fuzz
 
+chaos-soak:
+	@end=$$(( $$(date +%s) + $(SOAK_DURATION) )); iter=0; sessions=0; \
+	echo "chaos soak: $(SOAK_DURATION)s budget, floor $(SOAK_SESSION_FLOOR) sessions" > SOAK_latest.txt; \
+	while [ $$(date +%s) -lt $$end ]; do \
+		iter=$$((iter+1)); \
+		echo "--- soak iteration $$iter ---" | tee -a SOAK_latest.txt; \
+		if ! $(GO) test -count=1 -timeout 5m -run '$(SOAK_TESTS)' ./internal/shieldd/ >> SOAK_latest.txt 2>&1; then \
+			echo "chaos soak FAILED at iteration $$iter (see SOAK_latest.txt)" | tee -a SOAK_latest.txt; \
+			tail -n 40 SOAK_latest.txt; exit 1; \
+		fi; \
+		sessions=$$((sessions + $(SOAK_SESSIONS_PER_ITER))); \
+	done; \
+	echo "chaos soak ok: $$iter iterations, $$sessions sessions survived (floor $(SOAK_SESSION_FLOOR))" | tee -a SOAK_latest.txt; \
+	if [ $$sessions -lt $(SOAK_SESSION_FLOOR) ]; then \
+		echo "chaos soak FAILED: $$sessions sessions survived < floor $(SOAK_SESSION_FLOOR)" | tee -a SOAK_latest.txt; \
+		exit 1; \
+	fi
+
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./... | tee BENCH_latest.txt
 	$(GO) run ./cmd/benchjson < BENCH_latest.txt > BENCH_latest.json
@@ -159,5 +193,5 @@ coverbaseline: cover
 	echo "re-recorded COVER_baseline.txt ($$(cat COVER_baseline.txt)% floor) — explain the refresh in the PR"
 
 clean:
-	rm -f BENCH_latest.txt BENCH_latest.json COVER_latest.out
+	rm -f BENCH_latest.txt BENCH_latest.json COVER_latest.out SOAK_latest.txt
 	$(GO) clean -testcache

@@ -9,10 +9,16 @@
 //	shieldd -listen 127.0.0.1:7700 -secret-file /etc/shieldd.secret -max-sessions 128
 //	shieldd -listen :7700 -secret swordfish -metrics 30s -idle-timeout 2m
 //	shieldd -listen :7700 -listen-udp :7701 -secret swordfish
+//	shieldd -listen :7700 -secret swordfish -admission-wait -1ns -handshake-rate 50 -max-inflight-global 256
 //
 // -listen-udp additionally serves the datagram transport (wire v2 with
 // client retransmission and server-side request dedup) on a UDP socket,
-// alongside TCP.
+// alongside TCP. The admission flags bound overload: -admission-wait
+// caps how long a handshake may queue for a session slot (negative
+// sheds immediately), -handshake-rate/-handshake-burst meter datagram
+// handshakes per peer, and -max-inflight-global sheds requests beyond a
+// server-wide work bound; shed work is answered with BUSY and the
+// -busy-retry-after hint.
 //
 // Drive it with cmd/shieldsim's client mode:
 //
@@ -45,6 +51,12 @@ func main() {
 		inFlight    = flag.Int("inflight", 16, "pipelined in-flight request window per session")
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "reap sessions idle this long (0 disables)")
 		metricsEach = flag.Duration("metrics", 0, "dump server metrics at this interval (0 disables)")
+
+		admissionWait  = flag.Duration("admission-wait", 0, "how long a handshake may wait for a session slot before BUSY (0 queues forever, negative sheds immediately)")
+		handshakeRate  = flag.Float64("handshake-rate", 0, "per-peer sustained datagram handshakes per second (0 disables rate limiting)")
+		handshakeBurst = flag.Int("handshake-burst", 0, "per-peer handshake burst on top of -handshake-rate")
+		maxInFlight    = flag.Int("max-inflight-global", 0, "server-wide in-flight work bound; excess requests get BUSY (0 disables)")
+		busyRetryAfter = flag.Duration("busy-retry-after", 0, "retry-after hint carried in BUSY replies (0 = default)")
 	)
 	flag.Parse()
 
@@ -77,6 +89,11 @@ func main() {
 		MaxExtraIMDs:       *maxExtra,
 		InFlightPerSession: *inFlight,
 		IdleTimeout:        *idleTimeout,
+		AdmissionWait:      *admissionWait,
+		HandshakeRate:      *handshakeRate,
+		HandshakeBurst:     *handshakeBurst,
+		MaxInFlightGlobal:  *maxInFlight,
+		BusyRetryAfter:     *busyRetryAfter,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

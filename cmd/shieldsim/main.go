@@ -12,12 +12,17 @@
 //	shieldsim -server 127.0.0.1:7700 -secret swordfish -batch 64 -session-metrics
 //	shieldsim -server 127.0.0.1:7701 -transport udp -secret swordfish -batch 64
 //	shieldsim -transport udp -impair "drop=0.1,dup=0.05,reorder=0.05" -exchanges 64
+//	shieldsim -impair "drop=0.05,partition=500ms:2s" -exchanges 64
+//	shieldsim -impair "up=drop:0.3,down=delay:2ms+jitter:1ms" -exchanges 32
 //
 // -transport udp dials the server's datagram listener instead of TCP.
 // -impair (no -server) runs a self-contained chaos session: an
 // in-process server and a datagram client joined by the deterministic
 // faultnet impairment layer, reporting retransmit and securelink window
-// activity — the CLI face of the chaos test wall.
+// activity — the CLI face of the chaos test wall. On top of the
+// probability/latency keys it takes partition=start:dur outage windows
+// (repeatable; offsets from session establishment) and up=/down=
+// per-direction overrides written as colon pairs joined by '+'.
 package main
 
 import (
@@ -46,7 +51,7 @@ func main() {
 		batch     = flag.Int("batch", 0, "with -server: run this many protected exchanges as BATCH-EXCHANGE frames")
 		sessMet   = flag.Bool("session-metrics", false, "with -server: print the session's STATUS-METRICS before closing")
 		transport = flag.String("transport", "tcp", "with -server: tcp or udp (datagram sessions with retransmission)")
-		impair    = flag.String("impair", "", "run a self-contained impaired datagram session: drop=P,dup=P,reorder=P,corrupt=P,delay=D,jitter=D")
+		impair    = flag.String("impair", "", "run a self-contained impaired datagram session: drop=P,dup=P,reorder=P,corrupt=P,delay=D,jitter=D,partition=start:dur,up=k:v+k:v,down=k:v+k:v")
 		impSeed   = flag.Int64("impair-seed", 1, "faultnet impairment schedule seed (deterministic per seed)")
 		exchanges = flag.Int("exchanges", 64, "with -impair: individual protected exchanges to drive through the impaired link")
 	)
@@ -178,6 +183,68 @@ func runBatch(remote *heartshield.RemoteSimulation, n int) {
 		float64(elapsed.Milliseconds())/float64(n), sumBER/float64(n), sumCancel/float64(n))
 }
 
+// impairSpec is a fully parsed -impair specification: the network-wide
+// impairment, optional per-direction overrides, and a partition
+// schedule.
+type impairSpec struct {
+	imp        faultnet.Impairment
+	up, down   *faultnet.Impairment // client→server / server→client overrides
+	partitions []faultnet.Partition
+}
+
+// parseImpairSpec parses the full -impair grammar. On top of the base
+// keys (see parseImpairment), it accepts:
+//
+//   - partition=start:dur — a scheduled full outage, offsets measured
+//     from session establishment; repeat the key for several windows
+//     ("partition=500ms:2s,partition=4s:1s").
+//   - up=... / down=... — per-direction impairment overrides for the
+//     client→server (up) or server→client (down) flow, written as
+//     colon-separated pairs joined by '+' ("up=drop:0.5+delay:2ms").
+func parseImpairSpec(spec string) (impairSpec, error) {
+	var out impairSpec
+	var base []string
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, _ := strings.Cut(field, "=")
+		switch key {
+		case "partition":
+			startS, durS, ok := strings.Cut(val, ":")
+			if !ok {
+				return out, fmt.Errorf("impairment partition=%q: want start:dur", val)
+			}
+			start, err := time.ParseDuration(startS)
+			if err != nil {
+				return out, fmt.Errorf("impairment partition start %q: %v", startS, err)
+			}
+			dur, err := time.ParseDuration(durS)
+			if err != nil {
+				return out, fmt.Errorf("impairment partition dur %q: %v", durS, err)
+			}
+			out.partitions = append(out.partitions, faultnet.Partition{Start: start, Dur: dur})
+		case "up", "down":
+			sub := strings.ReplaceAll(strings.ReplaceAll(val, ":", "="), "+", ",")
+			imp, err := parseImpairment(sub)
+			if err != nil {
+				return out, fmt.Errorf("impairment %s=%q: %v", key, val, err)
+			}
+			if key == "up" {
+				out.up = &imp
+			} else {
+				out.down = &imp
+			}
+		default:
+			base = append(base, field)
+		}
+	}
+	var err error
+	out.imp, err = parseImpairment(strings.Join(base, ","))
+	return out, err
+}
+
 // parseImpairment parses "drop=0.1,dup=0.05,reorder=0.05,corrupt=0.01,
 // delay=2ms,jitter=1ms" into a faultnet impairment.
 func parseImpairment(spec string) (faultnet.Impairment, error) {
@@ -236,13 +303,19 @@ func parseImpairment(spec string) (faultnet.Impairment, error) {
 // cost — retransmits on both sides, securelink window activity, and
 // the impairment schedule's own counters.
 func runImpaired(spec string, impairSeed, sessionSeed int64, n int) {
-	imp, err := parseImpairment(spec)
+	parsed, err := parseImpairSpec(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(2)
 	}
-	nw := faultnet.New(impairSeed, imp)
+	nw := faultnet.New(impairSeed, parsed.imp)
 	defer nw.Close()
+	if parsed.up != nil {
+		nw.SetFlowImpairment("client", "server", *parsed.up)
+	}
+	if parsed.down != nil {
+		nw.SetFlowImpairment("server", "client", *parsed.down)
+	}
 
 	secret := []byte("shieldsim-impair")
 	srv, err := heartshield.NewServer(heartshield.ServeOptions{Secret: secret})
@@ -275,6 +348,12 @@ func runImpaired(spec string, impairSeed, sessionSeed int64, n int) {
 	defer remote.Close()
 	dialTime := time.Since(start)
 
+	// Partition offsets count from here, so the windows land inside the
+	// exchange run rather than racing the handshake.
+	if len(parsed.partitions) > 0 {
+		nw.SetPartitions(parsed.partitions...)
+	}
+
 	start = time.Now()
 	var sumBER, sumCancel float64
 	for i := 0; i < n; i++ {
@@ -305,8 +384,9 @@ func runImpaired(spec string, impairSeed, sessionSeed int64, n int) {
 	fmt.Printf("  client: retransmits=%d timeouts=%d\n", m.ClientRetransmits, m.ClientTimeouts)
 	fmt.Printf("  server: cachedResends=%d replayDrops=%d windowAccepts=%d rekeys=%d\n",
 		m.Retransmits, m.ReplayDrops, m.WindowAccepts, m.Rekeys)
-	fmt.Printf("  faultnet: sent=%d delivered=%d dropped=%d dupped=%d reordered=%d corrupted=%d\n",
-		st.Sent, st.Delivered, st.Dropped, st.Dupped, st.Reordered, st.Corrupted)
+	fmt.Printf("  faultnet: sent=%d delivered=%d dropped=%d dupped=%d reordered=%d corrupted=%d overflowed=%d noRoute=%d partitionDrops=%d\n",
+		st.Sent, st.Delivered, st.Dropped, st.Dupped, st.Reordered, st.Corrupted,
+		st.Overflowed, st.NoRoute, st.PartitionDrops)
 }
 
 // printSessionMetrics prints the session's STATUS-METRICS when asked.

@@ -69,14 +69,28 @@ type Impairment struct {
 
 // Stats counts what the network did to traffic, summed over all flows.
 type Stats struct {
-	Sent       uint64 // datagrams written by endpoints
-	Delivered  uint64 // datagrams handed to a destination inbox
-	Dropped    uint64 // lost to the Drop probability
-	Dupped     uint64 // extra copies injected by Dup
-	Reordered  uint64 // datagrams held back by Reorder
-	Corrupted  uint64 // datagrams with a flipped bit
-	Overflowed uint64 // dropped at a full destination inbox
-	NoRoute    uint64 // written to an address with no endpoint
+	Sent           uint64 // datagrams written by endpoints
+	Delivered      uint64 // datagrams handed to a destination inbox
+	Dropped        uint64 // lost to the Drop probability
+	Dupped         uint64 // extra copies injected by Dup
+	Reordered      uint64 // datagrams held back by Reorder
+	Corrupted      uint64 // datagrams with a flipped bit
+	Overflowed     uint64 // dropped at a full destination inbox
+	NoRoute        uint64 // written to an address with no endpoint
+	PartitionDrops uint64 // swallowed by an active partition window
+}
+
+// Partition is one scheduled connectivity outage: every datagram whose
+// flow matches Src/Dst ("" matches anything) and whose send time falls
+// inside [Start, Start+Dur) — offsets measured from the SetPartitions
+// call that installed the schedule — is silently swallowed. A one-sided
+// filter gives an asymmetric partition (for example Src="client" cuts
+// only the uplink).
+type Partition struct {
+	Start time.Duration
+	Dur   time.Duration
+	Src   string
+	Dst   string
 }
 
 // Addr is a faultnet endpoint address.
@@ -94,10 +108,13 @@ type Network struct {
 	seed int64
 	imp  Impairment
 
-	mu     sync.Mutex
-	eps    map[string]*Endpoint
-	flows  map[string]*flow
-	closed bool
+	mu        sync.Mutex
+	eps       map[string]*Endpoint
+	flows     map[string]*flow
+	overrides map[string]Impairment // per-flow impairment, keyed "src->dst"
+	parts     []Partition
+	partBase  time.Time
+	closed    bool
 
 	stSent       atomic.Uint64
 	stDelivered  atomic.Uint64
@@ -107,6 +124,7 @@ type Network struct {
 	stCorrupted  atomic.Uint64
 	stOverflowed atomic.Uint64
 	stNoRoute    atomic.Uint64
+	stPartition  atomic.Uint64
 }
 
 // New builds a network whose impairment schedule is keyed by seed.
@@ -115,24 +133,79 @@ func New(seed int64, imp Impairment) *Network {
 		imp.ReorderDepth = 1
 	}
 	return &Network{
-		seed:  seed,
-		imp:   imp,
-		eps:   make(map[string]*Endpoint),
-		flows: make(map[string]*flow),
+		seed:      seed,
+		imp:       imp,
+		eps:       make(map[string]*Endpoint),
+		flows:     make(map[string]*flow),
+		overrides: make(map[string]Impairment),
 	}
+}
+
+// SetFlowImpairment overrides the network-wide impairment for the
+// ordered src→dst flow, enabling asymmetric links (a clean uplink under
+// a lossy downlink, or vice versa). The override is snapshotted into the
+// flow's state when the flow carries its first datagram, so it must be
+// installed before that flow sees traffic; the reverse direction is
+// untouched. The per-flow RNG and its draw contract are unchanged —
+// only the probabilities the draws are compared against differ.
+func (n *Network) SetFlowImpairment(src, dst string, imp Impairment) {
+	if imp.ReorderDepth <= 0 {
+		imp.ReorderDepth = 1
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.overrides[src+"->"+dst] = imp
+}
+
+// SetPartitions installs a partition schedule; Start offsets count from
+// this call, and any previous schedule is replaced. Partitioned
+// datagrams still consume their flow's seven RNG draws, so the
+// impairment fate of every datagram after the partition is identical to
+// a run without one — the partition removes deliveries, it never shifts
+// the schedule.
+func (n *Network) SetPartitions(parts ...Partition) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partBase = time.Now()
+	n.parts = append([]Partition(nil), parts...)
+}
+
+// partitioned reports whether an active partition window swallows a
+// src→dst datagram sent now.
+func (n *Network) partitioned(src, dst Addr) bool {
+	n.mu.Lock()
+	base, parts := n.partBase, n.parts
+	n.mu.Unlock()
+	if len(parts) == 0 {
+		return false
+	}
+	now := time.Since(base)
+	for _, p := range parts {
+		if p.Src != "" && p.Src != string(src) {
+			continue
+		}
+		if p.Dst != "" && p.Dst != string(dst) {
+			continue
+		}
+		if now >= p.Start && now < p.Start+p.Dur {
+			return true
+		}
+	}
+	return false
 }
 
 // Stats snapshots the network's impairment counters.
 func (n *Network) Stats() Stats {
 	return Stats{
-		Sent:       n.stSent.Load(),
-		Delivered:  n.stDelivered.Load(),
-		Dropped:    n.stDropped.Load(),
-		Dupped:     n.stDupped.Load(),
-		Reordered:  n.stReordered.Load(),
-		Corrupted:  n.stCorrupted.Load(),
-		Overflowed: n.stOverflowed.Load(),
-		NoRoute:    n.stNoRoute.Load(),
+		Sent:           n.stSent.Load(),
+		Delivered:      n.stDelivered.Load(),
+		Dropped:        n.stDropped.Load(),
+		Dupped:         n.stDupped.Load(),
+		Reordered:      n.stReordered.Load(),
+		Corrupted:      n.stCorrupted.Load(),
+		Overflowed:     n.stOverflowed.Load(),
+		NoRoute:        n.stNoRoute.Load(),
+		PartitionDrops: n.stPartition.Load(),
 	}
 }
 
@@ -197,6 +270,10 @@ type packet struct {
 type flow struct {
 	mu  sync.Mutex
 	rng *stats.RNG
+	// imp is the impairment this flow's draws are compared against: the
+	// network-wide default, or the flow's override (snapshotted at flow
+	// creation).
+	imp Impairment
 
 	// held is the datagram a Reorder decision parked; heldWait counts how
 	// many subsequent datagrams must pass before it is released.
@@ -234,8 +311,12 @@ func (n *Network) flowFor(src, dst string) *flow {
 	defer n.mu.Unlock()
 	f, ok := n.flows[key]
 	if !ok {
-		f = &flow{rng: stats.NewRNG(stats.DeriveSeed(n.seed, key))}
-		if n.imp.Delay > 0 || n.imp.Jitter > 0 {
+		imp := n.imp
+		if ov, ok := n.overrides[key]; ok {
+			imp = ov
+		}
+		f = &flow{rng: stats.NewRNG(stats.DeriveSeed(n.seed, key)), imp: imp}
+		if imp.Delay > 0 || imp.Jitter > 0 {
 			f.delayQ = make(chan delayed, 4*inboxCap)
 			f.done = make(chan struct{})
 			go n.delayWorker(f)
@@ -275,13 +356,22 @@ func (n *Network) send(src, dst Addr, payload []byte) {
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	drop := f.rng.Float64() < n.imp.Drop
-	dup := f.rng.Float64() < n.imp.Dup
-	reorder := f.rng.Float64() < n.imp.Reorder
-	corrupt := f.rng.Float64() < n.imp.Corrupt
+	imp := f.imp
+	drop := f.rng.Float64() < imp.Drop
+	dup := f.rng.Float64() < imp.Dup
+	reorder := f.rng.Float64() < imp.Reorder
+	corrupt := f.rng.Float64() < imp.Corrupt
 	posDraw := f.rng.Float64()
 	bitDraw := f.rng.Float64()
 	jitterDraw := f.rng.Float64()
+
+	// Partition check comes AFTER the draws so a partitioned datagram
+	// still consumes its seven: the flow's impairment schedule is
+	// unshifted by when (in wall time) the partition happened to fall.
+	if n.partitioned(src, dst) {
+		n.stPartition.Add(1)
+		return
+	}
 
 	if drop {
 		n.stDropped.Add(1)
@@ -300,8 +390,8 @@ func (n *Network) send(src, dst Addr, payload []byte) {
 	pkt := packet{from: src, data: data}
 
 	latency := time.Duration(0)
-	if n.imp.Delay > 0 || n.imp.Jitter > 0 {
-		latency = n.imp.Delay + time.Duration(jitterDraw*float64(n.imp.Jitter))
+	if imp.Delay > 0 || imp.Jitter > 0 {
+		latency = imp.Delay + time.Duration(jitterDraw*float64(imp.Jitter))
 	}
 
 	// enqueue pushes one copy through the holdback accounting and on to
@@ -322,7 +412,7 @@ func (n *Network) send(src, dst Addr, payload []byte) {
 		// Park this datagram; the next ReorderDepth datagrams of the flow
 		// overtake it.
 		f.held = &pkt
-		f.heldWait = n.imp.ReorderDepth
+		f.heldWait = imp.ReorderDepth
 		n.stReordered.Add(1)
 		if dup {
 			// The duplicate copy is not parked — it overtakes immediately,

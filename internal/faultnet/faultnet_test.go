@@ -303,3 +303,154 @@ func popcount(b byte) int {
 	}
 	return n
 }
+
+// An active partition window swallows matching datagrams; traffic
+// outside the window (or not matching the flow filter) passes, and the
+// drops are counted as PartitionDrops, not Dropped.
+func TestPartitionWindowSwallowsTraffic(t *testing.T) {
+	nw := New(21, Impairment{})
+	defer nw.Close()
+	a, _ := nw.Listen("a")
+	b, _ := nw.Listen("b")
+
+	nw.SetPartitions(Partition{Start: 0, Dur: 50 * time.Millisecond})
+	for i := 0; i < 10; i++ {
+		if _, err := a.WriteTo([]byte{byte(i)}, Addr("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = b.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	buf := make([]byte, 8)
+	if _, _, err := b.ReadFrom(buf); err == nil {
+		t.Fatal("datagram delivered through an active partition")
+	}
+	st := nw.Stats()
+	if st.PartitionDrops != 10 || st.Dropped != 0 {
+		t.Fatalf("partition drops %d (plain drops %d), want 10 (0)", st.PartitionDrops, st.Dropped)
+	}
+
+	// After the window closes, the same flow delivers again.
+	time.Sleep(60 * time.Millisecond)
+	if _, err := a.WriteTo([]byte("post"), Addr("b")); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.SetReadDeadline(time.Now().Add(time.Second))
+	if n, _, err := b.ReadFrom(buf); err != nil || string(buf[:n]) != "post" {
+		t.Fatalf("post-partition read: %q, %v", buf[:n], err)
+	}
+}
+
+// A Src/Dst-filtered partition is asymmetric: it cuts only the matching
+// direction.
+func TestPartitionCanBeAsymmetric(t *testing.T) {
+	nw := New(22, Impairment{})
+	defer nw.Close()
+	a, _ := nw.Listen("a")
+	b, _ := nw.Listen("b")
+
+	nw.SetPartitions(Partition{Start: 0, Dur: time.Hour, Src: "a", Dst: "b"})
+	if _, err := a.WriteTo([]byte("up"), Addr("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.WriteTo([]byte("down"), Addr("a")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	_ = a.SetReadDeadline(time.Now().Add(time.Second))
+	if n, _, err := a.ReadFrom(buf); err != nil || string(buf[:n]) != "down" {
+		t.Fatalf("reverse direction through one-way partition: %q, %v", buf[:n], err)
+	}
+	_ = b.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	if _, _, err := b.ReadFrom(buf); err == nil {
+		t.Fatal("partitioned direction delivered")
+	}
+	if st := nw.Stats(); st.PartitionDrops != 1 {
+		t.Fatalf("partition drops = %d, want 1", st.PartitionDrops)
+	}
+}
+
+// A partitioned datagram still consumes its flow's seven RNG draws: the
+// delivered payload sequence after the window must be identical to a run
+// where the same sends happened with no partition at all.
+func TestPartitionDoesNotShiftImpairmentSchedule(t *testing.T) {
+	// Drop-only impairment: payloads stay intact, so the delivered index
+	// sequence identifies exactly which draws fired. (Corruption would
+	// garble the indices this test filters on; its draw is consumed
+	// regardless, so drop position is a complete schedule fingerprint.)
+	imp := Impairment{Drop: 0.3}
+	run := func(partitionFirst int) [][]byte {
+		nw := New(31, imp)
+		defer nw.Close()
+		a, _ := nw.Listen("a")
+		b, _ := nw.Listen("b")
+		if partitionFirst > 0 {
+			nw.SetPartitions(Partition{Start: 0, Dur: time.Hour})
+		}
+		for i := 0; i < 200; i++ {
+			if i == partitionFirst {
+				// Lift the partition (empty schedule) for the remainder.
+				nw.SetPartitions()
+			}
+			var p [4]byte
+			binary.BigEndian.PutUint32(p[:], uint32(i))
+			if _, err := a.WriteTo(p[:], Addr("b")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got [][]byte
+		buf := make([]byte, 16)
+		_ = b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		for {
+			n, _, err := b.ReadFrom(buf)
+			if err != nil {
+				break
+			}
+			got = append(got, append([]byte(nil), buf[:n]...))
+		}
+		return got
+	}
+	clean := run(0)   // no partition
+	parted := run(50) // first 50 sends partitioned away
+	// The survivors of the partitioned run must be exactly the clean
+	// run's deliveries for datagrams ≥ 50: same drops, same corruptions.
+	var want [][]byte
+	for _, p := range clean {
+		if binary.BigEndian.Uint32(p) >= 50 {
+			want = append(want, p)
+		}
+	}
+	if !reflect.DeepEqual(parted, want) {
+		t.Fatalf("partition shifted the impairment schedule: %d delivered, want %d", len(parted), len(want))
+	}
+}
+
+// Per-flow impairment overrides make a link asymmetric without touching
+// the reverse direction or other flows.
+func TestFlowImpairmentOverride(t *testing.T) {
+	nw := New(41, Impairment{})
+	defer nw.Close()
+	nw.SetFlowImpairment("a", "b", Impairment{Drop: 1.0})
+	a, _ := nw.Listen("a")
+	b, _ := nw.Listen("b")
+
+	for i := 0; i < 20; i++ {
+		if _, err := a.WriteTo([]byte{byte(i)}, Addr("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.WriteTo([]byte("down"), Addr("a")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	_ = a.SetReadDeadline(time.Now().Add(time.Second))
+	if n, _, err := a.ReadFrom(buf); err != nil || string(buf[:n]) != "down" {
+		t.Fatalf("clean reverse direction: %q, %v", buf[:n], err)
+	}
+	_ = b.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	if _, _, err := b.ReadFrom(buf); err == nil {
+		t.Fatal("fully-dropped override direction delivered")
+	}
+	if st := nw.Stats(); st.Dropped != 20 {
+		t.Fatalf("dropped = %d, want 20", st.Dropped)
+	}
+}

@@ -23,6 +23,7 @@ type Session struct {
 	Pings            atomic.Uint64
 	Errors           atomic.Uint64 // requests answered with an Error frame
 	Retransmits      atomic.Uint64 // responses re-sent from the datagram dedup cache
+	Shed             atomic.Uint64 // requests answered BUSY by the admission gate
 
 	inFlight    atomic.Int64
 	inFlightHWM atomic.Int64
@@ -75,6 +76,17 @@ type Server struct {
 	ReplayDrops   atomic.Uint64
 	LateDrops     atomic.Uint64
 	WindowAccepts atomic.Uint64
+
+	// Overload/admission counters. CookiesSent and CookieRejects meter
+	// the stateless-cookie gate on datagram handshakes; ShedHandshakes
+	// and ShedRequests count BUSY answers at admission and inside
+	// sessions; RateLimited counts handshake datagrams the per-peer
+	// token bucket silently dropped.
+	CookiesSent    atomic.Uint64
+	CookieRejects  atomic.Uint64
+	ShedHandshakes atomic.Uint64
+	ShedRequests   atomic.Uint64
+	RateLimited    atomic.Uint64
 }
 
 // ServerSnapshot is a point-in-time copy of a Server's counters.
@@ -94,6 +106,11 @@ type ServerSnapshot struct {
 	ReplayDrops      uint64
 	LateDrops        uint64
 	WindowAccepts    uint64
+	CookiesSent      uint64
+	CookieRejects    uint64
+	ShedHandshakes   uint64
+	ShedRequests     uint64
+	RateLimited      uint64
 }
 
 // Snapshot copies the server counters.
@@ -114,6 +131,11 @@ func (m *Server) Snapshot() ServerSnapshot {
 		ReplayDrops:      m.ReplayDrops.Load(),
 		LateDrops:        m.LateDrops.Load(),
 		WindowAccepts:    m.WindowAccepts.Load(),
+		CookiesSent:      m.CookiesSent.Load(),
+		CookieRejects:    m.CookieRejects.Load(),
+		ShedHandshakes:   m.ShedHandshakes.Load(),
+		ShedRequests:     m.ShedRequests.Load(),
+		RateLimited:      m.RateLimited.Load(),
 	}
 }
 
@@ -126,5 +148,7 @@ func (s ServerSnapshot) String() string {
 		s.TotalExchanges, s.TotalBatches, s.TotalAttacks, s.TotalExperiments, s.TotalPings, s.TotalRetransmits)
 	fmt.Fprintf(&b, " sealedB=%d openedB=%d rekeys=%d replayDrops=%d lateDrops=%d windowAccepts=%d",
 		s.BytesSealed, s.BytesOpened, s.Rekeys, s.ReplayDrops, s.LateDrops, s.WindowAccepts)
+	fmt.Fprintf(&b, " cookiesSent=%d cookieRejects=%d shedHandshakes=%d shedRequests=%d rateLimited=%d",
+		s.CookiesSent, s.CookieRejects, s.ShedHandshakes, s.ShedRequests, s.RateLimited)
 	return b.String()
 }

@@ -1,0 +1,116 @@
+package securelink
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"time"
+)
+
+// CookieLen is the length of a minted handshake cookie: a truncated
+// HMAC-SHA256. 16 bytes (128 bits) keeps forgery negligible while
+// keeping the HELLO retry small.
+const CookieLen = 16
+
+// CookieSource mints and verifies stateless handshake cookies: a keyed
+// MAC over the client's transport address and HELLO nonce under a
+// rotating server secret. The server keeps no per-client state — a valid
+// cookie proves only that the sender can receive datagrams at the source
+// address it claims, which is exactly the property a spoofed-source
+// flood lacks.
+//
+// Secrets rotate on a fixed interval (lazily, on use); a cookie minted
+// under the previous secret still verifies, so an honest client's
+// echo never races a rotation. Two intervals bound a cookie's life.
+type CookieSource struct {
+	mu       sync.Mutex
+	current  [32]byte
+	previous [32]byte
+	hasPrev  bool
+	interval time.Duration
+	nextRot  time.Time
+	now      func() time.Time // test hook; time.Now outside tests
+}
+
+// NewCookieSource creates a source whose secret rotates every interval
+// (0 or negative disables time-based rotation; Rotate still works).
+func NewCookieSource(interval time.Duration) (*CookieSource, error) {
+	s := &CookieSource{interval: interval, now: time.Now}
+	if _, err := rand.Read(s.current[:]); err != nil {
+		return nil, err
+	}
+	if interval > 0 {
+		s.nextRot = s.now().Add(interval)
+	}
+	return s, nil
+}
+
+// Rotate retires the current secret to the previous slot and installs a
+// fresh one. Cookies minted under the retired secret keep verifying
+// until the next rotation.
+func (s *CookieSource) Rotate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rotateLocked()
+}
+
+func (s *CookieSource) rotateLocked() error {
+	s.previous = s.current
+	s.hasPrev = true
+	if _, err := rand.Read(s.current[:]); err != nil {
+		return err
+	}
+	if s.interval > 0 {
+		s.nextRot = s.now().Add(s.interval)
+	}
+	return nil
+}
+
+// maybeRotateLocked applies any due time-based rotation. A rotation
+// failure (exhausted entropy source) keeps the old secret — stale
+// cookies are a smaller hazard than an unkeyed one.
+func (s *CookieSource) maybeRotateLocked() {
+	if s.interval <= 0 || s.now().Before(s.nextRot) {
+		return
+	}
+	_ = s.rotateLocked()
+}
+
+// cookieMAC computes the truncated cookie MAC for (addr, nonce) under
+// key. The address is length-prefixed so (addr, nonce) pairs cannot
+// collide across a boundary shift.
+func cookieMAC(key []byte, addr string, nonce []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte("securelink cookie v1"))
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(addr)))
+	mac.Write(n[:])
+	mac.Write([]byte(addr))
+	mac.Write(nonce)
+	return mac.Sum(nil)[:CookieLen]
+}
+
+// Mint returns the cookie for a HELLO from addr carrying nonce.
+func (s *CookieSource) Mint(addr string, nonce []byte) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maybeRotateLocked()
+	return cookieMAC(s.current[:], addr, nonce)
+}
+
+// Verify reports whether cookie is valid for (addr, nonce) under the
+// current or previous secret. Constant-time per comparison.
+func (s *CookieSource) Verify(addr string, nonce, cookie []byte) bool {
+	if len(cookie) != CookieLen {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maybeRotateLocked()
+	if hmac.Equal(cookie, cookieMAC(s.current[:], addr, nonce)) {
+		return true
+	}
+	return s.hasPrev && hmac.Equal(cookie, cookieMAC(s.previous[:], addr, nonce))
+}

@@ -10,12 +10,32 @@ import (
 	"time"
 
 	"heartshield/internal/securelink"
+	"heartshield/internal/stats"
 	"heartshield/internal/wire"
 	"heartshield/internal/wire/dgram"
 )
 
 // ErrClientClosed is returned for requests submitted after Close.
 var ErrClientClosed = errors.New("shieldd: client closed")
+
+// ErrServerBusy reports that the server shed a handshake or request
+// under overload (a BUSY response) and the client exhausted its backoff
+// schedule. Match with errors.Is.
+var ErrServerBusy = errors.New("shieldd: server busy")
+
+// ErrHandshakeTimeout reports a datagram handshake that exhausted its
+// retransmission schedule without completing. Match with errors.Is.
+var ErrHandshakeTimeout = errors.New("shieldd: handshake timed out")
+
+// busyError is one BUSY response, carrying the server's retry-after
+// hint; it unwraps to ErrServerBusy.
+type busyError struct{ retryAfter time.Duration }
+
+func (e *busyError) Error() string {
+	return fmt.Sprintf("shieldd: server busy (retry after %v)", e.retryAfter)
+}
+
+func (e *busyError) Unwrap() error { return ErrServerBusy }
 
 // SessionOptions selects the simulated world a session runs in (the wire
 // form of the public SimOptions, plus the batched multi-IMD count) and
@@ -44,11 +64,21 @@ type SessionOptions struct {
 	Protocol uint8
 	// AutoReconnect makes a dialed client transparently re-dial and
 	// re-handshake when its connection has died (e.g. the server's idle
-	// reaper closed it) and no requests are in flight. The new session
-	// derives fresh keys from fresh nonces; the deterministic result
-	// stream restarts at the session seed. Only effective for clients
-	// created with Dial (a pipe/NewClient client has nothing to re-dial).
+	// reaper closed it) and no requests are in flight. On datagram
+	// sessions, exhausting a request's retransmissions also counts as a
+	// dead session (the server reaped it without a FIN-equivalent), so
+	// the next request re-handshakes. The new session derives fresh keys
+	// from fresh nonces; the deterministic result stream restarts at the
+	// session seed. Only effective for clients created with Dial or
+	// DialUDP, or given a redial function (a pipe/NewClient client has
+	// nothing to re-dial).
 	AutoReconnect bool
+
+	// RedialPacket supplies fresh packet transports for AutoReconnect on
+	// datagram sessions created with NewPacketClient (DialUDP installs
+	// its own). Each call must return a new local socket and the server
+	// address to aim it at; the old socket is closed after the swap.
+	RedialPacket func() (net.PacketConn, net.Addr, error)
 
 	// RetryTimeout is the initial retransmission timeout on datagram
 	// sessions (0 = 250ms); each further retransmit of a request doubles
@@ -122,7 +152,16 @@ type Client struct {
 	opt    SessionOptions
 	secret []byte
 	redial func() (net.Conn, error) // nil unless created by Dial
-	retry  *retrier                 // nil unless on a datagram transport
+	// redialPacket re-creates the packet transport for datagram
+	// reconnects: a fresh local socket (the old one may be poisoned or
+	// its server-side peer state reaped) aimed at the same server.
+	redialPacket func() (net.PacketConn, net.Addr, error)
+	retry        *retrier // nil unless on a datagram transport
+
+	// backoff is the deterministic jitter source for BUSY retry delays,
+	// keyed off the session seed so overload behaviour replays exactly.
+	backoffMu sync.Mutex
+	backoff   *stats.RNG
 
 	mu        sync.Mutex // guards tc/link swap, pending, nextID, err
 	writeMu   sync.Mutex // serializes Seal+WriteFrame pairs
@@ -170,6 +209,7 @@ func NewClient(conn net.Conn, secret []byte, opt SessionOptions) (*Client, error
 		sessionID: sessionID,
 		nextID:    1,
 		pending:   make(map[uint64]*Call),
+		backoff:   stats.NewRNG(stats.DeriveSeed(opt.Seed, "client-busy-backoff")),
 	}
 	if version >= 2 {
 		go c.readLoop(tc, link)
@@ -193,6 +233,15 @@ func DialUDP(addr string, secret []byte, opt SessionOptions) (*Client, error) {
 	if err != nil {
 		pc.Close()
 		return nil, err
+	}
+	if c.redialPacket == nil {
+		c.redialPacket = func() (net.PacketConn, net.Addr, error) {
+			npc, err := net.ListenPacket("udp", ":0")
+			if err != nil {
+				return nil, nil, err
+			}
+			return npc, raddr, nil
+		}
 	}
 	return c, nil
 }
@@ -224,24 +273,32 @@ func NewPacketClient(pc net.PacketConn, peer net.Addr, secret []byte, opt Sessio
 		sessionID: sessionID,
 		nextID:    1,
 		pending:   make(map[uint64]*Call),
+		backoff:   stats.NewRNG(stats.DeriveSeed(opt.Seed, "client-busy-backoff")),
 	}
+	c.redialPacket = opt.RedialPacket
 	c.retry = newRetrier(c, opt.RetryTimeout, opt.MaxRetries)
 	go c.retry.run()
 	go c.readLoop(tc, link)
 	return c, nil
 }
 
-// packetHandshake performs HELLO → CHALLENGE → HELLO-ACK over a
-// datagram connection, retransmitting the HELLO until the sealed ACK
-// arrives. A duplicate CHALLENGE (the server re-answering a
-// retransmitted HELLO with the same nonce) just re-derives the same
-// keys; an undecryptable datagram is dropped, never fatal.
+// packetHandshake performs HELLO → COOKIE → HELLO(cookie) → CHALLENGE →
+// HELLO-ACK over a datagram connection, retransmitting the HELLO until
+// the sealed ACK arrives. The first HELLO carries no cookie, so the
+// server's stateless admission gate answers it with one; echoing it
+// back proves this client receives at its claimed source address, and
+// only then does the server commit any handshake state. A duplicate
+// CHALLENGE (the server re-answering a retransmitted HELLO with the
+// same nonce) just re-derives the same keys; an undecryptable datagram
+// is dropped, never fatal. BUSY refusals are honored with deterministic
+// seeded jittered exponential backoff before re-sending.
 func packetHandshake(dc *dgram.Conn, secret []byte, opt SessionOptions) (*securelink.Link, uint8, uint64, error) {
 	var nonce [16]byte
 	if _, err := rand.Read(nonce[:]); err != nil {
 		return nil, 0, 0, fmt.Errorf("shieldd: nonce: %w", err)
 	}
-	helloEnc := opt.hello(nonce).Encode()
+	hello := opt.hello(nonce)
+	helloEnc := hello.Encode()
 	rto := opt.RetryTimeout
 	if rto <= 0 {
 		rto = defaultRetryTimeout
@@ -250,6 +307,8 @@ func packetHandshake(dc *dgram.Conn, secret []byte, opt SessionOptions) (*secure
 	if tries <= 0 {
 		tries = defaultMaxRetries
 	}
+	backoff := stats.NewRNG(stats.DeriveSeed(opt.Seed, "client-handshake-backoff"))
+	busies := 0
 
 	var link *securelink.Link
 	for attempt := 0; attempt <= tries; attempt++ {
@@ -282,6 +341,37 @@ func packetHandshake(dc *dgram.Conn, secret []byte, opt SessionOptions) (*secure
 				switch m := msg.(type) {
 				case *wire.Error:
 					return nil, 0, 0, m
+				case *wire.Cookie:
+					// The stateless admission gate's round trip: echo the
+					// cookie in the HELLO and resend immediately. This
+					// costs no retry attempt — the gate answers every
+					// cookie-less HELLO, so the reply races only loss.
+					hello.Cookie = m.Cookie
+					helloEnc = hello.Encode()
+					if err := dc.WriteFrame(dgram.KindHandshake, helloEnc); err != nil {
+						return nil, 0, 0, err
+					}
+				case *wire.Busy:
+					// Overloaded server: honor its retry-after hint with
+					// seeded jittered exponential backoff, then resend.
+					// Refusals are bounded like retransmits, surfacing
+					// ErrServerBusy when the schedule is exhausted.
+					if busies++; busies > tries {
+						return nil, 0, 0, fmt.Errorf("%w: handshake refused %d times", ErrServerBusy, busies)
+					}
+					d := time.Duration(m.RetryAfterMillis) * time.Millisecond
+					if d <= 0 {
+						d = rto
+					}
+					if d <<= uint(busies - 1); d > maxRetryBackoff || d <= 0 {
+						d = maxRetryBackoff
+					}
+					d += time.Duration(backoff.Int63() % int64(d/2+1))
+					time.Sleep(d)
+					if err := dc.WriteFrame(dgram.KindHandshake, helloEnc); err != nil {
+						return nil, 0, 0, err
+					}
+					_ = dc.SetReadDeadline(time.Now().Add(wait))
 				case *wire.Challenge:
 					nonces := append(append([]byte(nil), nonce[:]...), m.ServerNonce[:]...)
 					_, link, err = securelink.Pair(securelink.SessionSecret(secret, nonces))
@@ -315,7 +405,7 @@ func packetHandshake(dc *dgram.Conn, secret []byte, opt SessionOptions) (*secure
 			return link, ack.Version, ack.SessionID, nil
 		}
 	}
-	return nil, 0, 0, fmt.Errorf("shieldd: handshake timed out after %d attempts", tries+1)
+	return nil, 0, 0, fmt.Errorf("%w after %d attempts", ErrHandshakeTimeout, tries+1)
 }
 
 // isTimeout reports a deadline-style error.
@@ -451,9 +541,14 @@ func (c *Client) readLoop(tc transportConn, link *securelink.Link) {
 		if call == nil {
 			continue // response to an abandoned or unknown id
 		}
-		if e, ok := msg.(*wire.Error); ok {
-			call.finish(nil, e)
-		} else {
+		switch m := msg.(type) {
+		case *wire.Error:
+			call.finish(nil, m)
+		case *wire.Busy:
+			// The server shed this request under overload; roundTrip
+			// retries it with a fresh ID after a jittered backoff.
+			call.finish(nil, &busyError{retryAfter: time.Duration(m.RetryAfterMillis) * time.Millisecond})
+		default:
 			call.finish(msg, nil)
 		}
 	}
@@ -499,14 +594,25 @@ func (c *Client) resendEnvelope(env []byte) {
 	c.writeMu.Unlock()
 }
 
-// expireCall fails a request whose retransmissions are exhausted.
+// expireCall fails a request whose retransmissions are exhausted. With
+// AutoReconnect, exhaustion also poisons the session: the full retry
+// schedule spans many seconds of silence, which on a datagram transport
+// is the only observable signature of a server that reaped the session
+// (there is no FIN), so the next request re-handshakes instead of
+// feeding more retransmits to a dead peer table.
 func (c *Client) expireCall(id uint64) {
 	c.mu.Lock()
 	call := c.pending[id]
 	delete(c.pending, id)
+	tc := c.tc
 	c.mu.Unlock()
-	if call != nil {
-		call.finish(nil, fmt.Errorf("shieldd: request %d timed out after %d retransmits", id, c.retry.maxTries))
+	if call == nil {
+		return
+	}
+	err := fmt.Errorf("shieldd: request %d timed out after %d retransmits", id, c.retry.maxTries)
+	call.finish(nil, err)
+	if c.opt.AutoReconnect {
+		c.fail(tc, err)
 	}
 }
 
@@ -544,30 +650,60 @@ func (c *Client) reconnect() error {
 		c.mu.Unlock()
 		return nil // a concurrent attempt already restored the session
 	}
-	if !c.opt.AutoReconnect || c.redial == nil || len(c.pending) > 0 {
+	if !c.opt.AutoReconnect || (c.redial == nil && c.redialPacket == nil) || len(c.pending) > 0 {
 		err := c.err
 		c.mu.Unlock()
 		return err
 	}
+	isPacket := c.retry != nil
 	c.mu.Unlock()
 
 	// While c.err != nil every new request routes here and queues on
 	// reconnMu, so no one mutates tc/link/pending behind our back.
-	conn, err := c.redial()
-	if err != nil {
-		return fmt.Errorf("shieldd: reconnect: %w", err)
+	var tc transportConn
+	var link *securelink.Link
+	var version uint8
+	var sessionID uint64
+	if isPacket {
+		// Datagram reconnect: a fresh local socket (the server may have
+		// reaped this address's peer entry, and a fresh source port makes
+		// the new handshake unambiguous), then the full cookie + HELLO
+		// retransmit schedule against the same server address.
+		if c.redialPacket == nil {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return err
+		}
+		pc, peer, err := c.redialPacket()
+		if err != nil {
+			return fmt.Errorf("shieldd: reconnect: %w", err)
+		}
+		dc := dgram.NewConn(pc, peer)
+		link, version, sessionID, err = packetHandshake(dc, c.secret, c.opt)
+		if err != nil {
+			dc.Close()
+			return fmt.Errorf("shieldd: reconnect: %w", err)
+		}
+		tc = &packetTC{fc: dc}
+	} else {
+		conn, err := c.redial()
+		if err != nil {
+			return fmt.Errorf("shieldd: reconnect: %w", err)
+		}
+		var err2 error
+		link, version, sessionID, err2 = handshake(conn, c.secret, c.opt)
+		if err2 != nil {
+			conn.Close()
+			return fmt.Errorf("shieldd: reconnect: %w", err2)
+		}
+		tc = &streamConn{c: conn}
 	}
-	link, version, sessionID, err := handshake(conn, c.secret, c.opt)
-	if err != nil {
-		conn.Close()
-		return fmt.Errorf("shieldd: reconnect: %w", err)
-	}
-	tc := &streamConn{c: conn}
 
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		conn.Close()
+		tc.close()
 		return ErrClientClosed
 	}
 	old := c.tc
@@ -715,12 +851,56 @@ func (c *Client) roundTripV1(call *Call, tc transportConn, link *securelink.Link
 		call.finish(nil, e)
 		return
 	}
+	if b, ok := m.(*wire.Busy); ok {
+		call.finish(nil, &busyError{retryAfter: time.Duration(b.RetryAfterMillis) * time.Millisecond})
+		return
+	}
 	call.finish(m, nil)
 }
 
-// roundTrip submits a request and waits for its response.
+// roundTrip submits a request and waits for its response. A BUSY-shed
+// request is transparently retried with a fresh request ID after a
+// deterministic jittered backoff honoring the server's retry-after
+// hint; the retry budget reuses MaxRetries. A fresh ID is load-bearing:
+// on datagram transports the shed response is dedup-cached under the
+// old ID, so re-sending it verbatim could only ever replay the BUSY.
 func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
-	return c.Go(req).Wait()
+	tries := c.opt.MaxRetries
+	if tries <= 0 {
+		tries = defaultMaxRetries
+	}
+	for attempt := 0; ; attempt++ {
+		m, err := c.Go(req).Wait()
+		if err == nil || attempt >= tries || !errors.Is(err, ErrServerBusy) {
+			return m, err
+		}
+		time.Sleep(c.busyBackoff(err, attempt))
+	}
+}
+
+// busyBackoff returns the wait before retrying a BUSY-shed operation:
+// the server's retry-after hint (falling back to the retry timeout),
+// doubled per consecutive refusal and capped, plus up to 50% jitter
+// from the seed-keyed source — a herd of shed clients spreads out
+// instead of retrying in lockstep, yet each client's schedule replays
+// exactly per seed.
+func (c *Client) busyBackoff(err error, attempt int) time.Duration {
+	base := c.opt.RetryTimeout
+	if base <= 0 {
+		base = defaultRetryTimeout
+	}
+	var be *busyError
+	if errors.As(err, &be) && be.retryAfter > 0 {
+		base = be.retryAfter
+	}
+	d := base << uint(attempt)
+	if d > maxRetryBackoff || d <= 0 {
+		d = maxRetryBackoff
+	}
+	c.backoffMu.Lock()
+	j := time.Duration(c.backoff.Int63() % int64(d/2+1))
+	c.backoffMu.Unlock()
+	return d + j
 }
 
 // Exchange runs one protected exchange against IMD index imdIdx with the

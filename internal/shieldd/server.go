@@ -69,6 +69,14 @@ const (
 	// handshakeTimeout bounds how long an unauthenticated connection may
 	// hold a goroutine before sending its HELLO.
 	handshakeTimeout = 10 * time.Second
+	// cookieRotateEvery is the handshake-cookie secret rotation interval:
+	// a minted cookie stays valid for one to two intervals (current +
+	// previous epoch), long enough for any sane handshake retry schedule,
+	// short enough that a harvested cookie is not a durable capability.
+	cookieRotateEvery = 30 * time.Second
+	// defaultBusyRetryAfter is the retry-after hint carried in BUSY
+	// responses when the config does not set one.
+	defaultBusyRetryAfter = 250 * time.Millisecond
 )
 
 // ServerConfig configures a session server.
@@ -76,8 +84,9 @@ type ServerConfig struct {
 	// Secret is the provisioned master pairing secret; per-session keys
 	// are derived from it and the client's HELLO nonce. Required.
 	Secret []byte
-	// MaxSessions bounds concurrently active sessions; further handshakes
-	// queue until a slot frees. Default 64.
+	// MaxSessions bounds concurrently active sessions; what happens to
+	// further handshakes is AdmissionWait's choice (by default they queue
+	// until a slot frees). Default 64.
 	MaxSessions int
 	// ExperimentWorkers caps the Workers value of EXPERIMENT frames (the
 	// deterministic per-point fan-out inside one experiment). Default 1.
@@ -98,6 +107,30 @@ type ServerConfig struct {
 	// PING keepalives and reconnect with a fresh handshake after a reap.
 	// Zero disables reaping.
 	IdleTimeout time.Duration
+
+	// AdmissionWait selects what happens to a handshake when every
+	// session slot is taken. Zero (the default) preserves the historical
+	// behaviour: the handshake queues until a slot frees. Negative sheds
+	// immediately with a BUSY response. Positive waits up to that long
+	// for a slot before shedding.
+	AdmissionWait time.Duration
+	// HandshakeRate, when positive, rate-limits datagram handshakes per
+	// source address to this many per second (with HandshakeBurst burst
+	// capacity). Only cookie-verified addresses are metered, so the
+	// limiter state cannot be grown by spoofed traffic. Zero disables
+	// per-peer rate limiting.
+	HandshakeRate float64
+	// HandshakeBurst is the per-peer token-bucket burst capacity.
+	// Default 4 (when HandshakeRate is set).
+	HandshakeBurst int
+	// MaxInFlightGlobal, when positive, bounds scenario-mutating and
+	// experiment work in flight across ALL sessions; over-budget
+	// requests are answered BUSY instead of queueing. Zero means
+	// unlimited (per-session windows still apply).
+	MaxInFlightGlobal int
+	// BusyRetryAfter is the retry-after hint carried in BUSY responses.
+	// Default 250ms.
+	BusyRetryAfter time.Duration
 }
 
 // Server is a concurrent shield session server.
@@ -105,11 +138,22 @@ type Server struct {
 	cfg  ServerConfig
 	pool *scenarioPool
 	sem  chan struct{}
-	// hsSem bounds concurrent PRE-authentication datagram handshakes:
-	// an unauthenticated HELLO datagram (source address spoofable) must
-	// not buy an unbounded number of goroutines and key derivations.
-	// Excess handshakes are dropped; legitimate clients retransmit.
-	hsSem chan struct{}
+	// gsem, when non-nil, bounds scenario/experiment work in flight
+	// across all sessions (MaxInFlightGlobal); acquisition is always
+	// non-blocking — over-budget work is shed with BUSY, never queued.
+	gsem chan struct{}
+	// cookies mints and verifies the stateless handshake cookies that
+	// gate datagram session state: no goroutine, key derivation, or peer
+	// registration happens for a source address that has not echoed a
+	// cookie, so a spoofed-source HELLO flood costs the server one HMAC
+	// and one small reply datagram per packet and zero state.
+	cookies *securelink.CookieSource
+	// hsLimiter, when non-nil, rate-limits cookie-verified handshakes
+	// per source address.
+	hsLimiter *rateLimiter
+	// dl is the most recent ServePacket listener, for peer-table
+	// introspection (DatagramPeers).
+	dl atomic.Pointer[dgram.Listener]
 
 	nextSession atomic.Uint64
 	met         metrics.Server
@@ -132,12 +176,94 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.InFlightPerSession <= 0 {
 		cfg.InFlightPerSession = 16
 	}
-	return &Server{
-		cfg:   cfg,
-		pool:  newScenarioPool(cfg.PoolPerShape),
-		sem:   make(chan struct{}, cfg.MaxSessions),
-		hsSem: make(chan struct{}, 2*cfg.MaxSessions),
-	}, nil
+	if cfg.BusyRetryAfter <= 0 {
+		cfg.BusyRetryAfter = defaultBusyRetryAfter
+	}
+	if cfg.HandshakeBurst <= 0 {
+		cfg.HandshakeBurst = 4
+	}
+	cookies, err := securelink.NewCookieSource(cookieRotateEvery)
+	if err != nil {
+		return nil, fmt.Errorf("shieldd: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    newScenarioPool(cfg.PoolPerShape),
+		sem:     make(chan struct{}, cfg.MaxSessions),
+		cookies: cookies,
+	}
+	if cfg.MaxInFlightGlobal > 0 {
+		s.gsem = make(chan struct{}, cfg.MaxInFlightGlobal)
+	}
+	if cfg.HandshakeRate > 0 {
+		s.hsLimiter = newRateLimiter(cfg.HandshakeRate, cfg.HandshakeBurst)
+	}
+	return s, nil
+}
+
+// retryAfterMillis is the wire form of the BUSY retry-after hint.
+func (s *Server) retryAfterMillis() uint32 {
+	return uint32(s.cfg.BusyRetryAfter / time.Millisecond)
+}
+
+// admitSession takes a session slot under the AdmissionWait policy:
+// block (zero), shed immediately (negative), or wait-then-shed
+// (positive). It reports whether a slot was taken.
+func (s *Server) admitSession() bool {
+	switch {
+	case s.cfg.AdmissionWait == 0:
+		s.sem <- struct{}{}
+		return true
+	case s.cfg.AdmissionWait < 0:
+		select {
+		case s.sem <- struct{}{}:
+			return true
+		default:
+			return false
+		}
+	default:
+		select {
+		case s.sem <- struct{}{}:
+			return true
+		default:
+		}
+		t := time.NewTimer(s.cfg.AdmissionWait)
+		defer t.Stop()
+		select {
+		case s.sem <- struct{}{}:
+			return true
+		case <-t.C:
+			return false
+		}
+	}
+}
+
+// acquireWork takes a slot of the global in-flight budget; it never
+// blocks — over-budget work is shed, not queued. Always true when
+// MaxInFlightGlobal is unset.
+func (s *Server) acquireWork() bool {
+	if s.gsem == nil {
+		return true
+	}
+	select {
+	case s.gsem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) releaseWork() {
+	if s.gsem != nil {
+		<-s.gsem
+	}
+}
+
+// shedRequest counts one in-session request answered BUSY.
+func (s *Server) shedRequest(sess *session) *wire.Busy {
+	sess.met.Shed.Add(1)
+	s.met.ShedRequests.Add(1)
+	return &wire.Busy{RetryAfterMillis: s.retryAfterMillis()}
 }
 
 // Serve accepts connections until the listener is closed, running one
@@ -228,11 +354,24 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}
 
 	// Authenticated (the ID handed out in the ack only becomes a counted
-	// session here). Admission: block until a session slot frees (bounded
-	// concurrency), then lift the handshake deadline (experiment requests
-	// may legitimately run for minutes).
+	// session here). Admission: under the default AdmissionWait=0 policy
+	// this blocks until a session slot frees (bounded concurrency);
+	// shedding policies answer the first request with a sealed BUSY
+	// instead of queueing. Then lift the handshake deadline (experiment
+	// requests may legitimately run for minutes).
+	if !s.admitSession() {
+		s.met.ShedHandshakes.Add(1)
+		busy := &wire.Busy{RetryAfterMillis: s.retryAfterMillis()}
+		if version >= 2 {
+			if id, _, err := wire.DecodeEnvelope(plain); err == nil {
+				_ = wire.WriteFrame(conn, link.Seal(wire.EncodeEnvelope(id, busy)))
+				return
+			}
+		}
+		_ = wire.WriteFrame(conn, link.Seal(busy.Encode()))
+		return
+	}
 	s.met.TotalSessions.Add(1)
-	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 	s.met.ActiveSessions.Add(1)
 	defer s.met.ActiveSessions.Add(-1)
@@ -260,7 +399,8 @@ func (s *Server) ServeConn(conn net.Conn) {
 // built on v2's request IDs, which v1 does not carry. It returns the
 // socket's read error.
 func (s *Server) ServePacket(pc net.PacketConn) error {
-	l := dgram.Listen(pc)
+	l := dgram.ListenGated(pc, s.handshakeGate)
+	s.dl.Store(l)
 	defer l.Close()
 	for {
 		peer, err := l.Accept()
@@ -271,6 +411,71 @@ func (s *Server) ServePacket(pc net.PacketConn) error {
 	}
 }
 
+// DatagramPeers reports the number of registered datagram peers on the
+// most recent ServePacket listener (zero when none is running) — the
+// per-address session state a handshake flood would have to grow, and
+// therefore the quantity the chaos tests pin at zero for cookie-less
+// floods.
+func (s *Server) DatagramPeers() int {
+	if l := s.dl.Load(); l != nil {
+		return l.PeerCount()
+	}
+	return 0
+}
+
+// handshakeGate is the stateless admission gate consulted by the
+// datagram listener for every handshake datagram from an unknown source
+// address, BEFORE any per-peer state exists. The full ladder:
+//
+//  1. the datagram must decode as a HELLO (anything else is dropped
+//     silently — no reflection surface for garbage);
+//  2. a HELLO without a cookie is answered with a freshly minted one
+//     (keyed MAC over the source address and the client's nonce) and
+//     NOT admitted — this is the stateless round trip that proves the
+//     peer can receive at its claimed source address;
+//  3. a HELLO with an invalid cookie (spoofed, corrupted, or two
+//     rotations stale) is answered with a fresh cookie so a legitimate
+//     client with a stale cookie recovers in one round trip;
+//  4. a cookie-verified HELLO passes the per-peer rate limiter (only
+//     verified addresses allocate limiter entries) — over-rate peers
+//     are dropped silently, they already have a valid cookie to retry
+//     with;
+//  5. finally, under a shedding admission policy, a HELLO that would
+//     only queue behind a full session table is refused with a
+//     plaintext BUSY carrying the retry-after hint.
+//
+// Every reply is at most a few dozen bytes to a cookie-carrying (and
+// for BUSY, cookie-verified) source, so the gate amplifies nothing and
+// commits no state: the cost of a spoofed flood is one HMAC per packet.
+func (s *Server) handshakeGate(addr net.Addr, payload []byte) (accept bool, reply []byte) {
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		return false, nil
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		return false, nil
+	}
+	if len(hello.Cookie) == 0 {
+		s.met.CookiesSent.Add(1)
+		return false, (&wire.Cookie{Cookie: s.cookies.Mint(addr.String(), hello.Nonce[:])}).Encode()
+	}
+	if !s.cookies.Verify(addr.String(), hello.Nonce[:], hello.Cookie) {
+		s.met.CookieRejects.Add(1)
+		s.met.CookiesSent.Add(1)
+		return false, (&wire.Cookie{Cookie: s.cookies.Mint(addr.String(), hello.Nonce[:])}).Encode()
+	}
+	if s.hsLimiter != nil && !s.hsLimiter.allow(addr.String()) {
+		s.met.RateLimited.Add(1)
+		return false, nil
+	}
+	if s.cfg.AdmissionWait != 0 && len(s.sem) == cap(s.sem) {
+		s.met.ShedHandshakes.Add(1)
+		return false, (&wire.Busy{RetryAfterMillis: s.retryAfterMillis()}).Encode()
+	}
+	return true, nil
+}
+
 // servePeer runs one datagram session. The handshake mirrors ServeConn
 // — HELLO → CHALLENGE → sealed HELLO-ACK → first authenticated sealed
 // frame commits a session slot — with the lossy-transport differences:
@@ -278,27 +483,15 @@ func (s *Server) ServePacket(pc net.PacketConn) error {
 // ACK) instead of confusing the session, and undecryptable datagrams
 // are dropped instead of ending the handshake.
 //
-// Pre-authentication hardening: hsSem bounds concurrent unauthenticated
-// handshakes (the handshake deadline bounds their lifetime), so a HELLO
-// flood from spoofed addresses saturates a fixed budget instead of
-// growing goroutines without limit. The ~50-byte CHALLENGE+ACK reply to
-// a spoofed source is a small reflection surface that a stateless
-// cookie exchange would close; see ROADMAP.
+// Pre-authentication hardening: a peer only reaches this point after
+// its HELLO passed handshakeGate — it echoed a valid stateless cookie,
+// proving it can receive at its source address, and passed the per-peer
+// rate limit. A spoofed-source flood therefore never starts a handshake
+// goroutine or derives a key; what floods can still reach here is
+// bounded by real, receive-capable addresses, each under the handshake
+// deadline.
 func (s *Server) servePeer(peer *dgram.PeerConn) {
 	defer peer.Close()
-	select {
-	case s.hsSem <- struct{}{}:
-	default:
-		return // handshake budget exhausted: drop; the client retransmits
-	}
-	hsHeld := true
-	releaseHS := func() {
-		if hsHeld {
-			hsHeld = false
-			<-s.hsSem
-		}
-	}
-	defer releaseHS()
 	_ = peer.SetReadDeadline(time.Now().Add(handshakeTimeout))
 
 	// Phase 1: a valid HELLO (the listener guarantees the first datagram
@@ -397,11 +590,21 @@ func (s *Server) servePeer(peer *dgram.PeerConn) {
 		plain = p
 	}
 
-	// Authenticated: release the handshake budget and commit a session
-	// slot and a scenario, exactly like the stream path.
-	releaseHS()
+	// Authenticated: commit a session slot and a scenario, exactly like
+	// the stream path. Under a shedding admission policy the gate already
+	// refuses HELLOs while the table is full, so shedding here only
+	// catches the race where the table filled between gate and commit;
+	// the refusal is a sealed BUSY bound to the first request's ID, so
+	// the client's pending call fails fast instead of timing out.
+	if !s.admitSession() {
+		s.met.ShedHandshakes.Add(1)
+		if id, _, err := wire.DecodeEnvelope(plain); err == nil {
+			busy := &wire.Busy{RetryAfterMillis: s.retryAfterMillis()}
+			_ = peer.WriteFrame(dgram.KindSealed, link.Seal(wire.EncodeEnvelope(id, busy)))
+		}
+		return
+	}
 	s.met.TotalSessions.Add(1)
-	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 	s.met.ActiveSessions.Add(1)
 	defer s.met.ActiveSessions.Add(-1)
@@ -410,11 +613,50 @@ func (s *Server) servePeer(peer *dgram.PeerConn) {
 	sess.id = id
 	sess.version = version
 	sess.link = link
+	origNonce := hello.Nonce
+	sess.takeover = func(payload []byte) bool {
+		return s.sessionTakeover(peer, origNonce, payload)
+	}
 	defer s.pool.put(sess.sc)
 	defer s.absorbLinkStats(link)
 	_ = peer.SetReadDeadline(time.Time{})
 
 	s.serveV2(&packetTC{fc: peer}, link, sess, plain)
+}
+
+// sessionTakeover classifies a handshake datagram that reached an
+// ESTABLISHED datagram session and reports whether the session should
+// end to free its address. A HELLO with this session's own nonce is a
+// late retransmit: ignore it. A HELLO with a different nonce is a new
+// client instance on the same source address (the old one died with its
+// BYE lost to the network) — but the address is spoofable, so handover
+// demands the same proof the admission gate does: a cookie-less HELLO
+// is answered with a minted cookie, and only a cookie-VERIFIED new
+// nonce ends the session (an off-path attacker can spoof the address
+// but cannot receive the cookie, so established sessions cannot be
+// reset blind). The ended session's peer slot frees, and the newcomer's
+// HELLO retransmit reaches the admission gate to start fresh.
+func (s *Server) sessionTakeover(peer *dgram.PeerConn, origNonce [16]byte, payload []byte) bool {
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		return false
+	}
+	h, ok := msg.(*wire.Hello)
+	if !ok || h.Nonce == origNonce {
+		return false
+	}
+	addr := peer.RemoteAddr().String()
+	if len(h.Cookie) == 0 {
+		s.met.CookiesSent.Add(1)
+		_ = peer.WriteFrame(dgram.KindHandshake,
+			(&wire.Cookie{Cookie: s.cookies.Mint(addr, h.Nonce[:])}).Encode())
+		return false
+	}
+	if !s.cookies.Verify(addr, h.Nonce[:], h.Cookie) {
+		s.met.CookieRejects.Add(1)
+		return false
+	}
+	return true
 }
 
 // absorbLinkStats folds a finished session's link traffic into the
@@ -569,10 +811,13 @@ func (s *Server) serveV2(tc transportConn, link *securelink.Link, sess *session,
 		}
 	}()
 
-	// Executor: scenario-mutating requests in arrival order.
+	// Executor: scenario-mutating requests in arrival order. Every
+	// envelope on exec holds one slot of the global work budget, released
+	// as soon as the scenario work is done.
 	go func() {
 		for e := range exec {
 			resp := s.dispatchScenario(sess, e.msg)
+			s.releaseWork()
 			out <- envelope{e.id, resp}
 			sess.met.LeaveFlight()
 			<-slots
@@ -640,10 +885,24 @@ func (s *Server) serveV2(tc transportConn, link *securelink.Link, sess *session,
 		}
 		switch m := req.(type) {
 		case *wire.ExchangeReq, *wire.BatchReq, *wire.AttackReq:
-			exec <- envelope{id, m} // executor releases the slot
+			// Global load shedding: scenario work must fit the server-wide
+			// in-flight budget or be answered BUSY. The BUSY flows through
+			// the writer like any response, so on unreliable transports it
+			// lands in the dedup cache — a retransmit of the same request
+			// ID gets the cached BUSY, never a second execution attempt.
+			if !s.acquireWork() {
+				respond(id, s.shedRequest(sess))
+				return false
+			}
+			exec <- envelope{id, m} // executor releases the slot and work budget
 		case *wire.ExperimentReq:
+			if !s.acquireWork() {
+				respond(id, s.shedRequest(sess))
+				return false
+			}
 			sess.met.Experiments.Add(1)
 			go func() {
+				defer s.releaseWork()
 				respond(id, s.handleExperiment(m))
 			}()
 		case *wire.Ping:
@@ -682,7 +941,13 @@ func (s *Server) serveV2(tc transportConn, link *securelink.Link, sess *session,
 		}
 		if hs {
 			// A handshake datagram straggling into an established session
-			// (late HELLO retransmit): ignore it.
+			// is usually a late HELLO retransmit of this session: ignore
+			// it. A cookie-verified HELLO with a DIFFERENT nonce is a new
+			// client instance on this address — hand the address over.
+			if sess.takeover != nil && sess.takeover(raw) {
+				shutdown(0)
+				return
+			}
 			continue
 		}
 		lastActivity.Store(time.Now().UnixNano())
@@ -748,6 +1013,11 @@ type session struct {
 	// switching exchange targets restores the matching measurement.
 	rssi   []float64
 	target int
+	// takeover, on datagram sessions, classifies handshake frames that
+	// straggle into the established session; returning true ends the
+	// session so a new client instance on the same address can start
+	// fresh (see sessionTakeover). Nil on stream sessions.
+	takeover func(payload []byte) bool
 }
 
 // newSession wires a scenario into a session, calibrating every implant
@@ -981,6 +1251,12 @@ func (s *Server) handleMetrics(sess *session) wire.Message {
 		ServerActiveSessions: uint32(s.met.ActiveSessions.Load()),
 		ServerTotalSessions:  s.met.TotalSessions.Load(),
 		ServerReapedSessions: s.met.ReapedSessions.Load(),
+		Shed:                 sess.met.Shed.Load(),
+		ServerCookiesSent:    s.met.CookiesSent.Load(),
+		ServerCookieRejects:  s.met.CookieRejects.Load(),
+		ServerShedHandshakes: s.met.ShedHandshakes.Load(),
+		ServerShedRequests:   s.met.ShedRequests.Load(),
+		ServerRateLimited:    s.met.RateLimited.Load(),
 	}
 }
 

@@ -207,7 +207,8 @@ type frame struct {
 // Sealed datagrams from unknown addresses are dropped — a session can
 // only begin with a handshake frame.
 type Listener struct {
-	pc net.PacketConn
+	pc   net.PacketConn
+	gate Gate
 
 	mu     sync.Mutex
 	peers  map[string]*PeerConn
@@ -218,11 +219,28 @@ type Listener struct {
 	done     chan struct{}
 }
 
+// Gate vets the first handshake datagram from an unknown address before
+// ANY per-peer state exists — no PeerConn, no inbox, no map entry. It
+// returns accept=true to admit the peer (the triggering frame is then
+// delivered to the new PeerConn as usual), or accept=false to refuse it;
+// a non-nil reply is then sent back as a single stateless KindHandshake
+// datagram (a cookie challenge or BUSY refusal). The gate runs on the
+// listener's read loop, so it must be cheap — one MAC, no blocking.
+type Gate func(addr net.Addr, payload []byte) (accept bool, reply []byte)
+
 // Listen starts demultiplexing the packet socket. The listener owns the
 // socket's read side from here on.
 func Listen(pc net.PacketConn) *Listener {
+	return ListenGated(pc, nil)
+}
+
+// ListenGated is Listen with an admission gate consulted before any
+// per-peer state is allocated for a new address. A nil gate admits
+// every handshake (identical to Listen).
+func ListenGated(pc net.PacketConn, gate Gate) *Listener {
 	l := &Listener{
 		pc:       pc,
+		gate:     gate,
 		peers:    make(map[string]*PeerConn),
 		acceptCh: make(chan *PeerConn, acceptBacklog),
 		done:     make(chan struct{}),
@@ -231,7 +249,19 @@ func Listen(pc net.PacketConn) *Listener {
 	return l
 }
 
-// readLoop is the socket's sole reader: decode, route, create peers.
+// PeerCount returns the number of peer connections currently registered
+// — the listener's entire per-peer memory footprint, which overload
+// tests pin to prove flood HELLOs allocate nothing.
+func (l *Listener) PeerCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.peers)
+}
+
+// readLoop is the socket's sole reader: decode, gate, route, create
+// peers. It is also the only goroutine that ever inserts into l.peers,
+// so checking the map and calling the gate without holding the lock
+// cannot race another insertion.
 func (l *Listener) readLoop() {
 	buf := make([]byte, MaxDatagram)
 	for {
@@ -251,10 +281,21 @@ func (l *Listener) readLoop() {
 			return
 		}
 		peer, ok := l.peers[key]
+		l.mu.Unlock()
 		if !ok {
 			if kind != KindHandshake {
-				l.mu.Unlock()
 				continue // sessions begin with a handshake frame
+			}
+			if l.gate != nil {
+				accept, reply := l.gate(addr, payload)
+				if !accept {
+					if reply != nil {
+						if b, err := Encode(KindHandshake, reply); err == nil {
+							_, _ = l.pc.WriteTo(b, addr)
+						}
+					}
+					continue
+				}
 			}
 			peer = &PeerConn{
 				l:      l,
@@ -264,18 +305,22 @@ func (l *Listener) readLoop() {
 				closed: make(chan struct{}),
 				dlCh:   make(chan struct{}),
 			}
-			l.peers[key] = peer
+			l.mu.Lock()
+			if l.closed {
+				l.mu.Unlock()
+				return
+			}
 			select {
 			case l.acceptCh <- peer:
+				l.peers[key] = peer
+				l.mu.Unlock()
 			default:
 				// Accept backlog full: refuse the handshake by forgetting
 				// the peer; its retransmit tries again later.
-				delete(l.peers, key)
 				l.mu.Unlock()
 				continue
 			}
 		}
-		l.mu.Unlock()
 		select {
 		case peer.inbox <- frame{kind: kind, payload: append([]byte(nil), payload...)}:
 		default:

@@ -205,3 +205,76 @@ func TestDeadlineAndClose(t *testing.T) {
 		t.Fatal("accept after close succeeded")
 	}
 }
+
+// A gated listener consults the gate before allocating ANY per-peer
+// state: refused handshakes leave PeerCount at zero and never reach
+// Accept, a refusal reply comes back as a stateless handshake datagram,
+// and an accepted handshake is delivered to its new PeerConn as usual.
+func TestListenerGate(t *testing.T) {
+	nw := faultnet.New(4, faultnet.Impairment{})
+	defer nw.Close()
+	spc, err := nw.Listen("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := 0
+	l := dgram.ListenGated(spc, func(addr net.Addr, payload []byte) (bool, []byte) {
+		gated++
+		if bytes.Equal(payload, []byte("open-sesame")) {
+			return true, nil
+		}
+		return false, []byte("denied")
+	})
+	defer l.Close()
+
+	cpc, err := nw.Listen("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dgram.NewConn(cpc, faultnet.Addr("server"))
+
+	// Refused handshakes: no peer state, reply delivered statelessly.
+	for i := 0; i < 3; i++ {
+		if err := c.WriteFrame(dgram.KindHandshake, []byte("flood")); err != nil {
+			t.Fatal(err)
+		}
+		_ = c.SetReadDeadline(time.Now().Add(time.Second))
+		kind, payload, err := c.ReadFrame()
+		if err != nil {
+			t.Fatalf("refusal reply %d: %v", i, err)
+		}
+		if kind != dgram.KindHandshake || !bytes.Equal(payload, []byte("denied")) {
+			t.Fatalf("refusal reply %d: kind %d payload %q", i, kind, payload)
+		}
+	}
+	if n := l.PeerCount(); n != 0 {
+		t.Fatalf("refused handshakes left %d peers registered", n)
+	}
+
+	// An accepted handshake creates the peer and delivers the frame.
+	if err := c.WriteFrame(dgram.KindHandshake, []byte("open-sesame")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p.SetReadDeadline(time.Now().Add(time.Second))
+	if _, payload, err := p.ReadFrame(); err != nil || !bytes.Equal(payload, []byte("open-sesame")) {
+		t.Fatalf("accepted frame: %q, %v", payload, err)
+	}
+	if n := l.PeerCount(); n != 1 {
+		t.Fatalf("accepted handshake registered %d peers, want 1", n)
+	}
+	// Later datagrams from a registered peer bypass the gate.
+	before := gated
+	if err := c.WriteFrame(dgram.KindHandshake, []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if _, payload, err := p.ReadFrame(); err != nil || !bytes.Equal(payload, []byte("again")) {
+		t.Fatalf("second frame: %q, %v", payload, err)
+	}
+	if gated != before {
+		t.Fatal("gate consulted for a datagram from a registered peer")
+	}
+}

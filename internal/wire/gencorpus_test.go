@@ -36,4 +36,11 @@ func TestWriteV2Corpus(t *testing.T) {
 	write("v2-envelope-batch", EncodeEnvelope(0xFFFFFFFFFFFFFFFF, (&BatchReq{Items: []ExchangeItem{{IMD: 0, Cmd: 0}}})))
 	write("v2-envelope-truncated", []byte{0, 0, 0, 0, 0, 0, 0})
 	write("v2-batch-lying-count", []byte{KindBatchReq, 0xFF, 0xFF, 0xFF, 0xFF})
+	cookieHello := &Hello{Version: Version, Seed: 11, Cookie: []byte("cookie-echo-0123")}
+	copy(cookieHello.Nonce[:], "fuzz-hello-nonce")
+	write("v6-hello-cookie", cookieHello.Encode())
+	write("v6-cookie", (&Cookie{Cookie: []byte("srv-cookie-challenge")}).Encode())
+	write("v6-busy", (&Busy{RetryAfterMillis: 1000}).Encode())
+	write("v6-envelope-busy", EncodeEnvelope(13, &Busy{RetryAfterMillis: 250}))
+	write("v6-cookie-lying-len", []byte{KindCookie, 0xFF, 0xFF, 0xFF, 0xFF})
 }

@@ -109,6 +109,7 @@ const (
 	KindHello          byte = 0x01
 	KindHelloAck       byte = 0x02
 	KindChallenge      byte = 0x03
+	KindCookie         byte = 0x04
 	KindExchangeReq    byte = 0x10
 	KindExchangeResp   byte = 0x11
 	KindAttackReq      byte = 0x12
@@ -123,6 +124,7 @@ const (
 	KindPong           byte = 0x33
 	KindMetricsReq     byte = 0x34
 	KindMetricsResp    byte = 0x35
+	KindBusy           byte = 0x3C
 	KindBye            byte = 0x3E
 	KindError          byte = 0x3F
 )
@@ -160,6 +162,13 @@ type Message interface {
 
 // Hello opens a session: the client's public nonce (fed into the session
 // key derivation) plus the scenario options the session should simulate.
+//
+// Cookie is the stateless-handshake cookie echoed back to a datagram
+// server. A first HELLO carries an empty cookie; a server under
+// admission control answers it with a Cookie frame instead of committing
+// any per-peer state, and the client retries the identical HELLO with
+// the cookie attached. Stream transports ignore the field (the TCP
+// three-way handshake already proves source-address reachability).
 type Hello struct {
 	Version   uint8
 	Nonce     [16]byte
@@ -167,6 +176,25 @@ type Hello struct {
 	Location  uint8
 	Flags     uint8
 	ExtraIMDs uint8
+	Cookie    []byte
+}
+
+// Cookie is the server's plaintext answer to a cookie-less HELLO on an
+// admission-controlled datagram listener: an opaque keyed-MAC token
+// binding the client's address and nonce to a rotating server secret.
+// The server keeps no state when sending it; only a HELLO that echoes a
+// valid cookie proves the source address is reachable and may proceed to
+// the CHALLENGE round.
+type Cookie struct {
+	Cookie []byte
+}
+
+// Busy is the server's load-shedding answer: the request (or handshake)
+// was refused without any execution, and the client should retry after
+// RetryAfterMillis plus its own jitter. In the handshake it travels in
+// plaintext; inside a session it is a sealed envelope response.
+type Busy struct {
+	RetryAfterMillis uint32
 }
 
 // Challenge is the server's plaintext reply to HELLO: a fresh server
@@ -286,6 +314,19 @@ type MetricsResp struct {
 	ServerActiveSessions uint32
 	ServerTotalSessions  uint64
 	ServerReapedSessions uint64
+
+	// Shed counts requests in this session answered with BUSY by the
+	// admission gate (never half-executed; appended at end of layout,
+	// PR 5 convention).
+	Shed uint64
+
+	// Server-wide overload/admission counters (appended at end of
+	// layout, PR 5 convention).
+	ServerCookiesSent    uint64 // cookie challenges sent to cookie-less HELLOs
+	ServerCookieRejects  uint64 // HELLOs dropped for an invalid/stale cookie
+	ServerShedHandshakes uint64 // handshakes answered BUSY at the admission gate
+	ServerShedRequests   uint64 // in-session requests answered BUSY
+	ServerRateLimited    uint64 // handshake datagrams dropped by per-peer rate limit
 }
 
 // ExperimentReq runs a registry experiment server-side.
@@ -430,11 +471,28 @@ func (m *Hello) Encode() []byte {
 	b := []byte{KindHello, m.Version}
 	b = append(b, m.Nonce[:]...)
 	b = appendU64(b, uint64(m.Seed))
-	return append(b, m.Location, m.Flags, m.ExtraIMDs)
+	b = append(b, m.Location, m.Flags, m.ExtraIMDs)
+	return appendBytes(b, m.Cookie)
 }
 
 // Kind returns the wire kind byte.
 func (m *Hello) Kind() byte { return KindHello }
+
+// Encode serializes the Cookie message.
+func (m *Cookie) Encode() []byte {
+	return appendBytes([]byte{KindCookie}, m.Cookie)
+}
+
+// Kind returns the wire kind byte.
+func (m *Cookie) Kind() byte { return KindCookie }
+
+// Encode serializes the Busy message.
+func (m *Busy) Encode() []byte {
+	return appendU32([]byte{KindBusy}, m.RetryAfterMillis)
+}
+
+// Kind returns the wire kind byte.
+func (m *Busy) Kind() byte { return KindBusy }
 
 // Encode serializes the Challenge message.
 func (m *Challenge) Encode() []byte {
@@ -558,7 +616,14 @@ func (m *MetricsResp) Encode() []byte {
 	// loudly in both directions (ErrTruncated / ErrTrailing) instead of
 	// silently shifting every later counter into the wrong field.
 	b = appendU64(b, m.Retransmits)
-	return appendU64(b, m.WindowAccepts)
+	b = appendU64(b, m.WindowAccepts)
+	// PR 6 overload/admission counters — same append-at-end convention.
+	b = appendU64(b, m.Shed)
+	b = appendU64(b, m.ServerCookiesSent)
+	b = appendU64(b, m.ServerCookieRejects)
+	b = appendU64(b, m.ServerShedHandshakes)
+	b = appendU64(b, m.ServerShedRequests)
+	return appendU64(b, m.ServerRateLimited)
 }
 
 // Kind returns the wire kind byte.
@@ -658,7 +723,12 @@ func Decode(b []byte) (Message, error) {
 		h.Location = c.u8()
 		h.Flags = c.u8()
 		h.ExtraIMDs = c.u8()
+		h.Cookie = c.bytes()
 		m = h
+	case KindCookie:
+		m = &Cookie{Cookie: c.bytes()}
+	case KindBusy:
+		m = &Busy{RetryAfterMillis: c.u32()}
 	case KindChallenge:
 		ch := &Challenge{}
 		if len(c.b) >= len(ch.ServerNonce) && c.err == nil {
@@ -738,6 +808,12 @@ func Decode(b []byte) (Message, error) {
 			ServerReapedSessions: c.u64(),
 			Retransmits:          c.u64(),
 			WindowAccepts:        c.u64(),
+			Shed:                 c.u64(),
+			ServerCookiesSent:    c.u64(),
+			ServerCookieRejects:  c.u64(),
+			ServerShedHandshakes: c.u64(),
+			ServerShedRequests:   c.u64(),
+			ServerRateLimited:    c.u64(),
 		}
 	case KindAttackReq:
 		m = &AttackReq{Cmd: c.u8(), ShieldOn: c.bool()}

@@ -14,11 +14,16 @@ func sampleMessages() []Message {
 	hello := &Hello{Version: Version, Seed: -42, Location: 7,
 		Flags: FlagFlatJam | FlagConcerto, ExtraIMDs: 3}
 	copy(hello.Nonce[:], "nonce-0123456789")
+	cookieHello := &Hello{Version: Version, Seed: 9, Cookie: []byte("opaque-cookie-token")}
+	copy(cookieHello.Nonce[:], "nonce-covershoot")
 	challenge := &Challenge{}
 	copy(challenge.ServerNonce[:], "srvnonce-9876543")
 	return []Message{
 		hello,
+		cookieHello,
 		challenge,
+		&Cookie{Cookie: []byte("mac-over-addr-and-nonce!")},
+		&Busy{RetryAfterMillis: 750},
 		&HelloAck{Version: Version, SessionID: 0xDEADBEEF01},
 		&ExchangeReq{IMD: 2, Cmd: CmdSetTherapy},
 		&ExchangeResp{Response: []byte("patient-data"), ResponseCommand: "data-response",
@@ -45,7 +50,9 @@ func sampleMessages() []Message {
 			Retransmits: 7, Rekeys: 4, ReplayDrops: 0, WindowAccepts: 11,
 			BytesSealed: 1 << 20, BytesOpened: 9000,
 			InFlight: 3, InFlightHWM: 12, ServerActiveSessions: 2,
-			ServerTotalSessions: 40, ServerReapedSessions: 6},
+			ServerTotalSessions: 40, ServerReapedSessions: 6,
+			Shed: 2, ServerCookiesSent: 64, ServerCookieRejects: 9,
+			ServerShedHandshakes: 12, ServerShedRequests: 5, ServerRateLimited: 30},
 		&Bye{},
 		&Error{Code: CodeExchangeFailed, Msg: "IMD did not respond"},
 	}

@@ -33,6 +33,23 @@ type ServeOptions struct {
 	// pool. Clients hold sessions open with Ping keepalives and may
 	// auto-reconnect with a fresh handshake after a reap. Zero disables.
 	IdleTimeout time.Duration
+	// AdmissionWait selects what happens to a handshake when every
+	// session slot is taken: zero queues until a slot frees (the
+	// default), negative sheds immediately with a BUSY response,
+	// positive waits up to that long before shedding.
+	AdmissionWait time.Duration
+	// HandshakeRate, when positive, rate-limits datagram handshakes per
+	// source address to this many per second (burst HandshakeBurst,
+	// default 4). Only cookie-verified addresses are metered.
+	HandshakeRate  float64
+	HandshakeBurst int
+	// MaxInFlightGlobal, when positive, bounds scenario/experiment work
+	// in flight across all sessions; over-budget requests are answered
+	// BUSY instead of queueing.
+	MaxInFlightGlobal int
+	// BusyRetryAfter is the retry-after hint carried in BUSY responses
+	// (default 250ms).
+	BusyRetryAfter time.Duration
 }
 
 // Server is a running shield session service: it owns a pool of recycled
@@ -52,6 +69,11 @@ func NewServer(opt ServeOptions) (*Server, error) {
 		MaxExtraIMDs:       opt.MaxExtraIMDs,
 		InFlightPerSession: opt.InFlightPerSession,
 		IdleTimeout:        opt.IdleTimeout,
+		AdmissionWait:      opt.AdmissionWait,
+		HandshakeRate:      opt.HandshakeRate,
+		HandshakeBurst:     opt.HandshakeBurst,
+		MaxInFlightGlobal:  opt.MaxInFlightGlobal,
+		BusyRetryAfter:     opt.BusyRetryAfter,
 	})
 	if err != nil {
 		return nil, err
@@ -82,6 +104,14 @@ type ServerMetrics struct {
 	// window; WindowAccepts counts out-of-order frames it absorbed.
 	LateDrops     uint64
 	WindowAccepts uint64
+	// Overload/admission counters: stateless-cookie activity on datagram
+	// handshakes, BUSY answers at admission and inside sessions, and
+	// handshakes dropped by the per-peer rate limiter.
+	CookiesSent    uint64
+	CookieRejects  uint64
+	ShedHandshakes uint64
+	ShedRequests   uint64
+	RateLimited    uint64
 }
 
 // String renders the snapshot as one log line.
@@ -303,6 +333,9 @@ type SessionMetrics struct {
 	BytesOpened   uint64
 	InFlight      uint32
 	InFlightHWM   uint32
+	// Shed counts this session's requests answered BUSY by the global
+	// load-shedding gate.
+	Shed uint64
 	// ClientRetransmits and ClientTimeouts are the client-side retry
 	// counters (local, not from the wire): request datagrams re-sent,
 	// and requests abandoned after exhausting retransmission. Always 0
@@ -337,6 +370,7 @@ func (r *RemoteSimulation) SessionMetrics() (SessionMetrics, error) {
 		BytesOpened:       m.BytesOpened,
 		InFlight:          m.InFlight,
 		InFlightHWM:       m.InFlightHWM,
+		Shed:              m.Shed,
 		ClientRetransmits: ts.Retransmits,
 		ClientTimeouts:    ts.Timeouts,
 	}, nil
