@@ -30,6 +30,12 @@
 #                       SOAK_DURATION seconds, appending to SOAK_latest.txt;
 #                       fails on any iteration failure or if fewer than
 #                       SOAK_SESSION_FLOOR sessions survived in total
+#   make loadcheck    - fleet load gate: cmd/shieldtest drives LOAD_SESSIONS
+#                       concurrent sessions (open barrier, zero failures
+#                       tolerated) across LOAD_DAEMONS daemon processes,
+#                       then a LOAD_SOAK_DURATION soak that must sustain
+#                       LOAD_SESSIONS_FLOOR sessions/sec; fleet reports are
+#                       written to FLEET_barrier.json / FLEET_soak.json
 #   make cover        - coverage profile over the protocol stack (securelink +
 #                       wire + dgram), printing the combined total
 #   make covercheck   - CI coverage gate: fail if the combined securelink+wire
@@ -53,11 +59,28 @@ SOAK_DURATION ?= 60
 SOAK_SESSION_FLOOR ?= 46
 SOAK_SESSIONS_PER_ITER ?= 46
 SOAK_TESTS ?= TestChaos|TestFlood|TestPartition|TestShed|TestIdleReap|TestHandshake
+# Fleet loadcheck knobs: the barrier leg proves LOAD_SESSIONS sessions
+# concurrently open across LOAD_DAEMONS shieldd processes with zero
+# failures and exact client/daemon counter reconciliation; the soak leg
+# cycles sessions for LOAD_SOAK_DURATION and must sustain at least
+# LOAD_SESSIONS_FLOOR sessions/sec (measured ~48/s on a 1-core dev box —
+# the floor leaves a wide margin for slower CI runners). The generous
+# LOAD_RETRY_TIMEOUT keeps CPU-saturation queueing on the datagram
+# transport from being misread as loss: a spurious retransmit storm under
+# a too-short timeout amplifies load until requests genuinely expire.
+LOAD_DAEMONS ?= 2
+LOAD_SESSIONS ?= 1000
+LOAD_SOAK_DURATION ?= 30s
+LOAD_SOAK_WORKERS ?= 32
+LOAD_SESSIONS_FLOOR ?= 10
+LOAD_RETRY_TIMEOUT ?= 90s
 # staticcheck is pinned here (and only here): the workflow installs it via
 # `make staticcheck-install`, so CI can never float to @latest on its own.
 STATICCHECK_VERSION ?= 2024.1.1
-# The exchange benchmarks the perf gate watches (root package + shieldd).
-BENCH_GATE = BenchmarkProtectedExchange$$|BenchmarkSessionExchange$$|BenchmarkBatchedExchange$$|BenchmarkSequentialExchanges$$
+# The benchmarks the perf gate watches (root package + shieldd): the
+# exchange paths plus the metrics-scrape path (which must stay
+# allocation-bounded with ~1k live sessions for continuous scraping).
+BENCH_GATE = BenchmarkProtectedExchange$$|BenchmarkSessionExchange$$|BenchmarkBatchedExchange$$|BenchmarkSequentialExchanges$$|BenchmarkMetricsSnapshot$$
 
 # Every fuzz target in the repo as package:Fuzzname pairs.
 FUZZ_TARGETS = \
@@ -82,7 +105,7 @@ NIGHTLY_FUZZ_TARGETS = \
 COVER_PKGS = heartshield/internal/securelink,heartshield/internal/wire,heartshield/internal/wire/dgram
 COVER_TEST_PKGS = ./internal/securelink ./internal/wire/... ./internal/shieldd ./internal/faultnet
 
-.PHONY: all build test vet fmt staticcheck staticcheck-install race fuzz fuzz-nightly chaos-soak ci bench benchcheck benchbaseline sim golden golden-check trial-check cover covercheck coverbaseline clean
+.PHONY: all build test vet fmt staticcheck staticcheck-install race fuzz fuzz-nightly chaos-soak loadcheck ci bench benchcheck benchbaseline sim golden golden-check trial-check cover covercheck coverbaseline clean
 
 all: test vet
 
@@ -149,6 +172,20 @@ chaos-soak:
 		exit 1; \
 	fi
 
+loadcheck:
+	$(GO) build -o bin/shieldtest ./cmd/shieldtest
+	@ulimit -n 8192 2>/dev/null || true; \
+	echo "--- loadcheck barrier leg: $(LOAD_SESSIONS) concurrent sessions, $(LOAD_DAEMONS) daemons ---"; \
+	./bin/shieldtest -daemons $(LOAD_DAEMONS) -sessions $(LOAD_SESSIONS) -workers $(LOAD_SESSIONS) \
+		-barrier -ops 2 -mix exchange=1,ping=1 -seed 11 \
+		-retry-timeout $(LOAD_RETRY_TIMEOUT) -max-retries 16 \
+		-min-concurrent $(LOAD_SESSIONS) -max-failed 0 -o FLEET_barrier.json && \
+	echo "--- loadcheck soak leg: $(LOAD_SOAK_DURATION), floor $(LOAD_SESSIONS_FLOOR) sessions/sec ---" && \
+	./bin/shieldtest -daemons $(LOAD_DAEMONS) -duration $(LOAD_SOAK_DURATION) -workers $(LOAD_SOAK_WORKERS) \
+		-ops 8 -mix exchange=2,batch=1,ping=5 -batch 4 -seed 12 \
+		-retry-timeout $(LOAD_RETRY_TIMEOUT) -max-retries 16 \
+		-min-sessions-per-sec $(LOAD_SESSIONS_FLOOR) -max-failed 0 -o FLEET_soak.json
+
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./... | tee BENCH_latest.txt
 	$(GO) run ./cmd/benchjson < BENCH_latest.txt > BENCH_latest.json
@@ -194,4 +231,5 @@ coverbaseline: cover
 
 clean:
 	rm -f BENCH_latest.txt BENCH_latest.json COVER_latest.out SOAK_latest.txt
+	rm -f FLEET_barrier.json FLEET_soak.json bin/shieldtest
 	$(GO) clean -testcache

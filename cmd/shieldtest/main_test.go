@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"heartshield/internal/loadgen"
+)
+
+// TestMain doubles this test binary as the shieldtest executable: with
+// SHIELDTEST_MAIN=1 it runs main() instead of the tests, so the smoke
+// test below exercises the real multi-process path — including the
+// -daemon re-exec, which spawns os.Executable() (this same binary, env
+// inherited) as fleet children.
+func TestMain(m *testing.M) {
+	if os.Getenv("SHIELDTEST_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// End-to-end process-mode smoke: the driver spawns a real daemon child,
+// drives sessions over TCP and UDP, writes a fleet report, and every
+// counter reconciles against the child's METRICS dump.
+func TestProcessModeSmoke(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "fleet.json")
+	cmd := exec.Command(exe,
+		"-daemons", "1",
+		"-sessions", "4",
+		"-workers", "4",
+		"-ops", "2",
+		"-mix", "exchange=1,ping=3",
+		"-seed", "5",
+		"-retry-timeout", "30s",
+		"-min-concurrent", "1",
+		"-max-failed", "0",
+		"-o", out,
+	)
+	cmd.Env = append(os.Environ(), "SHIELDTEST_MAIN=1")
+	var stderr bytes.Buffer
+	cmd.Stdout = &stderr
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("shieldtest failed: %v\n%s", err, stderr.String())
+	}
+
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Sessions.Opened != 4 || rep.Sessions.Failed != 0 {
+		t.Fatalf("opened/failed = %d/%d, want 4/0\n%s", rep.Sessions.Opened, rep.Sessions.Failed, stderr.String())
+	}
+	if len(rep.Daemons) != 1 {
+		t.Fatalf("daemon reports = %d, want 1", len(rep.Daemons))
+	}
+	if !rep.Reconciliation.Checked || !rep.Reconciliation.OK {
+		t.Fatalf("reconciliation: %+v", rep.Reconciliation)
+	}
+	if got := rep.Daemons[0].Metrics.TotalSessions; got != 4 {
+		t.Fatalf("daemon counted %d sessions, want 4", got)
+	}
+	// Both transports were exercised (2 endpoints, sessions round-robin).
+	if len(rep.Endpoints) != 2 {
+		t.Fatalf("endpoints = %d, want 2 (tcp+udp)", len(rep.Endpoints))
+	}
+}

@@ -1,0 +1,170 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"heartshield"
+)
+
+// Daemon is one shieldd instance under load, however it is hosted: the
+// in-process fleet below (tests, -inproc mode) and cmd/shieldtest's
+// child-process daemons both implement it, so the runner and the report
+// reconciliation never care which side of a process boundary the server
+// lives on.
+type Daemon interface {
+	// ID is the daemon's stable index in the fleet.
+	ID() int
+	// Endpoints lists the daemon's dialable transports.
+	Endpoints() []Endpoint
+	// Metrics scrapes the daemon's server-wide counters.
+	Metrics() (heartshield.ServerMetrics, error)
+	// Close tears the daemon down.
+	Close() error
+}
+
+// inprocDaemon hosts a heartshield.Server on real localhost sockets
+// inside this process.
+type inprocDaemon struct {
+	id        int
+	srv       *heartshield.Server
+	endpoints []Endpoint
+	closers   []func() error
+}
+
+// StartInprocDaemon starts one in-process daemon listening on the given
+// transports ("tcp", "udp") on ephemeral localhost ports.
+func StartInprocDaemon(id int, transports []string, opt heartshield.ServeOptions) (Daemon, error) {
+	srv, err := heartshield.NewServer(opt)
+	if err != nil {
+		return nil, err
+	}
+	d := &inprocDaemon{id: id, srv: srv}
+	for _, tr := range transports {
+		switch tr {
+		case "tcp":
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				d.Close()
+				return nil, err
+			}
+			d.endpoints = append(d.endpoints, Endpoint{Daemon: id, Transport: "tcp", Addr: l.Addr().String()})
+			d.closers = append(d.closers, l.Close)
+			go srv.Serve(l)
+		case "udp":
+			pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+			if err != nil {
+				d.Close()
+				return nil, err
+			}
+			d.endpoints = append(d.endpoints, Endpoint{Daemon: id, Transport: "udp", Addr: pc.LocalAddr().String()})
+			d.closers = append(d.closers, pc.Close)
+			go srv.ServePacket(pc)
+		default:
+			d.Close()
+			return nil, fmt.Errorf("loadgen: unknown transport %q", tr)
+		}
+	}
+	return d, nil
+}
+
+func (d *inprocDaemon) ID() int               { return d.id }
+func (d *inprocDaemon) Endpoints() []Endpoint { return d.endpoints }
+
+func (d *inprocDaemon) Metrics() (heartshield.ServerMetrics, error) {
+	return d.srv.Metrics(), nil
+}
+
+func (d *inprocDaemon) Close() error {
+	var first error
+	for _, c := range d.closers {
+		if err := c(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// StartInprocFleet starts n in-process daemons, each serving every
+// transport in transports.
+func StartInprocFleet(n int, transports []string, opt heartshield.ServeOptions) ([]Daemon, error) {
+	daemons := make([]Daemon, 0, n)
+	for i := 0; i < n; i++ {
+		d, err := StartInprocDaemon(i, transports, opt)
+		if err != nil {
+			CloseFleet(daemons)
+			return nil, err
+		}
+		daemons = append(daemons, d)
+	}
+	return daemons, nil
+}
+
+// CloseFleet closes every daemon, returning the first error.
+func CloseFleet(daemons []Daemon) error {
+	var first error
+	for _, d := range daemons {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// FleetEndpoints flattens the fleet's endpoints in (daemon, transport)
+// order; the runner assigns session i to endpoint i % len, so this
+// ordering round-robins sessions across daemons first, then transports.
+func FleetEndpoints(daemons []Daemon) []Endpoint {
+	var eps []Endpoint
+	// Interleave daemon-major: d0.t0, d1.t0, ..., d0.t1, d1.t1, ...
+	maxT := 0
+	for _, d := range daemons {
+		if n := len(d.Endpoints()); n > maxT {
+			maxT = n
+		}
+	}
+	for t := 0; t < maxT; t++ {
+		for _, d := range daemons {
+			if t < len(d.Endpoints()) {
+				eps = append(eps, d.Endpoints()[t])
+			}
+		}
+	}
+	return eps
+}
+
+// RunFleet drives the configured load against a fleet and returns the
+// fully reconciled report. Daemons are scraped after the run settles so
+// session teardown (BYE, close) has landed in the counters.
+func RunFleet(cfg Config, daemons []Daemon) (*Report, error) {
+	eps := FleetEndpoints(daemons)
+	rep, err := Run(cfg, eps)
+	if err != nil {
+		return nil, err
+	}
+	// Give in-flight teardown (server-side session goroutine exit after
+	// the client's BYE/close) a moment to settle before the final scrape;
+	// retry briefly until ActiveSessions drains rather than sleeping a
+	// fixed worst case.
+	var dreps []DaemonReport
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		dreps = dreps[:0]
+		var active int64
+		for _, d := range daemons {
+			m, err := d.Metrics()
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: scrape daemon %d: %w", d.ID(), err)
+			}
+			active += m.ActiveSessions
+			dreps = append(dreps, DaemonReport{ID: d.ID(), Metrics: m})
+		}
+		if active == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rep.Reconcile(dreps)
+	return rep, nil
+}

@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heartshield"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// A fixed-seed fleet run must produce a byte-identical normalized report:
+// the op ledger is a pure function of (seed, session index), worker
+// scheduling only changes timings (zeroed by Normalize), and every
+// client-side counter must reconcile exactly against the daemon's own
+// metrics dump.
+func TestFleetReportGolden(t *testing.T) {
+	daemons, err := StartInprocFleet(1, []string{"tcp", "udp"}, heartshield.ServeOptions{
+		Secret:      []byte("golden-fleet"),
+		MaxSessions: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseFleet(daemons)
+
+	rep, err := RunFleet(Config{
+		Seed:          20110815, // SIGCOMM'11
+		Secret:        []byte("golden-fleet"),
+		Sessions:      8,
+		Workers:       4,
+		OpsPerSession: 6,
+		Mix:           Mix{Exchange: 2, Batch: 1, Ping: 2, Experiment: 1},
+		BatchSize:     3,
+		Experiment:    "fig7",
+	}, daemons)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Sessions.Failed != 0 {
+		t.Fatalf("failed sessions: %d (%v)", rep.Sessions.Failed, rep.Sessions.FailReasons)
+	}
+	if rep.Sessions.Opened != 8 || rep.Sessions.Survived != 8 {
+		t.Fatalf("opened/survived = %d/%d, want 8/8", rep.Sessions.Opened, rep.Sessions.Survived)
+	}
+	if !rep.Reconciliation.Checked || !rep.Reconciliation.OK {
+		t.Fatalf("reconciliation failed: %+v", rep.Reconciliation)
+	}
+	for _, c := range rep.Reconciliation.Checks {
+		if !c.OK {
+			t.Errorf("check %s: client %d != server %d", c.Name, c.Client, c.Server)
+		}
+	}
+	// 8 opening pings plus 48 mix-drawn ops land on the daemon (sim-failed
+	// exchanges/batches are completed ops whose modeled channel lost the
+	// exchange).
+	total := rep.Ops.Exchanges + rep.Ops.Batches + rep.Ops.Pings + rep.Ops.Experiments +
+		rep.Ops.SimFailedExchanges + rep.Ops.SimFailedBatches
+	if total != 8+48 {
+		t.Fatalf("total ops = %d, want 56", total)
+	}
+	if rep.Latency.Open.Count != 8 || rep.Latency.Op.Count != 48 {
+		t.Fatalf("latency counts open=%d op=%d, want 8/48", rep.Latency.Open.Count, rep.Latency.Op.Count)
+	}
+
+	rep.Normalize()
+	got, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "fleet_report.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("normalized fleet report drifted from golden (run with -update and inspect the diff)\ngot:\n%s", got)
+	}
+
+	// The golden file itself must stay valid, schema-tagged JSON.
+	var parsed Report
+	if err := json.Unmarshal(want, &parsed); err != nil {
+		t.Fatalf("golden file is not valid JSON: %v", err)
+	}
+	if parsed.Schema != reportSchema {
+		t.Fatalf("golden schema %q != %q", parsed.Schema, reportSchema)
+	}
+}
+
+// The normalized report must not depend on the worker count: 1 worker
+// (fully serial) and 8 workers (maximally concurrent for 8 sessions)
+// must produce byte-identical normalized reports.
+func TestFleetReportWorkerCountInvariant(t *testing.T) {
+	run := func(workers int) []byte {
+		daemons, err := StartInprocFleet(1, []string{"tcp"}, heartshield.ServeOptions{
+			Secret:      []byte("golden-fleet"),
+			MaxSessions: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer CloseFleet(daemons)
+		rep, err := RunFleet(Config{
+			Seed:          99,
+			Secret:        []byte("golden-fleet"),
+			Sessions:      8,
+			Workers:       workers,
+			OpsPerSession: 4,
+			Mix:           Mix{Exchange: 1, Ping: 3},
+		}, daemons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Sessions.Failed != 0 {
+			t.Fatalf("workers=%d: failed sessions %v", workers, rep.Sessions.FailReasons)
+		}
+		rep.Normalize()
+		rep.Config.Workers = 0 // the one intentional difference
+		b, err := rep.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := run(1)
+	concurrent := run(8)
+	if !bytes.Equal(serial, concurrent) {
+		t.Errorf("normalized report depends on worker count:\nserial:\n%s\nconcurrent:\n%s", serial, concurrent)
+	}
+}

@@ -1,0 +1,202 @@
+// Package loadgen is the fleet-scale load harness behind cmd/shieldtest:
+// a pool of client workers driving thousands of concurrent sessions
+// against one or more shieldd daemons (TCP and UDP) with a configurable,
+// deterministic op mix, per-session latency recorded into mergeable
+// HDR-style histograms, and a single machine-readable fleet report whose
+// client-side counters are reconciled against each daemon's metrics dump.
+package loadgen
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Histogram layout: values below histExact are counted exactly (one
+// bucket per nanosecond); above that, each power-of-two octave is split
+// into histSubCount linear sub-buckets, so any recorded value lands in a
+// bucket whose width is at most value/histSubCount — quantiles are
+// correct to within 1/32 (~3.1%) relative error at any magnitude, the
+// same guarantee as an HDR histogram with 5 significant bits. The bucket
+// array is fixed-size and index arithmetic is two shifts and a mask, so
+// recording is branch-light and Merge is a flat array add.
+const (
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits       // 32 linear sub-buckets per octave
+	histExact    = 1 << (histSubBits + 1) // 64: values below are exact
+	// histOctaves covers bit lengths 7..63, i.e. every positive int64.
+	histOctaves = 57
+	histBuckets = histExact + histOctaves*histSubCount
+)
+
+// Hist is a mergeable latency histogram over non-negative int64 values
+// (nanoseconds, by convention of Record). The zero value is ready to
+// use. Not safe for concurrent use: workers record into their own Hist
+// and the runner Merges them afterwards — merging is associative and
+// commutative, so any merge tree yields the same histogram.
+type Hist struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// bucketIndex maps a value to its bucket. Negative values clamp to 0.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < histExact {
+		return int(u)
+	}
+	k := bits.Len64(u) // 7..63 here
+	// Top histSubBits+1 bits select the octave's linear sub-bucket; the
+	// leading 1 bit is implied by the octave, leaving histSubBits bits.
+	sub := (u >> uint(k-histSubBits-1)) & (histSubCount - 1)
+	return histExact + (k-histSubBits-2)*histSubCount + int(sub)
+}
+
+// bucketHigh returns the largest value mapping to bucket i — the value
+// Quantile reports, so quantiles never under-estimate.
+func bucketHigh(i int) int64 {
+	if i < histExact {
+		return int64(i)
+	}
+	oct := (i - histExact) / histSubCount
+	sub := (i - histExact) % histSubCount
+	k := oct + histSubBits + 2 // bit length of values in this octave
+	low := int64(1)<<(k-1) | int64(sub)<<(k-histSubBits-1)
+	return low + int64(1)<<(k-histSubBits-1) - 1
+}
+
+// RecordValue records one non-negative value (nanoseconds by convention).
+func (h *Hist) RecordValue(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Record records one duration.
+func (h *Hist) Record(d time.Duration) { h.RecordValue(int64(d)) }
+
+// Count returns the number of recorded values.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *Hist) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Hist) Max() int64 { return h.max }
+
+// Mean returns the exact arithmetic mean of recorded values (0 when
+// empty) — exact because the sum is tracked outside the buckets.
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) of the
+// recorded values, within 1/32 relative error, clamped to the exact
+// observed min and max. Empty histograms return 0.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	target := uint64(q*float64(h.count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			v := bucketHigh(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h. Merging is a flat array add plus min/max/sum
+// bookkeeping, so it is associative and commutative: merging per-worker
+// histograms in any order or grouping yields identical state.
+func (h *Hist) Merge(other *Hist) {
+	if other.count == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// LatencySummary is the JSON-stable quantile digest of a Hist, in
+// microseconds (float, so sub-microsecond handshakes stay visible).
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MinUS  float64 `json:"min_us"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P90US  float64 `json:"p90_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// Summary digests the histogram into the fleet report's latency block.
+func (h *Hist) Summary() LatencySummary {
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	return LatencySummary{
+		Count:  h.count,
+		MinUS:  us(h.Min()),
+		MeanUS: h.Mean() / 1e3,
+		P50US:  us(h.Quantile(0.50)),
+		P90US:  us(h.Quantile(0.90)),
+		P99US:  us(h.Quantile(0.99)),
+		P999US: us(h.Quantile(0.999)),
+		MaxUS:  us(h.Max()),
+	}
+}
+
+// String renders the digest for log lines.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d p50=%.0fµs p90=%.0fµs p99=%.0fµs p999=%.0fµs max=%.0fµs",
+		s.Count, s.P50US, s.P90US, s.P99US, s.P999US, s.MaxUS)
+}

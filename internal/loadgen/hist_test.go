@@ -1,0 +1,198 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Every bucket must contain exactly the values whose index maps to it:
+// bucketHigh(i) is the largest value in bucket i, bucketHigh(i)+1 must
+// land in a later bucket, and indices must be monotone in the value.
+func TestHistBucketBoundaries(t *testing.T) {
+	// Exact region: one bucket per value.
+	for v := int64(0); v < histExact; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want exact bucket %d", v, got, v)
+		}
+		if got := bucketHigh(int(v)); got != v {
+			t.Fatalf("bucketHigh(%d) = %d, want %d", v, got, v)
+		}
+	}
+	// Log-linear region: walk the boundary of every bucket up to 2^40.
+	prev := -1
+	for v := int64(histExact); v < 1<<40; {
+		i := bucketIndex(v)
+		if i <= prev {
+			t.Fatalf("bucketIndex(%d) = %d not past previous bucket %d", v, i, prev)
+		}
+		high := bucketHigh(i)
+		if high < v {
+			t.Fatalf("bucketHigh(%d) = %d < first value %d", i, high, v)
+		}
+		if got := bucketIndex(high); got != i {
+			t.Fatalf("bucketHigh(%d) = %d maps to bucket %d", i, high, got)
+		}
+		if next := bucketIndex(high + 1); next != i+1 {
+			t.Fatalf("value %d after bucket %d maps to %d, want %d", high+1, i, next, i+1)
+		}
+		// Bucket width never exceeds 1/32 of its smallest value.
+		if width := high - v + 1; width > v/histSubCount+1 {
+			t.Fatalf("bucket %d spans [%d,%d]: width %d > %d", i, v, high, width, v/histSubCount+1)
+		}
+		prev = i
+		v = high + 1
+	}
+	// Negative values clamp into bucket 0.
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("bucketIndex(-5) = %d, want 0", got)
+	}
+}
+
+// Quantiles must bracket a sorted-slice reference: never below the true
+// rank value, never more than one bucket width (1/32 relative) above it,
+// and exact min/max/count/mean throughout.
+func TestHistQuantilesAgainstSortedReference(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) int64{
+		"uniform-ns":    func(r *rand.Rand) int64 { return r.Int63n(1000) },
+		"uniform-wide":  func(r *rand.Rand) int64 { return r.Int63n(50_000_000) },
+		"exponentialms": func(r *rand.Rand) int64 { return int64(r.ExpFloat64() * 3e6) },
+		"bimodal": func(r *rand.Rand) int64 {
+			if r.Intn(10) == 0 {
+				return 40_000_000 + r.Int63n(1_000_000) // slow mode
+			}
+			return 100_000 + r.Int63n(10_000) // fast mode
+		},
+	}
+	quantiles := []float64{0.5, 0.9, 0.99, 0.999}
+	for name, draw := range distributions {
+		r := rand.New(rand.NewSource(7))
+		var h Hist
+		vals := make([]int64, 0, 20000)
+		var sum int64
+		for i := 0; i < 20000; i++ {
+			v := draw(r)
+			h.RecordValue(v)
+			vals = append(vals, v)
+			sum += v
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		if h.Count() != uint64(len(vals)) {
+			t.Fatalf("%s: count %d != %d", name, h.Count(), len(vals))
+		}
+		if h.Min() != vals[0] || h.Max() != vals[len(vals)-1] {
+			t.Fatalf("%s: min/max %d/%d != %d/%d", name, h.Min(), h.Max(), vals[0], vals[len(vals)-1])
+		}
+		if mean := float64(sum) / float64(len(vals)); h.Mean() != mean {
+			t.Fatalf("%s: mean %v != exact %v", name, h.Mean(), mean)
+		}
+		for _, q := range quantiles {
+			// The same nearest-rank definition Quantile uses.
+			target := int(q*float64(len(vals)) + 0.5)
+			if target < 1 {
+				target = 1
+			}
+			if target > len(vals) {
+				target = len(vals)
+			}
+			ref := vals[target-1]
+			got := h.Quantile(q)
+			if got < ref {
+				t.Errorf("%s: q%.3f = %d below reference %d", name, q, got, ref)
+			}
+			if limit := ref + ref/histSubCount + 1; got > limit {
+				t.Errorf("%s: q%.3f = %d above tolerance %d (ref %d)", name, q, got, limit, ref)
+			}
+		}
+	}
+}
+
+// Merge must be associative and commutative: merging per-worker
+// histograms in any grouping or order yields identical quantiles,
+// counts, and extrema — the property that makes the fleet report
+// independent of worker scheduling.
+func TestHistMergeAssociativity(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	parts := make([]*Hist, 5)
+	for i := range parts {
+		parts[i] = &Hist{}
+		for j := 0; j < 1000+i*137; j++ {
+			parts[i].RecordValue(r.Int63n(10_000_000))
+		}
+	}
+
+	// (((a+b)+c)+d)+e
+	var left Hist
+	for _, p := range parts {
+		left.Merge(p)
+	}
+	// a+(b+(c+(d+e))), built right to left.
+	var right Hist
+	for i := len(parts) - 1; i >= 0; i-- {
+		tmp := *parts[i]
+		tmp.Merge(&right)
+		right = tmp
+	}
+	// Shuffled pairwise tree.
+	var shuffled Hist
+	for _, i := range []int{3, 0, 4, 1, 2} {
+		shuffled.Merge(parts[i])
+	}
+
+	for _, other := range []*Hist{&right, &shuffled} {
+		if left != *other {
+			t.Fatal("merge order changed the histogram state")
+		}
+	}
+	if left.Count() != right.Count() || left.Summary() != shuffled.Summary() {
+		t.Fatal("merge order changed count or summary")
+	}
+	// Merging an empty histogram is the identity.
+	before := left
+	left.Merge(&Hist{})
+	if left != before {
+		t.Fatal("merging an empty histogram changed state")
+	}
+}
+
+// A fixed seeded workload must digest to the exact same summary every
+// run — the determinism the fleet-report golden test builds on.
+func TestHistDeterministicSummary(t *testing.T) {
+	build := func() LatencySummary {
+		r := rand.New(rand.NewSource(42))
+		var h Hist
+		for i := 0; i < 5000; i++ {
+			h.Record(time.Duration(r.Int63n(int64(20 * time.Millisecond))))
+		}
+		return h.Summary()
+	}
+	first := build()
+	for i := 0; i < 3; i++ {
+		if got := build(); got != first {
+			t.Fatalf("seeded summary drifted: %+v != %+v", got, first)
+		}
+	}
+	if first.Count != 5000 || first.P50US <= 0 || first.P999US < first.P99US {
+		t.Fatalf("implausible summary %+v", first)
+	}
+}
+
+// Empty and single-value histograms must behave sanely at the edges.
+func TestHistEdgeCases(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.RecordValue(12345)
+	for _, q := range []float64{0.001, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != 12345 {
+			t.Fatalf("single-value q%v = %d, want clamped exact 12345", q, got)
+		}
+	}
+	var big Hist
+	big.RecordValue(1 << 62)
+	if got := big.Quantile(0.5); got != 1<<62 {
+		t.Fatalf("huge value quantile %d, want clamped max", got)
+	}
+}

@@ -9,6 +9,7 @@ package metrics
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -49,6 +50,70 @@ func (s *Session) InFlight() int64 { return s.inFlight.Load() }
 
 // InFlightHWM returns the in-flight high-water mark.
 func (s *Session) InFlightHWM() int64 { return s.inFlightHWM.Load() }
+
+// Registry tracks the live sessions of one server so a metrics scrape
+// can aggregate their gauges (in-flight depth, live counts) without
+// waiting for sessions to end. Sessions register once at admission and
+// unregister at teardown — two mutex operations per session lifetime —
+// while scrapes take only a read lock and perform atomic loads, so the
+// scrape path allocates nothing and never blocks session traffic.
+type Registry struct {
+	mu       sync.RWMutex
+	sessions map[uint64]*Session
+}
+
+// NewRegistry returns an empty live-session registry.
+func NewRegistry() *Registry {
+	return &Registry{sessions: make(map[uint64]*Session)}
+}
+
+// Register adds a session's counters under its session ID.
+func (r *Registry) Register(id uint64, s *Session) {
+	r.mu.Lock()
+	r.sessions[id] = s
+	r.mu.Unlock()
+}
+
+// Unregister removes a session at teardown.
+func (r *Registry) Unregister(id uint64) {
+	r.mu.Lock()
+	delete(r.sessions, id)
+	r.mu.Unlock()
+}
+
+// Len reports the number of registered (live) sessions.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sessions)
+}
+
+// LiveSnapshot aggregates the registered sessions' gauges at one instant.
+type LiveSnapshot struct {
+	// Sessions is the number of registered sessions.
+	Sessions int
+	// InFlight is the total number of requests in flight across them.
+	InFlight int64
+	// InFlightHWM is the largest per-session in-flight high-water mark.
+	InFlightHWM int64
+}
+
+// Live sweeps the registered sessions with atomic loads under a read
+// lock: zero allocations regardless of session count, so the scrape
+// path stays cheap at fleet scale.
+func (r *Registry) Live() LiveSnapshot {
+	var ls LiveSnapshot
+	r.mu.RLock()
+	ls.Sessions = len(r.sessions)
+	for _, s := range r.sessions {
+		ls.InFlight += s.inFlight.Load()
+		if hwm := s.inFlightHWM.Load(); hwm > ls.InFlightHWM {
+			ls.InFlightHWM = hwm
+		}
+	}
+	r.mu.RUnlock()
+	return ls
+}
 
 // Server aggregates counters across every session a server has run.
 type Server struct {
@@ -111,6 +176,14 @@ type ServerSnapshot struct {
 	ShedHandshakes   uint64
 	ShedRequests     uint64
 	RateLimited      uint64
+	// PooledScenarios is the idle scenario-pool depth; LiveSessions,
+	// LiveInFlight, and LiveInFlightHWM aggregate the registered live
+	// sessions' gauges. Filled by the server's Metrics() from its pool
+	// and session registry — Snapshot() alone leaves them zero.
+	PooledScenarios int
+	LiveSessions    int
+	LiveInFlight    int64
+	LiveInFlightHWM int64
 }
 
 // Snapshot copies the server counters.
@@ -150,5 +223,7 @@ func (s ServerSnapshot) String() string {
 		s.BytesSealed, s.BytesOpened, s.Rekeys, s.ReplayDrops, s.LateDrops, s.WindowAccepts)
 	fmt.Fprintf(&b, " cookiesSent=%d cookieRejects=%d shedHandshakes=%d shedRequests=%d rateLimited=%d",
 		s.CookiesSent, s.CookieRejects, s.ShedHandshakes, s.ShedRequests, s.RateLimited)
+	fmt.Fprintf(&b, " pooled=%d live=%d inflight=%d inflightHWM=%d",
+		s.PooledScenarios, s.LiveSessions, s.LiveInFlight, s.LiveInFlightHWM)
 	return b.String()
 }

@@ -43,10 +43,61 @@ func TestServerSnapshotString(t *testing.T) {
 	m.ActiveSessions.Add(1)
 	m.TotalExchanges.Add(42)
 	m.ReapedSessions.Add(2)
-	line := m.Snapshot().String()
-	for _, want := range []string{"sessions=3", "active=1", "reaped=2", "exchanges=42"} {
+	snap := m.Snapshot()
+	snap.PooledScenarios = 5
+	snap.LiveSessions = 4
+	snap.LiveInFlight = 9
+	line := snap.String()
+	for _, want := range []string{"sessions=3", "active=1", "reaped=2", "exchanges=42",
+		"pooled=5", "live=4", "inflight=9"} {
 		if !strings.Contains(line, want) {
 			t.Errorf("snapshot line %q missing %q", line, want)
 		}
+	}
+}
+
+// The registry's live sweep must aggregate exactly the registered
+// sessions — totals track registration and unregistration, the HWM is
+// the max over live sessions, and the sweep itself allocates nothing
+// (the property BenchmarkMetricsSnapshot gates at 1024 sessions).
+func TestRegistryLiveAggregate(t *testing.T) {
+	r := NewRegistry()
+	sessions := make([]*Session, 8)
+	for i := range sessions {
+		sessions[i] = &Session{}
+		for j := 0; j <= i; j++ {
+			sessions[i].EnterFlight()
+		}
+		r.Register(uint64(i+1), sessions[i])
+	}
+	live := r.Live()
+	if live.Sessions != 8 {
+		t.Fatalf("live sessions = %d, want 8", live.Sessions)
+	}
+	if want := int64(1 + 2 + 3 + 4 + 5 + 6 + 7 + 8); live.InFlight != want {
+		t.Fatalf("live in-flight = %d, want %d", live.InFlight, want)
+	}
+	if live.InFlightHWM != 8 {
+		t.Fatalf("live in-flight HWM = %d, want 8", live.InFlightHWM)
+	}
+
+	// Unregistered sessions drop out of the aggregate entirely.
+	for i := 4; i < 8; i++ {
+		r.Unregister(uint64(i + 1))
+	}
+	live = r.Live()
+	if live.Sessions != 4 || r.Len() != 4 {
+		t.Fatalf("live sessions = %d (Len %d) after unregister, want 4", live.Sessions, r.Len())
+	}
+	if want := int64(1 + 2 + 3 + 4); live.InFlight != want {
+		t.Fatalf("live in-flight = %d after unregister, want %d", live.InFlight, want)
+	}
+	if live.InFlightHWM != 4 {
+		t.Fatalf("live in-flight HWM = %d after unregister, want 4", live.InFlightHWM)
+	}
+
+	// The sweep is allocation-free.
+	if allocs := testing.AllocsPerRun(100, func() { _ = r.Live() }); allocs != 0 {
+		t.Fatalf("Live() allocates %.1f objects per sweep, want 0", allocs)
 	}
 }

@@ -1,8 +1,11 @@
 package shieldd
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
+	"heartshield/internal/stats"
 	"heartshield/internal/testbed"
 )
 
@@ -54,5 +57,173 @@ func TestPoolShapesAreDisjointAndBounded(t *testing.T) {
 	}
 	if n := p.idle(); n != 2 {
 		t.Fatalf("pool retains %d idle scenarios, want exactly the per-shape bound of 2", n)
+	}
+}
+
+// Shard assignment must be a pure, stable function of the normalized
+// shape: repeated calls agree, seeds never influence it (they are zeroed
+// out of the key), and a defaulted request lands in the same shard as
+// its explicitly normalized form — otherwise a put could strand a
+// scenario in a shard its next get never looks in.
+func TestPoolShardingIsStable(t *testing.T) {
+	shapes := []testbed.Options{
+		{},
+		{Location: 5},
+		{ExtraIMDs: 2},
+		{DigitalCancel: true},
+		{Location: 9, ExtraIMDs: 4, DigitalCancel: true},
+	}
+	for _, opt := range shapes {
+		key := shapeKey(opt)
+		want := shapeShardIndex(key)
+		for i := 0; i < 8; i++ {
+			if got := shapeShardIndex(key); got != want {
+				t.Fatalf("shape %+v: shard index flapped %d -> %d", opt, want, got)
+			}
+		}
+		// Seeds are not part of the shape.
+		for seed := int64(1); seed <= 3; seed++ {
+			withSeed := opt
+			withSeed.Seed = seed
+			if got := shapeShardIndex(shapeKey(withSeed)); got != want {
+				t.Fatalf("shape %+v: seed %d moved the shard %d -> %d", opt, seed, want, got)
+			}
+		}
+		// Defaulted and normalized forms agree.
+		if got := shapeShardIndex(shapeKey(opt.Normalized())); got != want {
+			t.Fatalf("shape %+v: normalized form hashed to shard %d, defaulted to %d", opt, got, want)
+		}
+	}
+	if shapeShardIndex(shapeKey(testbed.Options{})) >= poolShardCount {
+		t.Fatal("shard index out of range")
+	}
+}
+
+// Each shard bounds its total retained scenarios across all shapes at
+// perShape*poolShardCapFactor, even when every individual shape is under
+// its own per-shape bound — the memory backstop for shape-diverse
+// workloads. Locations give us many distinct shapes; the ones that land
+// in the same shard must collectively cap out.
+func TestPoolPerShardTotalBound(t *testing.T) {
+	const perShape = 2
+	p := newScenarioPool(perShape)
+
+	// Group a spread of shapes by the shard they hash to.
+	byShard := make(map[int][]testbed.Options)
+	for loc := 1; loc <= len(testbed.Locations); loc++ {
+		opt := testbed.Options{Seed: 1, Location: loc}
+		idx := shapeShardIndex(shapeKey(opt))
+		byShard[idx] = append(byShard[idx], opt)
+	}
+	// Find a shard with enough distinct shapes to overflow the cap.
+	for idx, shapes := range byShard {
+		if len(shapes)*perShape <= p.shardCap {
+			continue
+		}
+		for _, opt := range shapes {
+			for i := 0; i < perShape; i++ {
+				o := opt
+				o.Seed = int64(i + 1)
+				p.put(testbed.NewScenario(o))
+			}
+		}
+		if got := p.shards[idx].total; got != p.shardCap {
+			t.Fatalf("shard %d retains %d scenarios, want the shard cap %d", idx, got, p.shardCap)
+		}
+		if got := p.idle(); got != p.shardCap {
+			t.Fatalf("idle() = %d, want %d (only one shard was filled)", got, p.shardCap)
+		}
+		return
+	}
+	t.Skip("no shard collected enough shapes to overflow; increase the shape spread")
+}
+
+// The idle() aggregate must track get/put exactly: it is the lock-free
+// counter STATUS scrapes read, so drift would misreport pool health
+// forever.
+func TestPoolIdleAggregateTracksGetPut(t *testing.T) {
+	p := newScenarioPool(8)
+	opt := testbed.Options{Seed: 3}
+	if p.idle() != 0 {
+		t.Fatal("fresh pool reports idle scenarios")
+	}
+	a, b := p.get(opt), p.get(opt)
+	p.put(a)
+	if p.idle() != 1 {
+		t.Fatalf("idle() = %d after one put, want 1", p.idle())
+	}
+	p.put(b)
+	if p.idle() != 2 {
+		t.Fatalf("idle() = %d after two puts, want 2", p.idle())
+	}
+	_ = p.get(opt)
+	if p.idle() != 1 {
+		t.Fatalf("idle() = %d after a recycling get, want 1", p.idle())
+	}
+	// A fresh-build get (empty shape) must not change the aggregate.
+	_ = p.get(testbed.Options{Seed: 4, ExtraIMDs: 1})
+	if p.idle() != 1 {
+		t.Fatalf("idle() = %d after a fresh-build get, want 1", p.idle())
+	}
+}
+
+// Recycled scenarios must be bit-exact against fresh builds under
+// concurrent get/put from 16 goroutines mixing shapes and seeds — the
+// sharded pool's core correctness contract, raced in the `make race`
+// leg. The fingerprint is the IMD calibration measurement: a real
+// physics number drawn from the scenario's RNG streams, so any
+// cross-contamination of recycled state shows up as a mismatch.
+func TestPoolConcurrentRecyclingIsBitExact(t *testing.T) {
+	shapes := []testbed.Options{
+		{},
+		{ExtraIMDs: 1},
+		{DigitalCancel: true},
+		{Location: 7},
+	}
+	const seedsPerShape = 4
+
+	// Reference fingerprints from fresh builds, computed serially.
+	ref := make(map[testbed.Options]float64)
+	for _, shape := range shapes {
+		for s := 0; s < seedsPerShape; s++ {
+			opt := shape
+			opt.Seed = stats.TrialSeed(991, s)
+			ref[opt] = testbed.NewScenario(opt).CalibrateIMD(0)
+		}
+	}
+
+	p := newScenarioPool(4)
+	const goroutines = 16
+	const itersPerG = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < itersPerG; i++ {
+				shape := shapes[(g+i)%len(shapes)]
+				opt := shape
+				opt.Seed = stats.TrialSeed(991, (g*itersPerG+i)%seedsPerShape)
+				sc := p.get(opt)
+				got := sc.CalibrateIMD(0)
+				if want := ref[opt]; got != want {
+					select {
+					case errs <- fmt.Errorf("shape %+v seed %d: recycled calibration %v != fresh %v",
+						shape, opt.Seed, got, want):
+					default:
+					}
+				}
+				p.put(sc)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if p.idle() < 0 || p.idle() > 4*len(shapes)*seedsPerShape {
+		t.Fatalf("idle() = %d out of any plausible range", p.idle())
 	}
 }

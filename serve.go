@@ -112,6 +112,14 @@ type ServerMetrics struct {
 	ShedHandshakes uint64
 	ShedRequests   uint64
 	RateLimited    uint64
+	// PooledScenarios is the idle scenario-pool depth; LiveSessions,
+	// LiveInFlight, and LiveInFlightHWM aggregate the live sessions'
+	// gauges at snapshot time (current total pipelining depth and the
+	// deepest per-session high-water mark).
+	PooledScenarios int
+	LiveSessions    int
+	LiveInFlight    int64
+	LiveInFlightHWM int64
 }
 
 // String renders the snapshot as one log line.
