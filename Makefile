@@ -36,6 +36,9 @@
 #                       then a LOAD_SOAK_DURATION soak that must sustain
 #                       LOAD_SESSIONS_FLOOR sessions/sec; fleet reports are
 #                       written to FLEET_barrier.json / FLEET_soak.json
+#   make docs-check   - documentation gate: every relative markdown link in
+#                       the top-level docs must resolve, and the README
+#                       quickstart commands must actually run
 #   make cover        - coverage profile over the protocol stack (securelink +
 #                       wire + dgram), printing the combined total
 #   make covercheck   - CI coverage gate: fail if the combined securelink+wire
@@ -105,7 +108,10 @@ NIGHTLY_FUZZ_TARGETS = \
 COVER_PKGS = heartshield/internal/securelink,heartshield/internal/wire,heartshield/internal/wire/dgram
 COVER_TEST_PKGS = ./internal/securelink ./internal/wire/... ./internal/shieldd ./internal/faultnet
 
-.PHONY: all build test vet fmt staticcheck staticcheck-install race fuzz fuzz-nightly chaos-soak loadcheck ci bench benchcheck benchbaseline sim golden golden-check trial-check cover covercheck coverbaseline clean
+.PHONY: all build test vet fmt staticcheck staticcheck-install race fuzz fuzz-nightly chaos-soak loadcheck ci bench benchcheck benchbaseline sim golden golden-check trial-check docs-check cover covercheck coverbaseline clean
+
+# The markdown files the docs gate link-checks.
+DOCS_FILES = README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md PAPER.md
 
 all: test vet
 
@@ -202,6 +208,27 @@ benchbaseline:
 
 sim:
 	$(GO) run ./cmd/shieldsim -run all -quick
+
+docs-check:
+	@echo "--- docs-check: relative markdown links resolve ---"
+	@fail=0; \
+	for f in $(DOCS_FILES); do \
+		[ -f $$f ] || { echo "missing doc: $$f"; fail=1; continue; }; \
+		for link in $$(grep -oE '\]\([^)]+\)' $$f | sed -e 's/^](//' -e 's/)$$//' -e 's/#.*//'); do \
+			case $$link in \
+				http://*|https://*|mailto:*|"") ;; \
+				*) [ -e "$$link" ] || { echo "$$f: broken link -> $$link"; fail=1; } ;; \
+			esac; \
+		done; \
+	done; \
+	[ $$fail -eq 0 ] && echo "links ok"
+	@echo "--- docs-check: README quickstart smoke ---"
+	$(GO) run ./cmd/shieldsim -list >/dev/null
+	$(GO) run ./cmd/shieldsim -run fig7 -quick >/dev/null
+	$(GO) run ./cmd/shieldsim -impair "drop=0.1,dup=0.05,reorder=0.05" -exchanges 16 >/dev/null 2>&1
+	$(GO) run ./cmd/shieldsim -impair "drop=0.1,dup=0.05,reorder=0.05" -exchanges 16 -pipeline >/dev/null 2>&1
+	$(GO) run ./cmd/shieldtest -daemons 2 -sessions 16 -workers 8 -o /dev/null >/dev/null
+	@echo "docs-check ok"
 
 golden:
 	$(GO) test -run TestGoldenExperimentOutputs -update .

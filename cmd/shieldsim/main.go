@@ -54,6 +54,7 @@ func main() {
 		impair    = flag.String("impair", "", "run a self-contained impaired datagram session: drop=P,dup=P,reorder=P,corrupt=P,delay=D,jitter=D,partition=start:dur,up=k:v+k:v,down=k:v+k:v")
 		impSeed   = flag.Int64("impair-seed", 1, "faultnet impairment schedule seed (deterministic per seed)")
 		exchanges = flag.Int("exchanges", 64, "with -impair: individual protected exchanges to drive through the impaired link")
+		pipeline  = flag.Bool("pipeline", false, "with -impair: keep a full send window of exchanges in flight (selective-repeat pipelining) instead of one round trip at a time")
 	)
 	flag.Parse()
 
@@ -62,7 +63,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error: -impair runs in-process; drop -server")
 			os.Exit(2)
 		}
-		runImpaired(*impair, *impSeed, *seed, *exchanges)
+		runImpaired(*impair, *impSeed, *seed, *exchanges, *pipeline)
 		return
 	}
 
@@ -129,7 +130,16 @@ func main() {
 		start := time.Now()
 		var rendered string
 		if remote != nil {
-			out, err := remote.RunExperiment(name, cfg)
+			// Streamed progress (wire v3): the server reports completed
+			// trials while the experiment runs, so long remote runs are
+			// visibly alive. On v2 servers no progress arrives and the
+			// call behaves exactly like RunExperiment.
+			out, err := remote.RunExperimentStream(name, cfg, func(p heartshield.ExperimentProgress) {
+				fmt.Fprintf(os.Stderr, "\r[%s: %d/%d trials]", p.Stage, p.Done, p.Total)
+				if p.Done == p.Total {
+					fmt.Fprint(os.Stderr, "\n")
+				}
+			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				os.Exit(1)
@@ -299,10 +309,11 @@ func parseImpairment(spec string) (faultnet.Impairment, error) {
 
 // runImpaired is the self-contained chaos mode: an in-process server
 // and a datagram session joined by the deterministic faultnet layer,
-// driving n individual protected exchanges and reporting what the loss
-// cost — retransmits on both sides, securelink window activity, and
-// the impairment schedule's own counters.
-func runImpaired(spec string, impairSeed, sessionSeed int64, n int) {
+// driving n protected exchanges — one at a time, or pipelined through
+// the selective-repeat send window — and reporting what the loss cost:
+// retransmits on both sides, securelink window activity, and the
+// impairment schedule's own counters.
+func runImpaired(spec string, impairSeed, sessionSeed int64, n int, pipelined bool) {
 	parsed, err := parseImpairSpec(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -354,20 +365,42 @@ func runImpaired(spec string, impairSeed, sessionSeed int64, n int) {
 		nw.SetPartitions(parsed.partitions...)
 	}
 
+	kindAt := func(i int) heartshield.CommandKind {
+		if i%2 == 1 {
+			return heartshield.SetTherapy
+		}
+		return heartshield.Interrogate
+	}
 	start = time.Now()
 	var sumBER, sumCancel float64
-	for i := 0; i < n; i++ {
-		kind := heartshield.Interrogate
-		if i%2 == 1 {
-			kind = heartshield.SetTherapy
+	if pipelined {
+		// Selective repeat: submissions block only while the send window
+		// is full, so up to a window of exchanges ride the impaired link
+		// concurrently and a lost datagram delays only its own request.
+		// Results are identical to the sequential loop at the same seed.
+		pend := make([]*heartshield.PendingExchange, n)
+		for i := range pend {
+			pend[i] = remote.StartProtectedExchange(0, kindAt(i))
 		}
-		rep, err := remote.ProtectedExchange(kind)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: exchange %d: %v\n", i, err)
-			os.Exit(1)
+		for i, p := range pend {
+			rep, err := p.Wait()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: exchange %d: %v\n", i, err)
+				os.Exit(1)
+			}
+			sumBER += rep.EavesdropperBER
+			sumCancel += rep.CancellationDB
 		}
-		sumBER += rep.EavesdropperBER
-		sumCancel += rep.CancellationDB
+	} else {
+		for i := 0; i < n; i++ {
+			rep, err := remote.ProtectedExchange(kindAt(i))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: exchange %d: %v\n", i, err)
+				os.Exit(1)
+			}
+			sumBER += rep.EavesdropperBER
+			sumCancel += rep.CancellationDB
+		}
 	}
 	elapsed := time.Since(start)
 
@@ -377,7 +410,11 @@ func runImpaired(spec string, impairSeed, sessionSeed int64, n int) {
 		os.Exit(1)
 	}
 	st := nw.Stats()
-	fmt.Printf("impaired datagram session (%s, impair seed %d, session seed %d):\n", spec, impairSeed, sessionSeed)
+	mode := "sequential"
+	if pipelined {
+		mode = "pipelined"
+	}
+	fmt.Printf("impaired datagram session (%s, impair seed %d, session seed %d, %s):\n", spec, impairSeed, sessionSeed, mode)
 	fmt.Printf("  %d exchanges in %v (%.2f ms/exchange, handshake %v): mean BER %.4f, mean cancellation %.2f dB\n",
 		n, elapsed.Round(time.Millisecond), float64(elapsed.Microseconds())/1000/float64(n),
 		dialTime.Round(time.Millisecond), sumBER/float64(n), sumCancel/float64(n))
@@ -399,9 +436,9 @@ func printSessionMetrics(remote *heartshield.RemoteSimulation, enabled bool) {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return
 	}
-	fmt.Printf("[session %d metrics: protocol v%d exchanges=%d batches=%d batched=%d attacks=%d experiments=%d pings=%d errors=%d inflightHWM=%d sealedB=%d openedB=%d rekeys=%d srvRetransmits=%d replayDrops=%d windowAccepts=%d cliRetransmits=%d cliTimeouts=%d]\n",
+	fmt.Printf("[session %d metrics: protocol v%d exchanges=%d batches=%d batched=%d attacks=%d experiments=%d pings=%d errors=%d inflightHWM=%d sealedB=%d openedB=%d rekeys=%d srvRetransmits=%d replayDrops=%d windowAccepts=%d progressFrames=%d cliRetransmits=%d cliTimeouts=%d]\n",
 		m.SessionID, m.Protocol, m.Exchanges, m.Batches, m.BatchedExchanges,
 		m.Attacks, m.Experiments, m.Pings, m.Errors, m.InFlightHWM,
 		m.BytesSealed, m.BytesOpened, m.Rekeys,
-		m.Retransmits, m.ReplayDrops, m.WindowAccepts, m.ClientRetransmits, m.ClientTimeouts)
+		m.Retransmits, m.ReplayDrops, m.WindowAccepts, m.ProgressFrames, m.ClientRetransmits, m.ClientTimeouts)
 }

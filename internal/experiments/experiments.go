@@ -36,6 +36,15 @@ type Config struct {
 	// in item order, so the output is byte-identical for any worker
 	// count.
 	Workers int
+	// Progress, when non-nil, is invoked after each completed trial with
+	// the number of trials finished so far and the run's total. An
+	// experiment may comprise several sweeps; done/total then span the
+	// whole run only if the experiment wires a shared counter — by
+	// default each sweep reports its own range. Calls may come from any
+	// worker goroutine, and completion ORDER is nondeterministic under
+	// parallelism; only the final call (done == total) is guaranteed to
+	// be last. Callbacks must be fast: they run on the trial workers.
+	Progress func(done, total int)
 }
 
 // trials resolves the effective trial count given defaults.
@@ -102,6 +111,7 @@ func runSweep[S, T any](cfg Config, points, perPoint int,
 	if w > total {
 		w = total
 	}
+	var completed atomic.Int64
 	worker := func(claim func() int) {
 		lastP := -1
 		var sc *testbed.Scenario
@@ -135,6 +145,9 @@ func runSweep[S, T any](cfg Config, points, perPoint int,
 				sc.Shield.ClearIMDRSSI()
 			}
 			out[p][i] = fn(p, i, sc, st)
+			if cfg.Progress != nil {
+				cfg.Progress(int(completed.Add(1)), total)
+			}
 		}
 	}
 

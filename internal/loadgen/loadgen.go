@@ -180,6 +180,10 @@ type opCounts struct {
 	PartialBatchExchanges uint64 `json:"partial_batch_exchanges"`
 	ClientRetransmits     uint64 `json:"client_retransmits"`
 	ClientTimeouts        uint64 `json:"client_timeouts"`
+	// ProgressFrames counts streamed EXPERIMENT-PROGRESS frames the
+	// experiment ops observed. Transport-dependent on lossy links
+	// (progress frames are fire-and-forget), so Normalize zeroes it.
+	ProgressFrames uint64 `json:"progress_frames"`
 }
 
 func (a *opCounts) add(b opCounts) {
@@ -193,6 +197,7 @@ func (a *opCounts) add(b opCounts) {
 	a.PartialBatchExchanges += b.PartialBatchExchanges
 	a.ClientRetransmits += b.ClientRetransmits
 	a.ClientTimeouts += b.ClientTimeouts
+	a.ProgressFrames += b.ProgressFrames
 }
 
 // simFail reports whether err is a simulated exchange failure (the
@@ -454,6 +459,9 @@ func (r *runner) runSession(idx int, w *workerState) {
 
 	rng := rand.New(rand.NewSource(stats.DeriveSeed(seed, "loadgen-ops")))
 	ok := true
+	// Counted atomically: progress callbacks run on the session's read
+	// loop, not this worker goroutine.
+	var progressFrames uint64
 	var err error
 	for i := 0; i < r.cfg.OpsPerSession; i++ {
 		kind := r.pickOp(rng)
@@ -470,9 +478,11 @@ func (r *runner) runSession(idx int, w *workerState) {
 		case "ping":
 			err = sim.Ping()
 		case "experiment":
-			_, err = sim.RunExperiment(r.cfg.Experiment, heartshield.ExperimentConfig{
+			_, err = sim.RunExperimentStream(r.cfg.Experiment, heartshield.ExperimentConfig{
 				Seed:  seed,
 				Quick: true,
+			}, func(heartshield.ExperimentProgress) {
+				atomic.AddUint64(&progressFrames, 1)
 			})
 		}
 		simFailed := false
@@ -515,6 +525,7 @@ func (r *runner) runSession(idx int, w *workerState) {
 	ts := sim.TransportStats()
 	w.counts.ClientRetransmits += ts.Retransmits
 	w.counts.ClientTimeouts += ts.Timeouts
+	w.counts.ProgressFrames += atomic.LoadUint64(&progressFrames)
 	if err := sim.Close(); err != nil {
 		w.closeErrors++
 	}

@@ -10,7 +10,7 @@ import (
 // reportSchema versions the fleet-report JSON; bump on any field change
 // so downstream tooling (CI gates, trend plots) fails loudly instead of
 // silently misreading.
-const reportSchema = "shieldtest-fleet-report/v1"
+const reportSchema = "shieldtest-fleet-report/v2"
 
 // ReportConfig echoes the run configuration into the report so a report
 // file is self-describing.
@@ -140,6 +140,9 @@ func (r *Report) Normalize() {
 	r.Sessions.MaxConcurrent = 0
 	r.Ops.ClientRetransmits = 0
 	r.Ops.ClientTimeouts = 0
+	// Progress frames are fire-and-forget: a lossy transport may drop
+	// any number of them without affecting the experiment's result.
+	r.Ops.ProgressFrames = 0
 	for i := range r.Endpoints {
 		r.Endpoints[i].Addr = ""
 	}
@@ -148,6 +151,7 @@ func (r *Report) Normalize() {
 		m.ActiveSessions = 0
 		m.ReapedSessions = 0
 		m.TotalRetransmits = 0
+		m.TotalProgressFrames = 0
 		m.BytesSealed, m.BytesOpened = 0, 0
 		m.Rekeys = 0
 		m.ReplayDrops = 0

@@ -25,6 +25,7 @@ type Session struct {
 	Errors           atomic.Uint64 // requests answered with an Error frame
 	Retransmits      atomic.Uint64 // responses re-sent from the datagram dedup cache
 	Shed             atomic.Uint64 // requests answered BUSY by the admission gate
+	ProgressFrames   atomic.Uint64 // streamed EXPERIMENT-PROGRESS frames (v3)
 
 	inFlight    atomic.Int64
 	inFlightHWM atomic.Int64
@@ -129,6 +130,9 @@ type Server struct {
 	// TotalRetransmits counts responses re-sent from datagram-session
 	// dedup caches, server-wide: the server-side cost of transport loss.
 	TotalRetransmits atomic.Uint64
+	// TotalProgressFrames counts streamed EXPERIMENT-PROGRESS frames
+	// written to v3 sessions, server-wide.
+	TotalProgressFrames atomic.Uint64
 
 	// Link traffic, absorbed from each session's securelink stats when
 	// the session ends. ReplayDrops counts duplicates of accepted
@@ -165,17 +169,20 @@ type ServerSnapshot struct {
 	TotalExperiments uint64
 	TotalPings       uint64
 	TotalRetransmits uint64
-	BytesSealed      uint64
-	BytesOpened      uint64
-	Rekeys           uint64
-	ReplayDrops      uint64
-	LateDrops        uint64
-	WindowAccepts    uint64
-	CookiesSent      uint64
-	CookieRejects    uint64
-	ShedHandshakes   uint64
-	ShedRequests     uint64
-	RateLimited      uint64
+	// TotalProgressFrames counts streamed EXPERIMENT-PROGRESS frames
+	// written to v3 sessions.
+	TotalProgressFrames uint64
+	BytesSealed         uint64
+	BytesOpened         uint64
+	Rekeys              uint64
+	ReplayDrops         uint64
+	LateDrops           uint64
+	WindowAccepts       uint64
+	CookiesSent         uint64
+	CookieRejects       uint64
+	ShedHandshakes      uint64
+	ShedRequests        uint64
+	RateLimited         uint64
 	// PooledScenarios is the idle scenario-pool depth; LiveSessions,
 	// LiveInFlight, and LiveInFlightHWM aggregate the registered live
 	// sessions' gauges. Filled by the server's Metrics() from its pool
@@ -189,26 +196,27 @@ type ServerSnapshot struct {
 // Snapshot copies the server counters.
 func (m *Server) Snapshot() ServerSnapshot {
 	return ServerSnapshot{
-		TotalSessions:    m.TotalSessions.Load(),
-		ActiveSessions:   m.ActiveSessions.Load(),
-		ReapedSessions:   m.ReapedSessions.Load(),
-		TotalExchanges:   m.TotalExchanges.Load(),
-		TotalBatches:     m.TotalBatches.Load(),
-		TotalAttacks:     m.TotalAttacks.Load(),
-		TotalExperiments: m.TotalExperiments.Load(),
-		TotalPings:       m.TotalPings.Load(),
-		TotalRetransmits: m.TotalRetransmits.Load(),
-		BytesSealed:      m.BytesSealed.Load(),
-		BytesOpened:      m.BytesOpened.Load(),
-		Rekeys:           m.Rekeys.Load(),
-		ReplayDrops:      m.ReplayDrops.Load(),
-		LateDrops:        m.LateDrops.Load(),
-		WindowAccepts:    m.WindowAccepts.Load(),
-		CookiesSent:      m.CookiesSent.Load(),
-		CookieRejects:    m.CookieRejects.Load(),
-		ShedHandshakes:   m.ShedHandshakes.Load(),
-		ShedRequests:     m.ShedRequests.Load(),
-		RateLimited:      m.RateLimited.Load(),
+		TotalSessions:       m.TotalSessions.Load(),
+		ActiveSessions:      m.ActiveSessions.Load(),
+		ReapedSessions:      m.ReapedSessions.Load(),
+		TotalExchanges:      m.TotalExchanges.Load(),
+		TotalBatches:        m.TotalBatches.Load(),
+		TotalAttacks:        m.TotalAttacks.Load(),
+		TotalExperiments:    m.TotalExperiments.Load(),
+		TotalPings:          m.TotalPings.Load(),
+		TotalRetransmits:    m.TotalRetransmits.Load(),
+		TotalProgressFrames: m.TotalProgressFrames.Load(),
+		BytesSealed:         m.BytesSealed.Load(),
+		BytesOpened:         m.BytesOpened.Load(),
+		Rekeys:              m.Rekeys.Load(),
+		ReplayDrops:         m.ReplayDrops.Load(),
+		LateDrops:           m.LateDrops.Load(),
+		WindowAccepts:       m.WindowAccepts.Load(),
+		CookiesSent:         m.CookiesSent.Load(),
+		CookieRejects:       m.CookieRejects.Load(),
+		ShedHandshakes:      m.ShedHandshakes.Load(),
+		ShedRequests:        m.ShedRequests.Load(),
+		RateLimited:         m.RateLimited.Load(),
 	}
 }
 
@@ -217,8 +225,8 @@ func (m *Server) Snapshot() ServerSnapshot {
 func (s ServerSnapshot) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sessions=%d active=%d reaped=%d", s.TotalSessions, s.ActiveSessions, s.ReapedSessions)
-	fmt.Fprintf(&b, " exchanges=%d batches=%d attacks=%d experiments=%d pings=%d retransmits=%d",
-		s.TotalExchanges, s.TotalBatches, s.TotalAttacks, s.TotalExperiments, s.TotalPings, s.TotalRetransmits)
+	fmt.Fprintf(&b, " exchanges=%d batches=%d attacks=%d experiments=%d pings=%d retransmits=%d progressFrames=%d",
+		s.TotalExchanges, s.TotalBatches, s.TotalAttacks, s.TotalExperiments, s.TotalPings, s.TotalRetransmits, s.TotalProgressFrames)
 	fmt.Fprintf(&b, " sealedB=%d openedB=%d rekeys=%d replayDrops=%d lateDrops=%d windowAccepts=%d",
 		s.BytesSealed, s.BytesOpened, s.Rekeys, s.ReplayDrops, s.LateDrops, s.WindowAccepts)
 	fmt.Fprintf(&b, " cookiesSent=%d cookieRejects=%d shedHandshakes=%d shedRequests=%d rateLimited=%d",

@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"heartshield/internal/securelink"
@@ -88,6 +89,15 @@ type SessionOptions struct {
 	// before the call fails with a timeout error (0 = 8). Ignored on
 	// stream transports.
 	MaxRetries int
+
+	// Window bounds the client-side send window: how many requests may
+	// be awaiting responses before Go blocks (0 = defaultSendWindow,
+	// which matches the server's per-session in-flight window). Raising
+	// it past the server's window buys nothing — the excess queues
+	// server-side or, on v3 datagram sessions, risks stalling the
+	// reorder buffer; see DESIGN.md "Selective repeat & streaming
+	// experiments".
+	Window int
 }
 
 func (o SessionOptions) hello(nonce [16]byte) *wire.Hello {
@@ -126,9 +136,23 @@ type Call struct {
 	// Done receives the call itself when the response (or a transport
 	// failure) arrives. Buffered: the reader never blocks on it.
 	Done chan *Call
+	// OnProgress, when non-nil, receives streamed EXPERIMENT-PROGRESS
+	// frames for this call (v3 sessions only; never invoked on v2, where
+	// the experiment answers in a single frame). Called from the
+	// client's read loop — it must not block and must not issue requests
+	// on the same client synchronously.
+	OnProgress func(*wire.ExperimentProgress)
+
+	// release returns the call's send-window slot; installed at submit
+	// time, run exactly once at finish.
+	release     func()
+	releaseOnce sync.Once
 }
 
 func (call *Call) finish(resp wire.Message, err error) {
+	if call.release != nil {
+		call.releaseOnce.Do(call.release)
+	}
 	call.Resp, call.Err = resp, err
 	call.Done <- call
 }
@@ -163,6 +187,16 @@ type Client struct {
 	backoffMu sync.Mutex
 	backoff   *stats.RNG
 
+	// window is the send-window semaphore: Go blocks acquiring a slot
+	// before allocating a request ID, and the slot is released when the
+	// call finishes. BYE bypasses it (Close must not deadlock behind a
+	// full window).
+	window chan struct{}
+
+	// progressFrames counts streamed EXPERIMENT-PROGRESS frames received
+	// (v3 sessions).
+	progressFrames atomic.Uint64
+
 	mu        sync.Mutex // guards tc/link swap, pending, nextID, err
 	writeMu   sync.Mutex // serializes Seal+WriteFrame pairs
 	reconnMu  sync.Mutex // serializes reconnect attempts (never held with mu)
@@ -172,9 +206,24 @@ type Client struct {
 	sessionID uint64
 	nextID    uint64
 	pending   map[uint64]*Call
-	err       error // sticky transport error
-	closed    bool
-	reconns   uint64
+	// ackCum is the highest request ID through which every response has
+	// been delivered; ackAbove holds delivered response IDs above a gap.
+	// Sent in every v3 request envelope so the server can prune its
+	// dedup ledger.
+	ackCum   uint64
+	ackAbove map[uint64]struct{}
+	err      error // sticky transport error
+	closed   bool
+	closing  bool // Close in progress: the BYE must get the highest ID
+	reconns  uint64
+}
+
+// sendWindow sizes the client's send-window semaphore.
+func (o SessionOptions) sendWindow() int {
+	if o.Window > 0 {
+		return o.Window
+	}
+	return defaultSendWindow
 }
 
 // Dial opens a TCP session with a shieldd server.
@@ -209,10 +258,12 @@ func NewClient(conn net.Conn, secret []byte, opt SessionOptions) (*Client, error
 		sessionID: sessionID,
 		nextID:    1,
 		pending:   make(map[uint64]*Call),
+		ackAbove:  make(map[uint64]struct{}),
+		window:    make(chan struct{}, opt.sendWindow()),
 		backoff:   stats.NewRNG(stats.DeriveSeed(opt.Seed, "client-busy-backoff")),
 	}
 	if version >= 2 {
-		go c.readLoop(tc, link)
+		go c.readLoop(tc, link, version)
 	}
 	return c, nil
 }
@@ -273,12 +324,14 @@ func NewPacketClient(pc net.PacketConn, peer net.Addr, secret []byte, opt Sessio
 		sessionID: sessionID,
 		nextID:    1,
 		pending:   make(map[uint64]*Call),
+		ackAbove:  make(map[uint64]struct{}),
+		window:    make(chan struct{}, opt.sendWindow()),
 		backoff:   stats.NewRNG(stats.DeriveSeed(opt.Seed, "client-busy-backoff")),
 	}
 	c.redialPacket = opt.RedialPacket
 	c.retry = newRetrier(c, opt.RetryTimeout, opt.MaxRetries)
 	go c.retry.run()
-	go c.readLoop(tc, link)
+	go c.readLoop(tc, link, version)
 	return c, nil
 }
 
@@ -498,13 +551,19 @@ func (c *Client) Reconnects() uint64 {
 	return c.reconns
 }
 
-// readLoop is the v2 demultiplexer: the sole reader of the transport,
+// readLoop is the v2/v3 demultiplexer: the sole reader of the transport,
 // matching responses to pending calls by request ID. It exits when the
 // transport dies, failing every pending call. On an unreliable
 // transport, frames that fail to open or decode are dropped datagrams
 // (duplicated responses die on the securelink window, corruption dies
 // on the GCM tag) — only a transport-level read error is fatal.
-func (c *Client) readLoop(tc transportConn, link *securelink.Link) {
+//
+// On v3 sessions it additionally routes EnvPartial frames (streamed
+// EXPERIMENT-PROGRESS) to the call's OnProgress callback without
+// completing the call, refreshing its retransmit schedule — the partial
+// proves the server is alive and working — and feeds final ordered
+// responses to the retrier's fast-retransmit detector.
+func (c *Client) readLoop(tc transportConn, link *securelink.Link, version uint8) {
 	lossy := tc.unreliable()
 	for {
 		raw, hs, err := tc.readFrame()
@@ -523,7 +582,16 @@ func (c *Client) readLoop(tc transportConn, link *securelink.Link) {
 			c.fail(tc, err)
 			return
 		}
-		id, msg, err := wire.DecodeEnvelope(plain)
+		var (
+			id    uint64
+			flags uint8
+			msg   wire.Message
+		)
+		if version >= 3 {
+			id, flags, _, msg, err = wire.DecodeEnvelopeV3(plain)
+		} else {
+			id, msg, err = wire.DecodeEnvelope(plain)
+		}
 		if err != nil {
 			if lossy {
 				continue
@@ -531,13 +599,40 @@ func (c *Client) readLoop(tc transportConn, link *securelink.Link) {
 			c.fail(tc, err)
 			return
 		}
-		if c.retry != nil {
-			c.retry.ack(id)
+		if flags&wire.EnvPartial != 0 {
+			// Streamed progress: the request is still executing. Do not
+			// complete the call or advance the delivery cursor.
+			c.progressFrames.Add(1)
+			if c.retry != nil {
+				c.retry.touch(id)
+			}
+			c.mu.Lock()
+			call := c.pending[id]
+			c.mu.Unlock()
+			if call != nil && call.OnProgress != nil {
+				if p, ok := msg.(*wire.ExperimentProgress); ok {
+					call.OnProgress(p)
+				}
+			}
+			continue
 		}
 		c.mu.Lock()
 		call := c.pending[id]
 		delete(c.pending, id)
+		if version >= 3 {
+			c.recordDelivered(id)
+		}
 		c.mu.Unlock()
+		if c.retry != nil {
+			c.retry.ack(id)
+			if version >= 3 && call != nil && orderedKind(call.Req.Kind()) {
+				// A final ordered response: ordered responses arrive in
+				// ID order, so any ordered request still pending below
+				// this ID has lost a datagram — count the skip toward
+				// fast retransmit.
+				c.retry.observe(id)
+			}
+		}
 		if call == nil {
 			continue // response to an abandoned or unknown id
 		}
@@ -551,6 +646,27 @@ func (c *Client) readLoop(tc transportConn, link *securelink.Link) {
 		default:
 			call.finish(msg, nil)
 		}
+	}
+}
+
+// recordDelivered advances the cumulative-delivery cursor over a freshly
+// delivered response ID. Callers hold c.mu. The cursor rides in every v3
+// request envelope, letting the server prune its dedup ledger.
+func (c *Client) recordDelivered(id uint64) {
+	if id <= c.ackCum {
+		return
+	}
+	if id != c.ackCum+1 {
+		c.ackAbove[id] = struct{}{}
+		return
+	}
+	c.ackCum++
+	for {
+		if _, ok := c.ackAbove[c.ackCum+1]; !ok {
+			return
+		}
+		delete(c.ackAbove, c.ackCum+1)
+		c.ackCum++
 	}
 }
 
@@ -616,19 +732,18 @@ func (c *Client) expireCall(id uint64) {
 	}
 }
 
-// TransportStats reports the client-side retransmit counters of a
-// datagram session (always zero on stream transports): how many request
-// datagrams were re-sent, and how many requests gave up entirely. This
-// is where the "silent" retries of Ping, Status, and every other call
-// become observable.
+// TransportStats reports the client-side transport counters: how many
+// request datagrams were re-sent, how many requests gave up entirely
+// (both always zero on stream transports), and how many streamed
+// progress frames arrived. This is where the "silent" retries of Ping,
+// Status, and every other call become observable.
 func (c *Client) TransportStats() TransportStats {
-	if c.retry == nil {
-		return TransportStats{}
+	ts := TransportStats{ProgressFrames: c.progressFrames.Load()}
+	if c.retry != nil {
+		ts.Retransmits = c.retry.retransmits.Load()
+		ts.Timeouts = c.retry.timeouts.Load()
 	}
-	return TransportStats{
-		Retransmits: c.retry.retransmits.Load(),
-		Timeouts:    c.retry.timeouts.Load(),
-	}
+	return ts
 }
 
 // reconnect re-dials and re-handshakes after a transport failure.
@@ -709,26 +824,53 @@ func (c *Client) reconnect() error {
 	old := c.tc
 	c.tc, c.link = tc, link
 	c.version, c.sessionID = version, sessionID
+	// The new session is a fresh request-ID space: the server's
+	// resequencer cursor and dedup ledger start empty, so ID allocation
+	// and the delivery cursor restart with them.
+	c.nextID = 1
+	c.ackCum = 0
+	c.ackAbove = make(map[uint64]struct{})
 	c.err = nil
 	c.reconns++
 	c.mu.Unlock()
 	old.close()
 	if version >= 2 {
-		go c.readLoop(tc, link)
+		go c.readLoop(tc, link, version)
 	}
 	return nil
 }
 
 // Go submits a request and returns immediately with the in-flight Call.
-// On a v2 session requests pipeline: many calls may be outstanding and
-// the server may complete non-scenario requests (PING, STATUS, METRICS,
-// EXPERIMENT) out of order. On a v1 session Go blocks for the round trip
-// (the transport has no request IDs to pipeline with).
+// On a v2/v3 session requests pipeline: many calls may be outstanding
+// and the server may complete non-scenario requests (PING, STATUS,
+// METRICS, EXPERIMENT) out of order; scenario requests complete in
+// submission order. Go blocks while the client-side send window
+// (SessionOptions.Window) is full, and on a v1 session for the whole
+// round trip (the transport has no request IDs to pipeline with).
 func (c *Client) Go(req wire.Message) *Call {
 	call := &Call{Req: req, Done: make(chan *Call, 1)}
+	c.submit(call)
+	return call
+}
+
+// submit runs Go's body for a prepared Call (Req and any OnProgress
+// set). Split out so ExperimentStream can attach its progress callback
+// before the request is on the wire.
+func (c *Client) submit(call *Call) *Call {
+	req := call.Req
+
+	// Claim a send-window slot before allocating an ID, so request IDs
+	// hit the wire densely and in order — on v3 the server's reorder
+	// buffer is sized to the same window, and a sparser ID stream would
+	// let the client overrun it. BYE bypasses the window: Close must be
+	// able to end a session whose window is full of stuck calls.
+	if _, isBye := req.(*wire.Bye); !isBye {
+		c.window <- struct{}{}
+		call.release = func() { <-c.window }
+	}
 
 	c.mu.Lock()
-	if c.closed {
+	if c.closed || (c.closing && call.release != nil) {
 		c.mu.Unlock()
 		call.finish(nil, ErrClientClosed)
 		return call
@@ -776,12 +918,22 @@ func (c *Client) Go(req wire.Message) *Call {
 			return call
 		}
 		tc, link := c.tc, c.link
+		version := c.version
 		id := c.nextID
 		c.nextID++
 		c.pending[id] = call
+		cum := c.ackCum
 		c.mu.Unlock()
 
-		env := wire.EncodeEnvelope(id, req)
+		var env []byte
+		if version >= 3 {
+			// The cumulative-delivery cursor rides in every request so the
+			// server can prune its dedup ledger. Retransmits reuse the
+			// envelope verbatim — a stale cursor only delays pruning.
+			env = wire.EncodeEnvelopeV3(id, 0, cum, req)
+		} else {
+			env = wire.EncodeEnvelope(id, req)
+		}
 		// Seal+write as one unit so frames hit the transport in seq order.
 		c.writeMu.Lock()
 		err := tc.writeFrame(link.Seal(env))
@@ -794,7 +946,7 @@ func (c *Client) Go(req wire.Message) *Call {
 			// bursts) — the retry schedule re-sends it, and if the socket
 			// is truly dead the retries exhaust into a timeout. Only a
 			// closed socket poisons the session, via the readLoop.
-			c.retry.track(id, env)
+			c.retry.track(id, env, version >= 3 && orderedKind(req.Kind()))
 			return call
 		}
 		if err == nil {
@@ -952,15 +1104,38 @@ func (c *Client) Attack(cmd uint8, shieldOn bool) (*wire.AttackResp, error) {
 // Experiment runs a registry experiment server-side and returns its
 // rendered table/figure.
 func (c *Client) Experiment(req wire.ExperimentReq) (string, error) {
-	m, err := c.roundTrip(&req)
-	if err != nil {
-		return "", err
+	return c.ExperimentStream(req, nil)
+}
+
+// ExperimentStream runs a registry experiment server-side, invoking
+// onProgress for each streamed EXPERIMENT-PROGRESS frame while it runs,
+// and returns the rendered table/figure. Progress streaming requires a
+// v3 session; on a v2 session the experiment still runs and answers in
+// one frame, and onProgress is simply never called. onProgress runs on
+// the client's read loop: it must be fast and must not call back into
+// the client synchronously. A BUSY-shed request is retried like every
+// other call; progress restarts from zero on the retry.
+func (c *Client) ExperimentStream(req wire.ExperimentReq, onProgress func(*wire.ExperimentProgress)) (string, error) {
+	tries := c.opt.MaxRetries
+	if tries <= 0 {
+		tries = defaultMaxRetries
 	}
-	resp, ok := m.(*wire.ExperimentResp)
-	if !ok {
-		return "", fmt.Errorf("shieldd: unexpected response %T", m)
+	for attempt := 0; ; attempt++ {
+		call := &Call{Req: &req, Done: make(chan *Call, 1), OnProgress: onProgress}
+		m, err := c.submit(call).Wait()
+		if err != nil {
+			if attempt < tries && errors.Is(err, ErrServerBusy) {
+				time.Sleep(c.busyBackoff(err, attempt))
+				continue
+			}
+			return "", err
+		}
+		resp, ok := m.(*wire.ExperimentResp)
+		if !ok {
+			return "", fmt.Errorf("shieldd: unexpected response %T", m)
+		}
+		return resp.Rendered, nil
 	}
-	return resp.Rendered, nil
 }
 
 // Status returns the server's counters.
@@ -1022,15 +1197,19 @@ func (c *Client) Metrics() (*wire.MetricsResp, error) {
 	return resp, nil
 }
 
-// Close ends the session with a BYE and closes the transport. On a v2
+// Close ends the session with a BYE and closes the transport. On a v2+
 // session the server drains every in-flight request before answering the
-// BYE, so pending calls complete rather than die.
+// BYE, so pending calls complete rather than die. On v3 the BYE is
+// sequenced after every earlier request, so Close refuses new
+// submissions from the moment it runs — the BYE must hold the session's
+// highest request ID, or the server would discard requests above it.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil
 	}
+	c.closing = true
 	alive := c.err == nil
 	c.mu.Unlock()
 	if alive {

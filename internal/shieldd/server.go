@@ -18,7 +18,7 @@
 // did before — the same determinism contract as the PR 1 parallel
 // experiment runner, extended to a network service.
 //
-// Two protocol versions are served, negotiated in HELLO:
+// Three protocol versions are served, negotiated in HELLO:
 //
 //   - v1 is strict request/response: one request in flight, answered
 //     before the next is read.
@@ -31,12 +31,20 @@
 //     contract intact under pipelining — while PING, STATUS,
 //     STATUS-METRICS, and EXPERIMENT requests complete independently and
 //     may overtake them.
+//   - v3 keeps the v2 shape but hardens it for pipelining over lossy
+//     datagram transports: envelopes carry flags and a cumulative-progress
+//     field, scenario-mutating requests are executed in request-ID order
+//     (a resequencer buffers arrivals above a loss-induced gap, so one
+//     lost datagram delays only itself, not the session), and EXPERIMENT
+//     requests stream incremental EXPERIMENT-PROGRESS frames while they
+//     run. See DESIGN.md "Selective repeat & streaming experiments".
 package shieldd
 
 import (
 	"crypto/rand"
 	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -368,8 +376,8 @@ func (s *Server) ServeConn(conn net.Conn) {
 		s.met.ShedHandshakes.Add(1)
 		busy := &wire.Busy{RetryAfterMillis: s.retryAfterMillis()}
 		if version >= 2 {
-			if id, _, err := wire.DecodeEnvelope(plain); err == nil {
-				_ = wire.WriteFrame(conn, link.Seal(wire.EncodeEnvelope(id, busy)))
+			if id, _, _, err := decodeReqEnvelope(version, plain); err == nil {
+				_ = wire.WriteFrame(conn, link.Seal(encodeRespEnvelope(version, envelope{id: id, msg: busy}, 0)))
 				return
 			}
 		}
@@ -605,9 +613,9 @@ func (s *Server) servePeer(peer *dgram.PeerConn) {
 	// the client's pending call fails fast instead of timing out.
 	if !s.admitSession() {
 		s.met.ShedHandshakes.Add(1)
-		if id, _, err := wire.DecodeEnvelope(plain); err == nil {
+		if reqID, _, _, err := decodeReqEnvelope(version, plain); err == nil {
 			busy := &wire.Busy{RetryAfterMillis: s.retryAfterMillis()}
-			_ = peer.WriteFrame(dgram.KindSealed, link.Seal(wire.EncodeEnvelope(id, busy)))
+			_ = peer.WriteFrame(dgram.KindSealed, link.Seal(encodeRespEnvelope(version, envelope{id: reqID, msg: busy}, 0)))
 		}
 		return
 	}
@@ -756,18 +764,59 @@ func (s *Server) serveV1(tc transportConn, link *securelink.Link, sess *session,
 	}
 }
 
-// envelope pairs a request ID with the message that answers (or asks) it.
+// envelope pairs a request ID with the message that answers (or asks)
+// it, plus the v3 frame roles: partial marks a streamed non-final
+// response (EnvPartial on the wire, never recorded in the dedup
+// ledger), and last marks the final frame of the session (the BYE
+// response) — after flushing it the writer closes the transport to
+// wake the reader into teardown.
 type envelope struct {
-	id  uint64
-	msg wire.Message
+	id      uint64
+	msg     wire.Message
+	partial bool
+	last    bool
 }
 
-// serveV2 is the multiplexed loop. Three roles share the connection:
+// decodeReqEnvelope parses a request envelope by negotiated session
+// version. cum is the client's cumulative-progress report (always 0 on
+// v2). A client-sent partial flag is malformed.
+func decodeReqEnvelope(version uint8, plain []byte) (id uint64, cum uint64, m wire.Message, err error) {
+	if version >= 3 {
+		var flags uint8
+		id, flags, cum, m, err = wire.DecodeEnvelopeV3(plain)
+		if err == nil && flags != 0 {
+			return id, cum, nil, wire.ErrInvalid
+		}
+		return id, cum, m, err
+	}
+	id, m, err = wire.DecodeEnvelope(plain)
+	return id, 0, m, err
+}
+
+// encodeRespEnvelope serializes a response envelope by negotiated
+// session version; cum is the server's cumulative-progress report
+// (dropped on v2).
+func encodeRespEnvelope(version uint8, e envelope, cum uint64) []byte {
+	if version >= 3 {
+		var flags uint8
+		if e.partial {
+			flags |= wire.EnvPartial
+		}
+		return wire.EncodeEnvelopeV3(e.id, flags, cum, e.msg)
+	}
+	return wire.EncodeEnvelope(e.id, e.msg)
+}
+
+// serveV2 is the multiplexed loop (protocol v2 and v3). Three roles
+// share the connection:
 //
 //   - this goroutine (the reader) owns link.Open, classifies requests,
 //     and enforces the in-flight window;
-//   - a per-session executor goroutine runs scenario-mutating requests in
-//     exactly the order they arrived (the determinism contract);
+//   - a per-session executor goroutine runs scenario-mutating requests
+//     one at a time — in arrival order on v2 sessions, in request-ID
+//     order on v3 sessions (the resequencer restores ID order under
+//     datagram loss/reordering, which is what makes pipelined
+//     submission deterministic);
 //   - a writer goroutine owns link.Seal and conn writes, so responses
 //     from the executor, experiment goroutines, and the reader's own
 //     fast-path replies interleave safely.
@@ -787,60 +836,222 @@ type envelope struct {
 //     answered again from the response cache without touching the
 //     scenario — re-execution would fork the deterministic per-seed
 //     result stream.
+//
+// On v3 sessions three more mechanisms run on top:
+//
+//   - ordered requests (EXCHANGE, BATCH, ATTACK, BYE) pass through the
+//     resequencer before the executor, so an op that arrives above a
+//     lost datagram waits in the reorder buffer instead of executing
+//     early, and duplicates are recognized before consuming a window
+//     slot (a gap-stalled window must never wedge the reader);
+//   - every response envelope carries the server's cumulative-progress
+//     report, and the client's report prunes the dedup ledger;
+//   - EXPERIMENT requests stream EnvPartial EXPERIMENT-PROGRESS frames
+//     while they run; partials bypass the dedup ledger so the final
+//     answer still completes the request.
+//
+// BYE is sequenced like any ordered op on v3: the executor answers it
+// only after every lower ID has executed, drains the rest of the
+// window, and marks the response `last` — the writer flushes it, then
+// closes the transport to steer the reader into teardown.
 func (s *Server) serveV2(tc transportConn, link *securelink.Link, sess *session, firstPlain []byte) {
 	window := s.cfg.InFlightPerSession
 	slots := make(chan struct{}, window) // filled = in flight
-	exec := make(chan envelope, window)  // scenario ops, arrival order
+	exec := make(chan envelope, window)  // scenario ops, execution order
 	out := make(chan envelope, window+1) // responses to the writer
 	writerDone := make(chan struct{})
 	var dedup *dedupState
 	if tc.unreliable() {
 		dedup = newDedupState()
 	}
+	var rs *resequencer
+	if sess.version >= 3 {
+		rs = newResequencer()
+	}
+	// dying closes when no further frame can ever be sent (the final BYE
+	// response was flushed, or the transport broke): the reader stops
+	// waiting for window slots — which may be held hostage by a reorder
+	// buffer whose gap can now never be filled — and falls through to
+	// its read error.
+	dying := make(chan struct{})
+	var dyingOnce sync.Once
+	die := func() { dyingOnce.Do(func() { close(dying) }) }
+	// stopExec tells the executor the session is tearing down: discard
+	// the reorder buffer (releasing its window slots) and drain exec
+	// without executing.
+	stopExec := make(chan struct{})
+
+	srvCum := func() uint64 {
+		if rs != nil {
+			return rs.cum()
+		}
+		return 0
+	}
 
 	// Writer: sole owner of link.Seal and transport writes. On a write
 	// error it closes the transport (waking the reader) and keeps
 	// draining so no producer ever blocks forever. On unreliable
-	// transports it also records every response in the dedup cache
-	// before sending, so a retransmitted request can be re-answered.
+	// transports it also records every final response in the dedup
+	// ledger before sending, so a retransmitted request can be
+	// re-answered; partial frames are never recorded (a cached partial
+	// would block the final answer forever).
 	go func() {
 		defer close(writerDone)
 		broken := false
 		for e := range out {
 			if broken {
+				if e.last {
+					die()
+				}
 				continue
 			}
-			if dedup != nil {
+			if dedup != nil && !e.partial {
 				dedup.complete(e.id, e.msg)
 			}
-			if err := tc.writeFrame(link.Seal(wire.EncodeEnvelope(e.id, e.msg))); err != nil {
+			if err := tc.writeFrame(link.Seal(encodeRespEnvelope(sess.version, e, srvCum()))); err != nil {
 				broken = true
 				tc.close()
+				die()
+				continue
+			}
+			if e.partial {
+				sess.met.ProgressFrames.Add(1)
+				s.met.TotalProgressFrames.Add(1)
+			}
+			if e.last {
+				// The BYE response is flushed: the session is over. Close
+				// the transport so the reader's blocking read returns.
+				tc.close()
+				die()
 			}
 		}
 	}()
 
-	// Executor: scenario-mutating requests in arrival order. Every
+	// Executor: scenario-mutating requests one at a time, in the order
+	// the reader (via the resequencer on v3) put them on exec. Every
 	// envelope on exec holds one slot of the global work budget, released
 	// as soon as the scenario work is done.
 	go func() {
-		for e := range exec {
-			resp := s.dispatchScenario(sess, e.msg)
-			s.releaseWork()
-			out <- envelope{e.id, resp}
-			sess.met.LeaveFlight()
-			<-slots
+		discard := false
+		stop := stopExec
+		for {
+			select {
+			case <-stop:
+				stop = nil
+				discard = true
+				if rs != nil {
+					for range rs.discard() {
+						sess.met.LeaveFlight()
+						<-slots
+					}
+				}
+			case e, ok := <-exec:
+				if !ok {
+					return
+				}
+				if _, isBye := e.msg.(*wire.Bye); isBye && rs != nil {
+					// Ordered ops below the BYE have all executed (it was
+					// sequenced); anything buffered above it never will.
+					for range rs.discard() {
+						sess.met.LeaveFlight()
+						<-slots
+					}
+					if discard {
+						sess.met.LeaveFlight()
+						<-slots
+						continue
+					}
+					// Drain every other in-flight request (experiments,
+					// fast-path replies) so the BYE response is provably
+					// the last frame of the session, then hand the window
+					// back for the reader's teardown quiesce. The drain
+					// yields to stopExec: if the transport dies mid-drain
+					// the reader's quiesce competes for the same window,
+					// and the answer would go nowhere anyway.
+					held, stopped := 1, false
+					for held < window && !stopped {
+						select {
+						case slots <- struct{}{}:
+							held++
+						case <-stop:
+							stopped = true
+						}
+					}
+					if !stopped {
+						out <- envelope{id: e.id, msg: &wire.Bye{}, last: true}
+					}
+					sess.met.LeaveFlight()
+					for i := 0; i < held; i++ {
+						<-slots
+					}
+					if stopped {
+						stop = nil
+					}
+					discard = true
+					continue
+				}
+				if discard {
+					s.releaseWork()
+					sess.met.LeaveFlight()
+					<-slots
+					continue
+				}
+				resp := s.dispatchScenario(sess, e.msg)
+				s.releaseWork()
+				out <- envelope{id: e.id, msg: resp}
+				sess.met.LeaveFlight()
+				<-slots
+			}
 		}
 	}()
+
+	// takeSlot claims a window slot for a fresh request, giving up if the
+	// session is dying (slots may then never free again).
+	takeSlot := func() bool {
+		select {
+		case slots <- struct{}{}:
+			return true
+		case <-dying:
+			return false
+		}
+	}
 
 	// respond enqueues a response and releases the caller's window slot.
 	respond := func(id uint64, m wire.Message) {
 		if _, isErr := m.(*wire.Error); isErr {
 			sess.met.Errors.Add(1)
 		}
-		out <- envelope{id, m}
+		out <- envelope{id: id, msg: m}
 		sess.met.LeaveFlight()
 		<-slots
+	}
+
+	// dispatchReleased hands resequenced ordered requests to the executor
+	// (v3 only). Global load shedding happens at release time — a request
+	// buffered behind a gap must not sit on server-wide work budget while
+	// it waits. Reports whether the session's BYE was among the releases.
+	// A well-behaved client gives BYE its highest ID; anything released
+	// after it came from a misbehaving peer and is dropped unanswered (its
+	// slot must not survive the executor's window drain).
+	dispatchReleased := func(rel []envelope) (bye bool) {
+		for _, e := range rel {
+			if bye {
+				sess.met.LeaveFlight()
+				<-slots
+				continue
+			}
+			if _, isBye := e.msg.(*wire.Bye); isBye {
+				exec <- e
+				bye = true
+				continue
+			}
+			if !s.acquireWork() {
+				respond(e.id, s.shedRequest(sess))
+				continue
+			}
+			exec <- e
+		}
+		return bye
 	}
 
 	// quiesce blocks until every in-flight request has enqueued its
@@ -851,31 +1062,63 @@ func (s *Server) serveV2(tc transportConn, link *securelink.Link, sess *session,
 		}
 	}
 	shutdown := func(held int) {
+		close(stopExec)
 		quiesce(held)
 		close(exec)
 		close(out)
 		<-writerDone
 	}
 
-	// Idle reaper: "busy" means any request still holds a window slot, so
-	// long experiments and deep pipelines are never reaped mid-work.
+	// Idle reaper: "busy" means a request holds a window slot for live
+	// work — long experiments and deep pipelines are never reaped
+	// mid-work. Slots held by the reorder buffer do NOT count: a client
+	// that died with a gap outstanding leaves them held forever, and the
+	// session must still be reapable.
 	var lastActivity atomic.Int64
 	lastActivity.Store(time.Now().UnixNano())
-	defer s.startReaper(tc, &lastActivity, func() bool { return len(slots) > 0 })()
+	defer s.startReaper(tc, &lastActivity, func() bool {
+		held := len(slots)
+		if rs != nil {
+			held -= rs.pending()
+		}
+		return held > 0
+	})()
 
 	// handle classifies one authenticated plaintext. It returns true when
-	// the session is done (BYE). The caller has NOT yet taken a slot.
+	// the session is done (v2 BYE; v3 sessions end via the writer's
+	// transport close instead). The caller has NOT yet taken a slot.
+	byeSeen := false
 	handle := func(plain []byte) (done bool) {
-		slots <- struct{}{}
-		sess.met.EnterFlight()
-		id, req, err := wire.DecodeEnvelope(plain)
+		id, cum, req, err := decodeReqEnvelope(sess.version, plain)
 		if err != nil {
 			// Authentic but malformed: answer (id 0 if the envelope was
-			// too short to carry one) and keep the session.
+			// too short to carry one) and keep the session. On v3 the ID
+			// must still move the resequencer cursor, or every later
+			// ordered op would wait on it forever.
+			if rs != nil && id != 0 && dedup != nil {
+				if fresh, cached := dedup.claim(id); !fresh {
+					if cached != nil {
+						sess.met.Retransmits.Add(1)
+						s.met.TotalRetransmits.Add(1)
+						out <- envelope{id: id, msg: cached}
+					}
+					return false
+				}
+			}
+			if !takeSlot() {
+				return false
+			}
+			sess.met.EnterFlight()
 			respond(id, &wire.Error{Code: wire.CodeBadRequest, Msg: "malformed request"})
+			if rs != nil && id != 0 {
+				if dispatchReleased(rs.skip(id)) {
+					byeSeen = true
+				}
+			}
 			return false
 		}
 		if dedup != nil {
+			dedup.prune(cum)
 			fresh, cached := dedup.claim(id)
 			if !fresh {
 				if cached != nil {
@@ -883,17 +1126,32 @@ func (s *Server) serveV2(tc transportConn, link *securelink.Link, sess *session,
 					// re-send it without re-executing anything.
 					sess.met.Retransmits.Add(1)
 					s.met.TotalRetransmits.Add(1)
-					out <- envelope{id, cached}
+					out <- envelope{id: id, msg: cached}
 				}
-				// Still executing: drop the duplicate; the original's
-				// response is coming.
-				sess.met.LeaveFlight()
-				<-slots
+				// Still executing (or buffered): drop the duplicate; the
+				// original's response is coming. No window slot was
+				// consumed, so retransmits into a gap-stalled window can
+				// never wedge the reader.
 				return false
 			}
 		}
+		if byeSeen {
+			// The session's BYE has been sequenced; nothing fresh may
+			// enter the window while the executor drains it.
+			return false
+		}
+		if !takeSlot() {
+			return false
+		}
+		sess.met.EnterFlight()
 		switch m := req.(type) {
 		case *wire.ExchangeReq, *wire.BatchReq, *wire.AttackReq:
+			if rs != nil {
+				if dispatchReleased(rs.submit(envelope{id: id, msg: req})) {
+					byeSeen = true
+				}
+				return false
+			}
 			// Global load shedding: scenario work must fit the server-wide
 			// in-flight budget or be answered BUSY. The BUSY flows through
 			// the writer like any response, so on unreliable transports it
@@ -903,31 +1161,65 @@ func (s *Server) serveV2(tc transportConn, link *securelink.Link, sess *session,
 				respond(id, s.shedRequest(sess))
 				return false
 			}
-			exec <- envelope{id, m} // executor releases the slot and work budget
+			exec <- envelope{id: id, msg: m} // executor releases the slot and work budget
 		case *wire.ExperimentReq:
 			if !s.acquireWork() {
 				respond(id, s.shedRequest(sess))
-				return false
+			} else {
+				sess.met.Experiments.Add(1)
+				var emit func(*wire.ExperimentProgress)
+				if rs != nil {
+					emit = func(p *wire.ExperimentProgress) {
+						out <- envelope{id: id, msg: p, partial: true}
+					}
+				}
+				go func() {
+					defer s.releaseWork()
+					respond(id, s.handleExperiment(m, emit))
+				}()
 			}
-			sess.met.Experiments.Add(1)
-			go func() {
-				defer s.releaseWork()
-				respond(id, s.handleExperiment(m))
-			}()
+			if rs != nil {
+				if dispatchReleased(rs.skip(id)) {
+					byeSeen = true
+				}
+			}
 		case *wire.Ping:
 			sess.met.Pings.Add(1)
 			s.met.TotalPings.Add(1)
 			respond(id, &wire.Pong{Token: m.Token})
+			if rs != nil {
+				if dispatchReleased(rs.skip(id)) {
+					byeSeen = true
+				}
+			}
 		case *wire.StatusReq:
 			st := s.Status()
 			respond(id, &st)
+			if rs != nil {
+				if dispatchReleased(rs.skip(id)) {
+					byeSeen = true
+				}
+			}
 		case *wire.MetricsReq:
 			respond(id, s.handleMetrics(sess))
+			if rs != nil {
+				if dispatchReleased(rs.skip(id)) {
+					byeSeen = true
+				}
+			}
 		case *wire.Bye:
-			// Drain every other in-flight request first so the BYE
+			if rs != nil {
+				// Sequenced like any ordered op: the executor answers it
+				// after everything below it has executed.
+				if dispatchReleased(rs.submit(envelope{id: id, msg: req})) {
+					byeSeen = true
+				}
+				return false
+			}
+			// v2: drain every other in-flight request first so the BYE
 			// response is provably the last frame of the session.
 			quiesce(1)
-			out <- envelope{id, &wire.Bye{}}
+			out <- envelope{id: id, msg: &wire.Bye{}}
 			sess.met.LeaveFlight()
 			close(exec)
 			close(out)
@@ -935,6 +1227,11 @@ func (s *Server) serveV2(tc transportConn, link *securelink.Link, sess *session,
 			return true
 		default:
 			respond(id, &wire.Error{Code: wire.CodeBadRequest, Msg: "unexpected request"})
+			if rs != nil {
+				if dispatchReleased(rs.skip(id)) {
+					byeSeen = true
+				}
+			}
 		}
 		return false
 	}
@@ -1084,7 +1381,7 @@ func (s *Server) dispatch(sess *session, req wire.Message) (resp wire.Message, d
 		return s.handleAttack(sess, m), false
 	case *wire.ExperimentReq:
 		sess.met.Experiments.Add(1)
-		return s.handleExperiment(m), false
+		return s.handleExperiment(m, nil), false
 	case *wire.StatusReq:
 		st := s.Status()
 		return &st, false
@@ -1215,9 +1512,19 @@ func (s *Server) handleAttack(sess *session, m *wire.AttackReq) wire.Message {
 	}
 }
 
+// progressChunk is the trial-count granularity of streamed
+// EXPERIMENT-PROGRESS frames. Emission is count-based (every chunk of
+// completed trials plus the final trial), so the NUMBER of progress
+// frames an experiment produces is a pure function of its trial count —
+// deterministic across runs even though the parallel runner completes
+// trials in nondeterministic order.
+const progressChunk = 64
+
 // handleExperiment runs a registry experiment server-side with the
-// deterministic worker fan-out bounded by the server config.
-func (s *Server) handleExperiment(m *wire.ExperimentReq) wire.Message {
+// deterministic worker fan-out bounded by the server config. When emit
+// is non-nil (v3 sessions), incremental progress is streamed through it
+// at progressChunk-trial granularity while the experiment runs.
+func (s *Server) handleExperiment(m *wire.ExperimentReq, emit func(*wire.ExperimentProgress)) wire.Message {
 	workers := int(m.Workers)
 	if workers > s.cfg.ExperimentWorkers {
 		workers = s.cfg.ExperimentWorkers
@@ -1227,6 +1534,17 @@ func (s *Server) handleExperiment(m *wire.ExperimentReq) wire.Message {
 		Trials:  int(m.Trials),
 		Quick:   m.Quick,
 		Workers: workers,
+	}
+	if emit != nil {
+		cfg.Progress = func(done, total int) {
+			if done%progressChunk == 0 || done == total {
+				emit(&wire.ExperimentProgress{
+					Done:  uint32(done),
+					Total: uint32(total),
+					Stage: m.Name,
+				})
+			}
+		}
 	}
 	res, err := experiments.RunByName(m.Name, cfg)
 	if err != nil {
@@ -1266,6 +1584,7 @@ func (s *Server) handleMetrics(sess *session) wire.Message {
 		ServerShedHandshakes: s.met.ShedHandshakes.Load(),
 		ServerShedRequests:   s.met.ShedRequests.Load(),
 		ServerRateLimited:    s.met.RateLimited.Load(),
+		ProgressFrames:       sess.met.ProgressFrames.Load(),
 	}
 }
 

@@ -86,6 +86,20 @@ const (
 	// that a response can still be re-sent for any request the client
 	// could plausibly retransmit.
 	dedupCacheCap = 256
+	// defaultSendWindow is the client's pipelining window: how many
+	// requests may be awaiting responses at once before Go blocks. It
+	// matches the server's default InFlightPerSession so a full client
+	// window can never wedge the server-side reorder buffer.
+	defaultSendWindow = 16
+	// fastRetransmitSkips is the selective-repeat dup-ack threshold: when
+	// this many ordered responses with higher IDs have arrived while an
+	// ordered request is still pending, its response datagram is presumed
+	// lost (the server executes ordered requests in ID order, so their
+	// responses leave in ID order) and the request is re-sent immediately
+	// instead of waiting out the retry timer. On a loss-free in-order
+	// link the count can never be reached, so a perfect link sees zero
+	// retransmits.
+	fastRetransmitSkips = 3
 )
 
 // dedupState is the server side of exactly-once execution over an
@@ -100,6 +114,7 @@ type dedupState struct {
 	done     map[uint64]wire.Message
 	order    []uint64 // done-cache FIFO eviction order
 	maxID    uint64   // highest request ID ever claimed
+	pruned   uint64   // ids <= pruned are client-confirmed delivered (v3 cum)
 }
 
 func newDedupState() *dedupState {
@@ -121,6 +136,12 @@ func (d *dedupState) claim(id uint64) (fresh bool, cached wire.Message) {
 	if _, ok := d.inflight[id]; ok {
 		return false, nil
 	}
+	// The client's cumulative-progress report confirmed delivery of every
+	// response at or below pruned, so a retransmit from down there is
+	// stale by definition: drop it rather than re-execute.
+	if id <= d.pruned {
+		return false, nil
+	}
 	// An ID far enough below the highest seen that its cache entry may
 	// already have been evicted must NOT execute: this is a stale
 	// retransmit of a request whose eviction we can no longer
@@ -136,6 +157,29 @@ func (d *dedupState) claim(id uint64) (fresh bool, cached wire.Message) {
 	}
 	d.inflight[id] = struct{}{}
 	return true, nil
+}
+
+// prune drops done-cache entries at or below the client's cumulative
+// progress report: the client has confirmed delivery of every response
+// through cum, so it will never re-ask for them. This keeps the ledger
+// holding only the window's worth of answers a live pipeline can still
+// retransmit into, instead of the last dedupCacheCap responses.
+func (d *dedupState) prune(cum uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cum <= d.pruned {
+		return
+	}
+	d.pruned = cum
+	keep := d.order[:0]
+	for _, id := range d.order {
+		if id <= cum {
+			delete(d.done, id)
+		} else {
+			keep = append(keep, id)
+		}
+	}
+	d.order = keep
 }
 
 // complete records the response the writer is sending for id.
@@ -165,6 +209,11 @@ type TransportStats struct {
 	// Timeouts is the number of requests that failed after exhausting
 	// every retransmission.
 	Timeouts uint64
+	// ProgressFrames is the number of streamed EXPERIMENT-PROGRESS
+	// frames received (v3 sessions; zero on v2 and on clients that never
+	// ran a streamed experiment). Unlike the other counters it is also
+	// populated on stream transports.
+	ProgressFrames uint64
 }
 
 // retrier is the client-side reliability layer for datagram sessions:
@@ -189,9 +238,11 @@ type retrier struct {
 }
 
 type retryEntry struct {
-	env   []byte // plaintext envelope: id(8) || message
-	tries int
-	next  time.Time
+	env     []byte // plaintext envelope (v2: id||msg, v3: id||flags||cum||msg)
+	tries   int
+	next    time.Time
+	ordered bool // scenario-ordered request: responses arrive in ID order
+	skips   int  // ordered responses with higher IDs seen while pending
 }
 
 func newRetrier(c *Client, rto time.Duration, maxTries int) *retrier {
@@ -210,11 +261,13 @@ func newRetrier(c *Client, rto time.Duration, maxTries int) *retrier {
 	}
 }
 
-// track registers an in-flight request for retransmission.
-func (r *retrier) track(id uint64, env []byte) {
+// track registers an in-flight request for retransmission. ordered
+// marks requests the server sequences (EXCHANGE/BATCH/ATTACK/BYE),
+// which makes them eligible for skip-count fast retransmission.
+func (r *retrier) track(id uint64, env []byte, ordered bool) {
 	r.mu.Lock()
 	if !r.stopped {
-		r.entries[id] = &retryEntry{env: env, next: time.Now().Add(r.rto)}
+		r.entries[id] = &retryEntry{env: env, next: time.Now().Add(r.rto), ordered: ordered}
 	}
 	r.mu.Unlock()
 	r.poke()
@@ -225,6 +278,47 @@ func (r *retrier) ack(id uint64) {
 	r.mu.Lock()
 	delete(r.entries, id)
 	r.mu.Unlock()
+}
+
+// touch resets a request's retry schedule: a streamed partial response
+// proved the server holds the request and is executing it, so the full
+// timer (and try budget) starts over from now.
+func (r *retrier) touch(id uint64) {
+	r.mu.Lock()
+	if e, ok := r.entries[id]; ok {
+		e.tries = 0
+		e.next = time.Now().Add(r.rto)
+	}
+	r.mu.Unlock()
+}
+
+// observe records the arrival of a final response to an ordered request:
+// every ordered request still pending with a smaller ID has provably had
+// its response sent (ordered execution is in ID order), so its response
+// datagram is in flight or lost. After fastRetransmitSkips such signals
+// the request is re-sent immediately — selective repeat of exactly the
+// lost ID, at round-trip rather than retry-timer latency.
+func (r *retrier) observe(respID uint64) {
+	var resend [][]byte
+	r.mu.Lock()
+	if !r.stopped {
+		for id, e := range r.entries {
+			if !e.ordered || id >= respID {
+				continue
+			}
+			e.skips++
+			if e.skips >= fastRetransmitSkips {
+				e.skips = 0
+				e.next = time.Now().Add(r.backoff(e.tries))
+				resend = append(resend, e.env)
+			}
+		}
+	}
+	r.mu.Unlock()
+	for _, env := range resend {
+		r.retransmits.Add(1)
+		r.c.resendEnvelope(env)
+	}
 }
 
 // stop ends the retry loop; tracked entries are abandoned (their calls

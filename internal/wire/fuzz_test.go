@@ -5,8 +5,9 @@ import (
 	"testing"
 )
 
-// FuzzWireDecode checks that both decoders — Decode for v1 payloads and
-// DecodeEnvelope for v2 request-ID framed payloads — are total (no input
+// FuzzWireDecode checks that all three decoders — Decode for v1
+// payloads, DecodeEnvelope for v2 request-ID framed payloads, and
+// DecodeEnvelopeV3 for the flags+cum envelopes — are total (no input
 // panics or over-allocates) and that everything they accept re-encodes
 // to exactly the bytes accepted. The decoders sit behind securelink on
 // the real wire, but defense in depth matters: a compromised peer with a
@@ -17,6 +18,7 @@ func FuzzWireDecode(f *testing.F) {
 	for _, m := range sampleMessages() {
 		f.Add(m.Encode())
 		f.Add(EncodeEnvelope(0xABCD, m))
+		f.Add(EncodeEnvelopeV3(0xABCD, EnvPartial, 0xABCC, m))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{KindExchangeResp, 0xFF, 0xFF, 0xFF, 0xFF})
@@ -33,6 +35,11 @@ func FuzzWireDecode(f *testing.F) {
 		if id, m, err := DecodeEnvelope(raw); err == nil {
 			if re := EncodeEnvelope(id, m); !bytes.Equal(re, raw) {
 				t.Fatalf("accepted envelope does not round trip:\n in: %x\nout: %x", raw, re)
+			}
+		}
+		if id, flags, cum, m, err := DecodeEnvelopeV3(raw); err == nil {
+			if re := EncodeEnvelopeV3(id, flags, cum, m); !bytes.Equal(re, raw) {
+				t.Fatalf("accepted v3 envelope does not round trip:\n in: %x\nout: %x", raw, re)
 			}
 		}
 	})

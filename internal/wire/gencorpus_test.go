@@ -43,4 +43,8 @@ func TestWriteV2Corpus(t *testing.T) {
 	write("v6-busy", (&Busy{RetryAfterMillis: 1000}).Encode())
 	write("v6-envelope-busy", EncodeEnvelope(13, &Busy{RetryAfterMillis: 250}))
 	write("v6-cookie-lying-len", []byte{KindCookie, 0xFF, 0xFF, 0xFF, 0xFF})
+	write("v8-progress", (&ExperimentProgress{Done: 64, Total: 400, Stage: "fig7"}).Encode())
+	write("v8-env3-progress", EncodeEnvelopeV3(21, EnvPartial, 20, &ExperimentProgress{Done: 128, Total: 400, Stage: "fig7"}))
+	write("v8-env3-exchange", EncodeEnvelopeV3(7, 0, 6, &ExchangeReq{IMD: 0, Cmd: CmdInterrogate}))
+	write("v8-env3-truncated", make([]byte, 16))
 }

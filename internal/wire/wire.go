@@ -9,7 +9,7 @@
 // securelink-sealed message, so the payload on the wire is
 // seq(8) || AES-GCM ciphertext of an encoded message.
 //
-// Two protocol versions share this vocabulary, negotiated in HELLO
+// Three protocol versions share this vocabulary, negotiated in HELLO
 // (client announces its highest version, HELLO-ACK carries the minimum
 // of the two):
 //
@@ -20,13 +20,22 @@
 //     client may pipeline many requests over one connection and the
 //     server may complete them out of order (bounded by its in-flight
 //     window).
+//   - v3: the sealed plaintext is an envelope
+//     id(8) || flags(1) || cum(8) || message. EnvPartial marks a
+//     non-final response (an EXPERIMENT-PROGRESS frame streamed while the
+//     request is still executing); cum carries cumulative progress — the
+//     client reports the highest request ID through which every response
+//     has been received (the server prunes its dedup ledger below it),
+//     and the server reports the highest request ID through which every
+//     request has been received and sequenced.
 //
 // Message encoding is kind(1) || body, with fixed-width big-endian
 // integers, IEEE-754 bits for floats, and uint32-length-prefixed byte
 // strings. Decode is total: it never panics, never over-allocates beyond
 // the input length, and accepts exactly the encodings Encode produces
 // (round-trip byte equality — the FuzzWireDecode invariant).
-// DecodeEnvelope inherits the same totality for v2 payloads.
+// DecodeEnvelope and DecodeEnvelopeV3 inherit the same totality for
+// v2/v3 payloads.
 package wire
 
 import (
@@ -39,7 +48,7 @@ import (
 
 // Version is the highest protocol version this package speaks; HELLO
 // carries the client's highest version and HELLO-ACK the negotiated one.
-const Version = 2
+const Version = 3
 
 // MinVersion is the lowest protocol version still accepted (v1 clients
 // keep working against a v2 server).
@@ -106,27 +115,28 @@ func ReadFrameLimit(r io.Reader, limit uint32) ([]byte, error) {
 
 // Message kinds.
 const (
-	KindHello          byte = 0x01
-	KindHelloAck       byte = 0x02
-	KindChallenge      byte = 0x03
-	KindCookie         byte = 0x04
-	KindExchangeReq    byte = 0x10
-	KindExchangeResp   byte = 0x11
-	KindAttackReq      byte = 0x12
-	KindAttackResp     byte = 0x13
-	KindBatchReq       byte = 0x14
-	KindBatchResp      byte = 0x15
-	KindExperimentReq  byte = 0x20
-	KindExperimentResp byte = 0x21
-	KindStatusReq      byte = 0x30
-	KindStatusResp     byte = 0x31
-	KindPing           byte = 0x32
-	KindPong           byte = 0x33
-	KindMetricsReq     byte = 0x34
-	KindMetricsResp    byte = 0x35
-	KindBusy           byte = 0x3C
-	KindBye            byte = 0x3E
-	KindError          byte = 0x3F
+	KindHello              byte = 0x01
+	KindHelloAck           byte = 0x02
+	KindChallenge          byte = 0x03
+	KindCookie             byte = 0x04
+	KindExchangeReq        byte = 0x10
+	KindExchangeResp       byte = 0x11
+	KindAttackReq          byte = 0x12
+	KindAttackResp         byte = 0x13
+	KindBatchReq           byte = 0x14
+	KindBatchResp          byte = 0x15
+	KindExperimentReq      byte = 0x20
+	KindExperimentResp     byte = 0x21
+	KindExperimentProgress byte = 0x22
+	KindStatusReq          byte = 0x30
+	KindStatusResp         byte = 0x31
+	KindPing               byte = 0x32
+	KindPong               byte = 0x33
+	KindMetricsReq         byte = 0x34
+	KindMetricsResp        byte = 0x35
+	KindBusy               byte = 0x3C
+	KindBye                byte = 0x3E
+	KindError              byte = 0x3F
 )
 
 // Hello option flags (mirror heartshield.SimOptions).
@@ -327,6 +337,11 @@ type MetricsResp struct {
 	ServerShedHandshakes uint64 // handshakes answered BUSY at the admission gate
 	ServerShedRequests   uint64 // in-session requests answered BUSY
 	ServerRateLimited    uint64 // handshake datagrams dropped by per-peer rate limit
+
+	// ProgressFrames counts EXPERIMENT-PROGRESS frames streamed to this
+	// session (appended at end of layout, PR 5 convention; always 0 on
+	// v1/v2 sessions).
+	ProgressFrames uint64
 }
 
 // ExperimentReq runs a registry experiment server-side.
@@ -341,6 +356,16 @@ type ExperimentReq struct {
 // ExperimentResp carries the experiment's rendered table/figure.
 type ExperimentResp struct {
 	Rendered string
+}
+
+// ExperimentProgress is a streamed partial answer to an EXPERIMENT
+// request (v3 sessions only): Done of Total trials of the named Stage
+// have completed. It always travels in an envelope flagged EnvPartial;
+// the final ExperimentResp still closes the request.
+type ExperimentProgress struct {
+	Done  uint32
+	Total uint32
+	Stage string
 }
 
 // StatusReq asks for server-wide counters.
@@ -623,7 +648,9 @@ func (m *MetricsResp) Encode() []byte {
 	b = appendU64(b, m.ServerCookieRejects)
 	b = appendU64(b, m.ServerShedHandshakes)
 	b = appendU64(b, m.ServerShedRequests)
-	return appendU64(b, m.ServerRateLimited)
+	b = appendU64(b, m.ServerRateLimited)
+	// PR 8 streaming counter — same append-at-end convention.
+	return appendU64(b, m.ProgressFrames)
 }
 
 // Kind returns the wire kind byte.
@@ -668,6 +695,16 @@ func (m *ExperimentResp) Encode() []byte {
 
 // Kind returns the wire kind byte.
 func (m *ExperimentResp) Kind() byte { return KindExperimentResp }
+
+// Encode serializes the ExperimentProgress message.
+func (m *ExperimentProgress) Encode() []byte {
+	b := appendU32([]byte{KindExperimentProgress}, m.Done)
+	b = appendU32(b, m.Total)
+	return appendBytes(b, []byte(m.Stage))
+}
+
+// Kind returns the wire kind byte.
+func (m *ExperimentProgress) Kind() byte { return KindExperimentProgress }
 
 // Encode serializes the StatusReq message.
 func (m *StatusReq) Encode() []byte { return []byte{KindStatusReq} }
@@ -814,6 +851,7 @@ func Decode(b []byte) (Message, error) {
 			ServerShedHandshakes: c.u64(),
 			ServerShedRequests:   c.u64(),
 			ServerRateLimited:    c.u64(),
+			ProgressFrames:       c.u64(),
 		}
 	case KindAttackReq:
 		m = &AttackReq{Cmd: c.u8(), ShieldOn: c.bool()}
@@ -835,6 +873,12 @@ func Decode(b []byte) (Message, error) {
 		}
 	case KindExperimentResp:
 		m = &ExperimentResp{Rendered: c.string()}
+	case KindExperimentProgress:
+		m = &ExperimentProgress{
+			Done:  c.u32(),
+			Total: c.u32(),
+			Stage: c.string(),
+		}
 	case KindStatusReq:
 		m = &StatusReq{}
 	case KindStatusResp:
@@ -884,4 +928,55 @@ func DecodeEnvelope(b []byte) (id uint64, m Message, err error) {
 		return id, nil, err
 	}
 	return id, m, nil
+}
+
+// --- v3 envelope -------------------------------------------------------
+
+// Envelope flag bits (v3).
+const (
+	// EnvPartial marks a response frame that does not complete its
+	// request: more frames for the same id follow (EXPERIMENT-PROGRESS
+	// streaming). The client must not retire the request, and the server
+	// must not record a partial frame in its dedup ledger.
+	EnvPartial uint8 = 1 << 0
+
+	envFlagsMask = EnvPartial
+)
+
+// EncodeEnvelopeV3 serializes a v3 frame payload:
+// id(8) || flags(1) || cum(8) || message. The id is the client-chosen
+// request identifier (echoed on responses, as in v2); cum is the
+// sender's cumulative-progress report — client→server, the highest
+// request ID through which every response has been received (the server
+// may prune its dedup ledger at and below it); server→client, the
+// highest request ID through which every request has been received and
+// sequenced.
+func EncodeEnvelopeV3(id uint64, flags uint8, cum uint64, m Message) []byte {
+	enc := m.Encode()
+	b := make([]byte, 17, 17+len(enc))
+	binary.BigEndian.PutUint64(b, id)
+	b[8] = flags
+	binary.BigEndian.PutUint64(b[9:], cum)
+	return append(b, enc...)
+}
+
+// DecodeEnvelopeV3 parses a v3 frame payload. It is as total as Decode:
+// truncated headers, unknown flag bits, malformed messages, and trailing
+// bytes are all errors, and an accepted envelope re-encodes to exactly
+// the accepted bytes.
+func DecodeEnvelopeV3(b []byte) (id uint64, flags uint8, cum uint64, m Message, err error) {
+	if len(b) < 17 {
+		return 0, 0, 0, nil, ErrTruncated
+	}
+	id = binary.BigEndian.Uint64(b[:8])
+	flags = b[8]
+	cum = binary.BigEndian.Uint64(b[9:17])
+	if flags&^envFlagsMask != 0 {
+		return id, flags, cum, nil, ErrInvalid
+	}
+	m, err = Decode(b[17:])
+	if err != nil {
+		return id, flags, cum, nil, err
+	}
+	return id, flags, cum, m, nil
 }

@@ -1,6 +1,7 @@
 package heartshield
 
 import (
+	"fmt"
 	"net"
 	"time"
 
@@ -8,6 +9,10 @@ import (
 	"heartshield/internal/shieldd"
 	"heartshield/internal/wire"
 )
+
+// ErrServerBusy reports that the server shed a request or handshake
+// under overload. Match with errors.Is.
+var ErrServerBusy = shieldd.ErrServerBusy
 
 // ServeOptions configures a shield session server.
 type ServeOptions struct {
@@ -96,10 +101,13 @@ type ServerMetrics struct {
 	// TotalRetransmits counts responses re-sent from datagram-session
 	// dedup caches (the server-side cost of transport loss).
 	TotalRetransmits uint64
-	BytesSealed      uint64
-	BytesOpened      uint64
-	Rekeys           uint64
-	ReplayDrops      uint64
+	// TotalProgressFrames counts streamed EXPERIMENT-PROGRESS frames
+	// written to wire-v3 sessions.
+	TotalProgressFrames uint64
+	BytesSealed         uint64
+	BytesOpened         uint64
+	Rekeys              uint64
+	ReplayDrops         uint64
 	// LateDrops counts frames that arrived behind the securelink receive
 	// window; WindowAccepts counts out-of-order frames it absorbed.
 	LateDrops     uint64
@@ -186,6 +194,10 @@ type DialOptions struct {
 	// MaxRetries bounds per-request retransmissions on datagram sessions
 	// before the call fails (0 = 8). Ignored on stream transports.
 	MaxRetries int
+	// Window bounds the client-side send window: how many pipelined
+	// requests may await responses before submission blocks (0 = 16,
+	// matching the server's default per-session in-flight window).
+	Window int
 }
 
 func (o DialOptions) session() shieldd.SessionOptions {
@@ -201,6 +213,7 @@ func (o DialOptions) session() shieldd.SessionOptions {
 		AutoReconnect:      o.AutoReconnect,
 		RetryTimeout:       o.RetryTimeout,
 		MaxRetries:         o.MaxRetries,
+		Window:             o.Window,
 	}
 }
 
@@ -275,6 +288,46 @@ func (r *RemoteSimulation) ProtectedExchangeWith(imdIdx int, kind CommandKind) (
 	return rep, nil
 }
 
+// PendingExchange is an in-flight pipelined exchange started with
+// StartProtectedExchange. Wait blocks for its result; results complete
+// in submission order (the server executes exchanges in request order
+// regardless of how the transport delivers them).
+type PendingExchange struct {
+	call *shieldd.Call
+}
+
+// Wait blocks until the exchange completes and returns its report.
+func (p *PendingExchange) Wait() (ExchangeReport, error) {
+	var rep ExchangeReport
+	m, err := p.call.Wait()
+	if err != nil {
+		return rep, err
+	}
+	resp, ok := m.(*wire.ExchangeResp)
+	if !ok {
+		return rep, fmt.Errorf("heartshield: unexpected response %T", m)
+	}
+	rep.Response = resp.Response
+	rep.ResponseCommand = resp.ResponseCommand
+	rep.EavesdropperBER = resp.EavesBER
+	rep.CancellationDB = resp.CancellationDB
+	return rep, nil
+}
+
+// StartProtectedExchange submits a shield-proxied exchange with the
+// implant at imdIdx without waiting for the result, so one goroutine
+// can keep a full send window of exchanges in flight (on datagram
+// sessions, a lost request then delays only itself — the selective
+// repeat layer retransmits just the missing ID). It blocks only while
+// the client send window (DialOptions.Window) is full. Results are
+// deterministic in submission order, identical to the same sequence of
+// blocking ProtectedExchangeWith calls. Unlike the blocking calls, a
+// BUSY shed under server overload surfaces as an error (matching
+// ErrServerBusy via errors.Is) instead of being retried transparently.
+func (r *RemoteSimulation) StartProtectedExchange(imdIdx int, kind CommandKind) *PendingExchange {
+	return &PendingExchange{call: r.c.Go(&wire.ExchangeReq{IMD: uint8(imdIdx), Cmd: wireCmd(kind)})}
+}
+
 // BatchItem addresses one exchange inside ProtectedExchangeBatch.
 type BatchItem struct {
 	// IMD is the implant index (0 = primary).
@@ -344,6 +397,9 @@ type SessionMetrics struct {
 	// Shed counts this session's requests answered BUSY by the global
 	// load-shedding gate.
 	Shed uint64
+	// ProgressFrames counts streamed EXPERIMENT-PROGRESS frames the
+	// server wrote to this session (wire v3; always 0 on v1/v2).
+	ProgressFrames uint64
 	// ClientRetransmits and ClientTimeouts are the client-side retry
 	// counters (local, not from the wire): request datagrams re-sent,
 	// and requests abandoned after exhausting retransmission. Always 0
@@ -379,13 +435,15 @@ func (r *RemoteSimulation) SessionMetrics() (SessionMetrics, error) {
 		InFlight:          m.InFlight,
 		InFlightHWM:       m.InFlightHWM,
 		Shed:              m.Shed,
+		ProgressFrames:    m.ProgressFrames,
 		ClientRetransmits: ts.Retransmits,
 		ClientTimeouts:    ts.Timeouts,
 	}, nil
 }
 
-// TransportStats reports the client-side datagram retry counters
-// (always zero on stream transports).
+// TransportStats reports the client-side transport counters of a
+// session: datagram retries (always zero on stream transports) and
+// streamed experiment progress frames received.
 type TransportStats struct {
 	// Retransmits is the number of request datagrams re-sent after a
 	// retry timeout.
@@ -393,6 +451,9 @@ type TransportStats struct {
 	// Timeouts is the number of requests that failed after exhausting
 	// every retransmission.
 	Timeouts uint64
+	// ProgressFrames is the number of streamed EXPERIMENT-PROGRESS
+	// frames received (wire v3 sessions only).
+	ProgressFrames uint64
 }
 
 // TransportStats returns the session's client-side retry counters.
@@ -427,6 +488,39 @@ func (r *RemoteSimulation) RunExperiment(name string, cfg ExperimentConfig) (str
 		Quick:   cfg.Quick,
 		Workers: uint8(min(cfg.Workers, 255)),
 	})
+}
+
+// ExperimentProgress is one streamed progress report from a server-side
+// experiment run.
+type ExperimentProgress struct {
+	// Done and Total count completed trials out of the run's total.
+	Done, Total int
+	// Stage names what is running (currently the experiment name).
+	Stage string
+}
+
+// RunExperimentStream runs a registry experiment server-side, invoking
+// onProgress with incremental trial-completion reports while it runs,
+// and returns the rendered table/figure. Streaming requires a wire-v3
+// session; on older sessions the experiment still runs, the answer
+// arrives in one frame, and onProgress is never called. onProgress runs
+// on the session's read loop: it must return quickly and must not call
+// back into this session synchronously. The rendered result is
+// byte-identical to RunExperiment with the same configuration.
+func (r *RemoteSimulation) RunExperimentStream(name string, cfg ExperimentConfig, onProgress func(ExperimentProgress)) (string, error) {
+	var cb func(*wire.ExperimentProgress)
+	if onProgress != nil {
+		cb = func(p *wire.ExperimentProgress) {
+			onProgress(ExperimentProgress{Done: int(p.Done), Total: int(p.Total), Stage: p.Stage})
+		}
+	}
+	return r.c.ExperimentStream(wire.ExperimentReq{
+		Name:    name,
+		Seed:    cfg.Seed,
+		Trials:  int32(cfg.Trials),
+		Quick:   cfg.Quick,
+		Workers: uint8(min(cfg.Workers, 255)),
+	}, cb)
 }
 
 // Status returns the server's session/exchange counters.
