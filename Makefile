@@ -80,10 +80,14 @@ LOAD_RETRY_TIMEOUT ?= 90s
 # staticcheck is pinned here (and only here): the workflow installs it via
 # `make staticcheck-install`, so CI can never float to @latest on its own.
 STATICCHECK_VERSION ?= 2024.1.1
-# The benchmarks the perf gate watches (root package + shieldd): the
-# exchange paths plus the metrics-scrape path (which must stay
-# allocation-bounded with ~1k live sessions for continuous scraping).
-BENCH_GATE = BenchmarkProtectedExchange$$|BenchmarkSessionExchange$$|BenchmarkBatchedExchange$$|BenchmarkSequentialExchanges$$|BenchmarkMetricsSnapshot$$
+# The benchmarks the perf gate watches (root package + shieldd + dsp):
+# the exchange paths, the metrics-scrape path (which must stay
+# allocation-bounded with ~1k live sessions for continuous scraping),
+# and the DSP kernel microbenchmarks at the sizes the modem runs
+# (256/8192-point FFT, 1024-point real-input FFT, 129-tap overlap-save
+# FIR) so a kernel regression is caught at the kernel, not three layers
+# up in the exchange number.
+BENCH_GATE = BenchmarkProtectedExchange$$|BenchmarkSessionExchange$$|BenchmarkBatchedExchange$$|BenchmarkSequentialExchanges$$|BenchmarkMetricsSnapshot$$|BenchmarkFFTForward256$$|BenchmarkFFTForward8192$$|BenchmarkRFFTForward1024$$|BenchmarkFIRPlan129Taps$$
 
 # Every fuzz target in the repo as package:Fuzzname pairs.
 FUZZ_TARGETS = \
@@ -143,6 +147,7 @@ staticcheck-install:
 race:
 	$(GO) test -race ./internal/shieldd/... ./internal/experiments/... ./internal/faultnet ./internal/wire/dgram
 	$(GO) test -race -run TestExperimentWorkerDeterminism -count=1 .
+	$(GO) test -race -run 'Plan|RandSource|Stream|Receive|Demod|Sync' ./internal/dsp ./internal/stats ./internal/modem
 
 fuzz:
 	@set -e; for t in $(FUZZ_TARGETS); do \
@@ -198,11 +203,11 @@ bench:
 	@echo "wrote BENCH_latest.txt and BENCH_latest.json"
 
 benchcheck:
-	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem . ./internal/shieldd | tee BENCH_latest.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem . ./internal/shieldd ./internal/dsp | tee BENCH_latest.txt
 	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -threshold $(BENCH_THRESHOLD) < BENCH_latest.txt > BENCH_latest.json
 
 benchbaseline:
-	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem . ./internal/shieldd | tee BENCH_latest.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem . ./internal/shieldd ./internal/dsp | tee BENCH_latest.txt
 	$(GO) run ./cmd/benchjson < BENCH_latest.txt > BENCH_baseline.json
 	@echo "re-recorded BENCH_baseline.json — explain the refresh in the PR"
 

@@ -277,33 +277,69 @@ func (m *Medium) ObserveInto(dst []complex128, rx AntennaID, ch int, start int64
 		panic(fmt.Sprintf("channel: negative observation length %d", n))
 	}
 	var out []complex128
+	fresh := false // out is already all-zero (newly allocated)
 	if cap(dst) >= n {
 		out = dst[:n]
-		for i := range out {
-			out[i] = 0
-		}
 	} else {
 		out = make([]complex128, n)
+		fresh = true
 	}
-	s := m.burst[ch]
-	if s == nil {
-		return out
+	// First-touch regions take direct writes instead of zero-then-add
+	// (0+x == x in IEEE up to the sign of zero, which the noise added
+	// downstream erases), so the window is swept once, not twice. [clo,
+	// chi) is the region bursts have written; the list is sorted by start,
+	// so it only ever extends rightward and gaps are zeroed as they close.
+	var clo, chi int
+	covered := false
+	if s := m.burst[ch]; s != nil {
+		blo, bhi := s.overlapRange(start, start+int64(n))
+		for _, b := range s.list[blo:bhi] {
+			g := m.Gain(b.From, rx)
+			if g == 0 {
+				continue
+			}
+			lo64 := max64(start, b.Start)
+			hi64 := min64(start+int64(n), b.End())
+			if hi64 <= lo64 {
+				continue
+			}
+			lo, hi := int(lo64-start), int(hi64-start)
+			src := b.IQ[lo64-b.Start : hi64-b.Start]
+			switch {
+			case !covered:
+				for i, v := range src {
+					out[lo+i] = g * v
+				}
+				clo, chi, covered = lo, hi, true
+			case lo >= chi:
+				clear(out[chi:lo])
+				for i, v := range src {
+					out[lo+i] = g * v
+				}
+				chi = hi
+			default:
+				mid := hi
+				if mid > chi {
+					mid = chi
+				}
+				for i := lo; i < mid; i++ {
+					out[i] += g * src[i-lo]
+				}
+				for i := chi; i < hi; i++ {
+					out[i] = g * src[i-lo]
+				}
+				if hi > chi {
+					chi = hi
+				}
+			}
+		}
 	}
-	blo, bhi := s.overlapRange(start, start+int64(n))
-	for _, b := range s.list[blo:bhi] {
-		g := m.Gain(b.From, rx)
-		if g == 0 {
-			continue
-		}
-		lo := max64(start, b.Start)
-		hi := min64(start+int64(n), b.End())
-		if hi <= lo {
-			continue
-		}
-		dst := out[lo-start : hi-start]
-		src := b.IQ[lo-b.Start : hi-b.Start]
-		for i := range dst {
-			dst[i] += g * src[i]
+	if !fresh {
+		if !covered {
+			clear(out)
+		} else {
+			clear(out[:clo])
+			clear(out[chi:])
 		}
 	}
 	return out

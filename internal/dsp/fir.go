@@ -3,14 +3,27 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // FIR is a finite-impulse-response filter with real or complex taps.
+// Long filters are applied by FFT overlap-save through a lazily built
+// FIRPlan; short ones use the direct dot-product form. Both produce the
+// same "same"-aligned output (the property tests pin them together to
+// 1e-9), so callers never choose an algorithm.
 type FIR struct {
 	taps []complex128
+	// realTaps is the designed real prototype when the filter came from
+	// NewFIRReal/LowPassFIR; it lets the lazy plan build its tap
+	// spectrum through the half-size real-input transform.
+	realTaps []float64
+	planOnce sync.Once
+	plan     *FIRPlan
 }
 
-// NewFIR wraps taps in a FIR filter. The taps slice is not copied.
+// NewFIR wraps taps in a FIR filter. The taps slice is not copied and
+// must not be modified after construction (the overlap-save plan caches
+// the tap spectrum on first use).
 func NewFIR(taps []complex128) *FIR {
 	if len(taps) == 0 {
 		panic("dsp: FIR requires at least one tap")
@@ -24,7 +37,9 @@ func NewFIRReal(taps []float64) *FIR {
 	for i, t := range taps {
 		c[i] = complex(t, 0)
 	}
-	return NewFIR(c)
+	f := NewFIR(c)
+	f.realTaps = taps
+	return f
 }
 
 // Len returns the number of taps.
@@ -33,10 +48,32 @@ func (f *FIR) Len() int { return len(f.taps) }
 // Taps returns the filter taps (shared, not a copy).
 func (f *FIR) Taps() []complex128 { return f.taps }
 
+// firPlanMinTaps is the tap count above which Filter switches from the
+// direct O(N·m) loop to the overlap-save plan: below it the FFTs cost
+// more than they save at the block sizes NewFIRPlan picks.
+const firPlanMinTaps = 48
+
 // Filter convolves x with the filter taps and returns the "same"-length
 // output aligned so that output[i] corresponds to input[i] with the filter's
 // group delay removed (for symmetric filters). Edges are zero-padded.
 func (f *FIR) Filter(x []complex128) []complex128 {
+	m := len(f.taps)
+	if m >= firPlanMinTaps && len(x) >= 2*m {
+		f.planOnce.Do(func() {
+			if f.realTaps != nil {
+				f.plan = NewFIRPlanReal(f.realTaps)
+			} else {
+				f.plan = NewFIRPlan(f.taps)
+			}
+		})
+		return f.plan.Filter(nil, x)
+	}
+	return f.filterDirect(x)
+}
+
+// filterDirect is the O(N·m) dot-product form — the reference the
+// overlap-save plan is property-tested against.
+func (f *FIR) filterDirect(x []complex128) []complex128 {
 	n := len(x)
 	m := len(f.taps)
 	y := make([]complex128, n)
@@ -59,6 +96,140 @@ func (f *FIR) Filter(x []complex128) []complex128 {
 		y[i] = acc
 	}
 	return y
+}
+
+// FIRPlan applies a fixed set of FIR taps by FFT overlap-save: the tap
+// spectrum is computed once at plan build, and each Filter call runs one
+// forward and one inverse transform per block of blockLen-tapLen+1
+// output samples, turning O(N·m) filtering into O(N log B). Output
+// alignment matches FIR.Filter exactly ("same" length, group delay
+// removed, zero-padded edges).
+//
+// Buffer ownership: Filter writes into the caller's dst (allocating only
+// when dst is nil) and retains no reference to dst or x; per-call block
+// scratch comes from an internal sync.Pool, so filtering into a reused
+// dst is 0-alloc warm (see TestFIRPlanAllocs). The plan is read-only
+// after construction and safe for concurrent use.
+type FIRPlan struct {
+	m     int // tap count
+	delay int // group-delay shift of the "same" alignment, (m-1)/2
+	block int // FFT size B
+	step  int // valid output samples per block, B-m+1
+	fft   *FFTPlan
+	// spec is the tap spectrum with the inverse transform's 1/B folded
+	// in, so blocks use InverseRaw and skip a scaling pass.
+	spec []complex128
+	work sync.Pool // *[]complex128 of length block
+}
+
+// NewFIRPlan builds an overlap-save plan for the given taps. The taps
+// are consumed at construction (their spectrum is cached); the slice is
+// not retained.
+func NewFIRPlan(taps []complex128) *FIRPlan {
+	p := newFIRPlanShell(len(taps))
+	buf := make([]complex128, p.block)
+	copy(buf, taps)
+	p.fft.Forward(buf)
+	Scale(buf, 1/float64(p.block))
+	p.spec = buf
+	return p
+}
+
+// NewFIRPlanReal builds an overlap-save plan from real-valued taps,
+// computing the tap spectrum through the half-size real-input transform
+// and mirroring the Hermitian half onto the full block.
+func NewFIRPlanReal(taps []float64) *FIRPlan {
+	p := newFIRPlanShell(len(taps))
+	b := p.block
+	pad := make([]float64, b)
+	copy(pad, taps)
+	spec := make([]complex128, b)
+	rp := NewRFFTPlan(b)
+	rp.Forward(spec[:rp.Bins()], pad)
+	inv := 1 / float64(b)
+	for k := 0; k <= b/2; k++ {
+		spec[k] = complex(real(spec[k])*inv, imag(spec[k])*inv)
+	}
+	for k := b/2 + 1; k < b; k++ {
+		c := spec[b-k]
+		spec[k] = complex(real(c), -imag(c))
+	}
+	p.spec = spec
+	return p
+}
+
+func newFIRPlanShell(m int) *FIRPlan {
+	if m == 0 {
+		panic("dsp: FIR plan requires at least one tap")
+	}
+	block := NextPowerOfTwo(4 * m)
+	if block < 64 {
+		block = 64
+	}
+	p := &FIRPlan{
+		m:     m,
+		delay: (m - 1) / 2,
+		block: block,
+		step:  block - m + 1,
+		fft:   NewFFTPlan(block),
+	}
+	p.work.New = func() any {
+		b := make([]complex128, block)
+		return &b
+	}
+	return p
+}
+
+// TapLen returns the number of taps the plan was built for.
+func (p *FIRPlan) TapLen() int { return p.m }
+
+// BlockLen returns the FFT block size the plan uses.
+func (p *FIRPlan) BlockLen() int { return p.block }
+
+// Filter convolves x with the planned taps into dst and returns it, with
+// FIR.Filter's "same" alignment. If dst is nil a new slice is allocated;
+// otherwise len(dst) must equal len(x). dst must not alias x — each
+// block reads input the previous block's output positions overlap.
+func (p *FIRPlan) Filter(dst, x []complex128) []complex128 {
+	n := len(x)
+	if dst == nil {
+		dst = make([]complex128, n)
+	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("dsp: FIR plan output length %d != input length %d", len(dst), n))
+	}
+	if n == 0 {
+		return dst
+	}
+	wp := p.work.Get().(*[]complex128)
+	buf := *wp
+	m, b := p.m, p.block
+	// Walk the full-convolution coordinate c: conv[c] = sum_k taps[k]*x[c-k],
+	// dst[i] = conv[i+delay]. Each block loads x[c0-(m-1) .. c0-(m-1)+B-1]
+	// (zero-padded outside x) and yields conv[c0 .. c0+step-1] at buf[m-1..].
+	for c0 := p.delay; c0 < n+p.delay; c0 += p.step {
+		lo := c0 - (m - 1)
+		for q := 0; q < b; q++ {
+			xi := lo + q
+			if xi >= 0 && xi < n {
+				buf[q] = x[xi]
+			} else {
+				buf[q] = 0
+			}
+		}
+		p.fft.Forward(buf)
+		for q, h := range p.spec {
+			buf[q] *= h
+		}
+		p.fft.InverseRaw(buf)
+		out := p.step
+		if c0+out > n+p.delay {
+			out = n + p.delay - c0
+		}
+		copy(dst[c0-p.delay:c0-p.delay+out], buf[m-1:m-1+out])
+	}
+	p.work.Put(wp)
+	return dst
 }
 
 // LowPassFIR designs a windowed-sinc low-pass filter with the given cutoff

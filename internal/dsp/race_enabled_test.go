@@ -1,0 +1,10 @@
+//go:build race
+
+package dsp
+
+// raceEnabled reports that this binary was built with -race.
+// testing.AllocsPerRun is unreliable under the race detector (its
+// sync.Pool instrumentation allocates), so the alloc-contract tests
+// skip their numeric assertion and the race leg instead proves the
+// concurrency half of the plan contract (TestPlansConcurrentSharedUse).
+const raceEnabled = true

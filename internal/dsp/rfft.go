@@ -1,0 +1,139 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// RFFTPlan computes forward and inverse FFTs of real-valued signals at
+// half the cost of the complex transform: the n real samples are packed
+// into an n/2-point complex FFT and the half-spectrum is recovered with
+// a post-twiddle pass. n must be a power of two >= 2.
+//
+// The forward transform produces the n/2+1 non-redundant bins X[0..n/2]
+// of the Hermitian spectrum (X[n-k] = conj(X[k]) is implied, X[0] and
+// X[n/2] have zero imaginary part up to rounding). The inverse consumes
+// the same layout.
+//
+// Buffer ownership: Forward/Inverse write through caller-provided
+// destination slices and retain no reference to inputs or outputs;
+// per-call scratch comes from an internal sync.Pool, so both directions
+// are 0-alloc warm (see TestRFFTPlanAllocs). A plan is read-only after
+// construction and safe for concurrent use. Like NewFFTPlan, NewRFFTPlan
+// returns a process-wide shared plan.
+type RFFTPlan struct {
+	n    int
+	half *FFTPlan     // n/2-point complex sub-transform
+	tw   []complex128 // e^{-j 2π k / n}, k < n/2: post-twiddle factors
+	work sync.Pool    // *[]complex128 of length n/2
+}
+
+var rplanCache sync.Map // int -> *RFFTPlan
+
+// NewRFFTPlan returns the shared plan for n-point real transforms,
+// building it on first use. n must be a power of two >= 2.
+func NewRFFTPlan(n int) *RFFTPlan {
+	if v, ok := rplanCache.Load(n); ok {
+		return v.(*RFFTPlan)
+	}
+	if !IsPowerOfTwo(n) || n < 2 {
+		panic(fmt.Sprintf("dsp: RFFT plan length %d is not a power of two >= 2", n))
+	}
+	p := &RFFTPlan{n: n, half: NewFFTPlan(n / 2)}
+	p.tw = make([]complex128, n/2)
+	for k := range p.tw {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.tw[k] = complex(c, s)
+	}
+	p.work.New = func() any {
+		b := make([]complex128, n/2)
+		return &b
+	}
+	v, _ := rplanCache.LoadOrStore(n, p)
+	return v.(*RFFTPlan)
+}
+
+// Size returns the real transform length n the plan was built for.
+func (p *RFFTPlan) Size() int { return p.n }
+
+// Bins returns the number of non-redundant spectrum bins, n/2 + 1.
+func (p *RFFTPlan) Bins() int { return p.n/2 + 1 }
+
+// Forward computes the unnormalized half-spectrum of the real signal x
+// (len(x) == Size()) into dst (len(dst) >= Bins()) and returns
+// dst[:Bins()]. dst must not alias x's backing array.
+func (p *RFFTPlan) Forward(dst []complex128, x []float64) []complex128 {
+	n, h := p.n, p.n/2
+	if len(x) != n {
+		panic(fmt.Sprintf("dsp: RFFT plan size %d given input of length %d", n, len(x)))
+	}
+	if len(dst) < h+1 {
+		panic(fmt.Sprintf("dsp: RFFT plan needs %d output bins, dst has %d", h+1, len(dst)))
+	}
+	wp := p.work.Get().(*[]complex128)
+	z := *wp
+	for m := 0; m < h; m++ {
+		z[m] = complex(x[2*m], x[2*m+1])
+	}
+	p.half.Forward(z)
+	// Unpack: with Z the spectrum of the packed signal and Z[h] == Z[0],
+	//   Xe[k] = (Z[k] + conj(Z[h-k]))/2           (spectrum of even samples)
+	//   Xo[k] = -i (Z[k] - conj(Z[h-k]))/2        (spectrum of odd samples)
+	//   X[k]  = Xe[k] + W^k Xo[k],  W = e^{-j2π/n}
+	z0 := z[0]
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	dst[h] = complex(real(z0)-imag(z0), 0)
+	for k := 1; k <= h/2; k++ {
+		zk, zc := z[k], z[h-k]
+		sum := zk + complex(real(zc), -imag(zc))
+		diff := zk - complex(real(zc), -imag(zc))
+		xo := complex(imag(diff)/2, -real(diff)/2) // -i*diff/2
+		xe := complex(real(sum)/2, imag(sum)/2)
+		tk := p.tw[k] * xo
+		dst[k] = xe + tk
+		// Mirror bin h-k reuses the same pair: Xe[h-k] = conj(Xe[k]),
+		// Xo[h-k] = conj(Xo[k]), W^{h-k} = -conj(W^k).
+		if k != h-k {
+			dst[h-k] = complex(real(xe), -imag(xe)) - complex(real(tk), -imag(tk))
+		}
+	}
+	p.work.Put(wp)
+	return dst[:h+1]
+}
+
+// Inverse reconstructs the real signal from the half-spectrum spec
+// (len(spec) >= Bins(), layout as produced by Forward) into dst
+// (len(dst) == Size()) with 1/n normalization, and returns dst. dst may
+// not alias spec's backing array.
+func (p *RFFTPlan) Inverse(dst []float64, spec []complex128) []float64 {
+	n, h := p.n, p.n/2
+	if len(dst) != n {
+		panic(fmt.Sprintf("dsp: RFFT plan size %d given output of length %d", n, len(dst)))
+	}
+	if len(spec) < h+1 {
+		panic(fmt.Sprintf("dsp: RFFT plan needs %d input bins, spec has %d", h+1, len(spec)))
+	}
+	wp := p.work.Get().(*[]complex128)
+	z := *wp
+	// Repack: Z[k] = Xe[k] + i Xo[k] with
+	//   Xe[k] = (X[k] + conj(X[h-k]))/2, Xo[k] = conj(W^k) (X[k] - conj(X[h-k]))/2.
+	for k := 0; k < h; k++ {
+		xk := spec[k]
+		xc := spec[h-k]
+		xcc := complex(real(xc), -imag(xc))
+		sum := xk + xcc
+		diff := xk - xcc
+		w := p.tw[k]
+		wc := complex(real(w), -imag(w))
+		xo := wc * complex(real(diff)/2, imag(diff)/2)
+		z[k] = complex(real(sum)/2-imag(xo), imag(sum)/2+real(xo))
+	}
+	p.half.Inverse(z)
+	for m := 0; m < h; m++ {
+		dst[2*m] = real(z[m])
+		dst[2*m+1] = imag(z[m])
+	}
+	p.work.Put(wp)
+	return dst
+}

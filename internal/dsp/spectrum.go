@@ -22,11 +22,12 @@ func PSD(x []complex128, nfft int, w Window) []float64 {
 	segs := 0
 	buf := make([]complex128, nfft)
 	hop := nfft / 2
+	plan := NewFFTPlan(nfft) // resolved once, shared across segments
 	for start := 0; start+nfft <= len(x); start += hop {
 		for i := 0; i < nfft; i++ {
 			buf[i] = x[start+i] * complex(win[i], 0)
 		}
-		FFT(buf)
+		plan.Forward(buf)
 		for i, v := range buf {
 			re, im := real(v), imag(v)
 			psd[i] += re*re + im*im

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"heartshield/internal/dsp"
 	"heartshield/internal/phy"
@@ -81,7 +82,19 @@ type FSK struct {
 	tone []complex128
 
 	syncPool sync.Pool // *syncScratch
+
+	// frameCache memoizes ModulateFrame outputs keyed by the marshaled
+	// bit string: modulation is a pure function of the bits, so command
+	// frames (identical every exchange) modulate once per process. The
+	// cache is bounded; once full, new frames just modulate uncached.
+	frameCache  sync.Map // string -> []complex128 (read-only)
+	frameCacheN atomic.Int32
 }
+
+// frameCacheMax bounds the per-modem frame cache. Command frames (one
+// per IMD serial) hit it forever; randomized response payloads stop
+// being inserted once the bound is reached.
+const frameCacheMax = 64
 
 type syncScratch struct {
 	corr   [][]complex128
@@ -200,9 +213,23 @@ func (m *FSK) Modulate(bits []byte) []complex128 {
 	return out
 }
 
-// ModulateFrame modulates a PHY frame to unit-power IQ.
+// ModulateFrame modulates a PHY frame to unit-power IQ. The returned
+// slice may be shared with other callers (repeated frames are served
+// from a cache) and must be treated as read-only; every transmit path
+// copies it through TXChain.Transmit.
 func (m *FSK) ModulateFrame(f *phy.Frame) []complex128 {
-	return m.Modulate(f.MarshalBits())
+	bits := f.MarshalBits()
+	key := string(bits)
+	if v, ok := m.frameCache.Load(key); ok {
+		return v.([]complex128)
+	}
+	iq := m.Modulate(bits)
+	if m.frameCacheN.Add(1) <= frameCacheMax {
+		m.frameCache.Store(key, iq)
+	} else {
+		m.frameCacheN.Add(-1)
+	}
+	return iq
 }
 
 // DemodBits performs optimal noncoherent detection of nbits bits from x,
@@ -219,6 +246,16 @@ func (m *FSK) DemodBits(x []complex128, nbits int, cfoHz float64) []byte {
 		return nil
 	}
 	bits := make([]byte, nbits)
+	m.demodInto(bits, x, cfoHz)
+	return bits
+}
+
+// demodInto decides len(bits) bits from x (first symbol at sample 0).
+// Every bit is decided independently from its own symbol window — the
+// de-rotation recurrence restarts per symbol — so receiveAt can
+// demodulate a frame in header+body phases with results bit-identical
+// to one continuous call.
+func (m *FSK) demodInto(bits []byte, x []complex128, cfoHz float64) {
 	// The two tone hypotheses are the precomputed ±Deviation phasor table
 	// (conjugates of each other); the CFO de-rotation advances by complex
 	// recurrence, costing one Sincos per call instead of two per sample.
@@ -227,7 +264,7 @@ func (m *FSK) DemodBits(x []complex128, nbits int, cfoHz float64) []byte {
 	ws, wc := math.Sincos(-2 * math.Pi * cfoHz / m.cfg.SampleRate)
 	wStep := complex(wc, ws)
 	tone := m.tone
-	for k := 0; k < nbits; k++ {
+	for k := range bits {
 		seg := x[k*m.sps : (k+1)*m.sps]
 		// With u = de-rotated sample and tone[n] = c+js, the hypotheses are
 		// cHi = Σu·(c+js) = P+jQ and cLo = Σu·(c-js) = P-jQ for
@@ -250,7 +287,6 @@ func (m *FSK) DemodBits(x []complex128, nbits int, cfoHz float64) []byte {
 			bits[k] = 1
 		}
 	}
-	return bits
 }
 
 func magSq(c complex128) float64 {
@@ -442,24 +478,44 @@ func (m *FSK) ReceiveFrameAt(x []complex128, start int) RxFrame {
 
 func (m *FSK) receiveAt(x []complex128, sr SyncResult) RxFrame {
 	maxBits := (len(x) - sr.Start) / m.sps
-	// Demodulate up to the longest legal frame.
+	// The longest legal frame bounds the demodulation window.
 	limit := phy.AirBits(phy.MaxPayload)
 	if maxBits > limit {
 		maxBits = limit
 	}
-	bits := m.DemodBits(x[sr.Start:], maxBits, sr.CFOHz)
-	res := RxFrame{Sync: sr, Bits: bits}
-	// Determine the frame extent from the decoded length field, then parse.
+	seg := x[sr.Start:]
 	hdrBits := phy.AirBits(0)
-	if len(bits) >= hdrBits {
-		raw := phy.BitsToBytes(bits)
-		plen := int(raw[phy.PreambleBytes+phy.SyncBytes+phy.SerialBytes+1])
-		want := phy.AirBytes(plen)
-		if plen <= phy.MaxPayload && want <= len(raw) {
-			f, err := phy.ParseFrame(raw[:want])
-			res.Frame, res.Err = f, err
-			return res
-		}
+	if maxBits < hdrBits {
+		// Too short for even an empty frame; demodulate what is there so
+		// Bits still records the attempt.
+		bits := make([]byte, maxBits)
+		m.demodInto(bits, seg, sr.CFOHz)
+		return RxFrame{Sync: sr, Bits: bits, Err: phy.ErrFrameTooShort}
+	}
+	// Phase 1: demodulate only the header and decode the length field, so
+	// phase 2 can stop at the frame's actual extent instead of the
+	// longest-legal-frame bound. Bits are decided independently per
+	// symbol, so the split is bit-identical to one continuous call — but
+	// a short command frame skips ~3/4 of the window.
+	bits := make([]byte, hdrBits, maxBits)
+	m.demodInto(bits, seg, sr.CFOHz)
+	raw := phy.BitsToBytes(bits)
+	plen := int(raw[phy.PreambleBytes+phy.SyncBytes+phy.SerialBytes+1])
+	want := phy.AirBytes(plen)
+	parseable := plen <= phy.MaxPayload && want*8 <= maxBits
+	target := maxBits
+	if parseable {
+		target = want * 8
+	}
+	if target > hdrBits {
+		bits = bits[:target]
+		m.demodInto(bits[hdrBits:], seg[hdrBits*m.sps:], sr.CFOHz)
+	}
+	res := RxFrame{Sync: sr, Bits: bits}
+	if parseable {
+		f, err := phy.ParseFrame(phy.BitsToBytes(bits)[:want])
+		res.Frame, res.Err = f, err
+		return res
 	}
 	res.Err = phy.ErrFrameTooShort
 	return res

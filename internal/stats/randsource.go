@@ -1,0 +1,242 @@
+package stats
+
+import "math"
+
+// randSource is a devirtualized replica of math/rand's default generator:
+// the additive lagged-Fibonacci source behind rand.NewSource plus the
+// ziggurat normal sampler behind rand.(*Rand).NormFloat64. It produces
+// streams bit-identical to rand.New(rand.NewSource(seed)) for every method
+// the simulator uses — the stream-equality tests in randsource_test.go
+// pin that contract per method and per seed.
+//
+// Why a replica instead of *rand.Rand: the receiver noise path draws two
+// normals per observed sample, ~100k draws per protected exchange, and
+// rand.Rand routes every draw through a Source64 interface call that the
+// compiler cannot devirtualize or inline. Concrete types let the generator
+// step inline into the ziggurat fast path (~1.8x on NormFloat64, measured
+// in randsource_test.go benchmarks). Draw sequences are physics here —
+// every figure golden depends on them — so speed must never change the
+// stream: any change to this file has to keep the equality tests green.
+//
+// The rngCooked/kn/wn/fn tables in randsource_tables.go are generated from
+// the Go toolchain's own math/rand sources (see gen_randsource_tables.go).
+type randSource struct {
+	tap, feed int
+	vec       [rngLen]int64
+}
+
+//go:generate go run gen_randsource_tables.go
+
+const (
+	rngLen   = 607
+	rngTap   = 273
+	rngMask  = (1 << 63) - 1
+	int32max = (1 << 31) - 1
+	// zigguratR is the ziggurat tail cutoff for the standard normal
+	// (math/rand's rn).
+	zigguratR = 3.442619855899
+)
+
+// wn64 and fn64 are exact float64 widenings of the float32 ziggurat
+// tables, precomputed so the NormFloat64 fast path avoids a per-draw
+// conversion. Widening float32 to float64 is exact, so using wn64 in the
+// fast-path product keeps the result bit-identical to math/rand's
+// float64(j) * float64(wn[i]).
+var wn64, fn64 [128]float64
+
+func init() {
+	for i := range wnTab {
+		wn64[i] = float64(wnTab[i])
+		fn64[i] = float64(fnTab[i])
+	}
+}
+
+// seedrand is math/rand's Lehmer LCG seeding step (Schrage's method).
+func seedrand(x int32) int32 {
+	const (
+		a = 48271
+		q = 44488
+		r = 3399
+	)
+	hi := x / q
+	lo := x % q
+	x = a*lo - r*hi
+	if x < 0 {
+		x += int32max
+	}
+	return x
+}
+
+// newRandSource returns a source whose stream matches
+// rand.New(rand.NewSource(seed)) exactly.
+func newRandSource(seed int64) *randSource {
+	s := &randSource{tap: 0, feed: rngLen - rngTap}
+	seed %= int32max
+	if seed < 0 {
+		seed += int32max
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+	x := int32(seed)
+	for i := -20; i < rngLen; i++ {
+		x = seedrand(x)
+		if i >= 0 {
+			u := int64(x) << 40
+			x = seedrand(x)
+			u ^= int64(x) << 20
+			x = seedrand(x)
+			u ^= int64(x)
+			u ^= rngCookedTab[i]
+			s.vec[i] = u
+		}
+	}
+	return s
+}
+
+// step advances the lagged-Fibonacci recurrence one position and returns
+// the raw 64-bit word (before masking).
+func (s *randSource) step() int64 {
+	t := s.tap - 1
+	if t < 0 {
+		t += rngLen
+	}
+	f := s.feed - 1
+	if f < 0 {
+		f += rngLen
+	}
+	x := s.vec[f] + s.vec[t]
+	s.vec[f] = x
+	s.tap, s.feed = t, f
+	return x
+}
+
+// Int63 returns a uniform int64 in [0, 1<<63).
+func (s *randSource) Int63() int64 { return s.step() & rngMask }
+
+// Uint32 matches rand.(*Rand).Uint32.
+func (s *randSource) Uint32() uint32 { return uint32(s.Int63() >> 31) }
+
+// Int31 matches rand.(*Rand).Int31.
+func (s *randSource) Int31() int32 { return int32(s.Int63() >> 32) }
+
+// Float64 returns a uniform sample in [0,1), preserving math/rand's
+// historical Int63-over-2^63 value stream (including the retry on 1.0).
+func (s *randSource) Float64() float64 {
+again:
+	f := float64(s.Int63()) / (1 << 63)
+	if f == 1 {
+		goto again
+	}
+	return f
+}
+
+// Int31n matches rand.(*Rand).Int31n: masked draw for powers of two,
+// modulo with rejection otherwise.
+func (s *randSource) Int31n(n int32) int32 {
+	if n <= 0 {
+		panic("invalid argument to Int31n")
+	}
+	if n&(n-1) == 0 {
+		return s.Int31() & (n - 1)
+	}
+	max := int32((1 << 31) - 1 - (1<<31)%uint32(n))
+	v := s.Int31()
+	for v > max {
+		v = s.Int31()
+	}
+	return v % n
+}
+
+// Int63n matches rand.(*Rand).Int63n.
+func (s *randSource) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("invalid argument to Int63n")
+	}
+	if n&(n-1) == 0 {
+		return s.Int63() & (n - 1)
+	}
+	max := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := s.Int63()
+	for v > max {
+		v = s.Int63()
+	}
+	return v % n
+}
+
+// Intn matches rand.(*Rand).Intn, including the Int31n/Int63n width split.
+func (s *randSource) Intn(n int) int {
+	if n <= 0 {
+		panic("invalid argument to Intn")
+	}
+	if n <= 1<<31-1 {
+		return int(s.Int31n(int32(n)))
+	}
+	return int(s.Int63n(int64(n)))
+}
+
+func absInt32(i int32) uint32 {
+	if i < 0 {
+		return uint32(-i)
+	}
+	return uint32(i)
+}
+
+// NormFloat64 is math/rand's ziggurat sampler with the generator step
+// inlined into the fast path. >99% of draws take one lagged-Fibonacci
+// step, one table compare, and one multiply; the strip-overlap and tail
+// cases fall through to normSlow so this function stays small enough for
+// the fast path to be branch-predictable.
+func (s *randSource) NormFloat64() float64 {
+	for {
+		t := s.tap - 1
+		if t < 0 {
+			t += rngLen
+		}
+		f := s.feed - 1
+		if f < 0 {
+			f += rngLen
+		}
+		x64 := s.vec[f] + s.vec[t]
+		s.vec[f] = x64
+		s.tap, s.feed = t, f
+		// j = int32(Uint32()) = int32(uint32(Int63() >> 31)), possibly
+		// negative; the sign picks the half-axis.
+		j := int32(uint32((uint64(x64) & rngMask) >> 31))
+		i := j & 0x7F
+		x := float64(j) * wn64[i]
+		if absInt32(j) < knTab[i] {
+			return x
+		}
+		if s.normSlow(j, i, &x) {
+			return x
+		}
+	}
+}
+
+// normSlow handles the ziggurat strip-overlap and base-strip tail cases,
+// writing the accepted sample through out. It reports whether a sample
+// was accepted; on false the caller redraws.
+func (s *randSource) normSlow(j, i int32, out *float64) bool {
+	x := *out
+	if i == 0 {
+		for {
+			x = -math.Log(s.Float64()) * (1.0 / zigguratR)
+			y := -math.Log(s.Float64())
+			if y+y >= x*x {
+				break
+			}
+		}
+		if j > 0 {
+			*out = zigguratR + x
+		} else {
+			*out = -zigguratR - x
+		}
+		return true
+	}
+	if fnTab[i]+float32(s.Float64())*(fnTab[i-1]-fnTab[i]) < float32(math.Exp(-.5*x*x)) {
+		*out = x
+		return true
+	}
+	return false
+}
