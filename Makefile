@@ -26,6 +26,9 @@
 #                       byte-identically at Workers=1 and Workers=8
 #   make fuzz-nightly - the nightly deep-fuzz leg: the wire + dgram + securelink
 #                       decoders for NIGHTLY_FUZZTIME each, growing the corpus
+#   make seccheck     - adversarial handshake wall: forward-secrecy,
+#                       key-compromise, replay, and downgrade attacks
+#                       against a live server (internal/securelink/sectest)
 #   make chaos-soak   - loop the overload/partition chaos walls for
 #                       SOAK_DURATION seconds, appending to SOAK_latest.txt;
 #                       fails on any iteration failure or if fewer than
@@ -96,23 +99,25 @@ FUZZ_TARGETS = \
 	./internal/modem:FuzzReceiveFrame \
 	./internal/wire:FuzzWireDecode \
 	./internal/wire/dgram:FuzzDgramDecode \
-	./internal/securelink:FuzzSecurelinkOpen
+	./internal/securelink:FuzzSecurelinkOpen \
+	./internal/securelink:FuzzTicketRedeem
 
 # The attack-surface decoders the nightly workflow fuzzes for 10 minutes
 # each (everything that parses bytes off the network).
 NIGHTLY_FUZZ_TARGETS = \
 	./internal/wire:FuzzWireDecode \
 	./internal/wire/dgram:FuzzDgramDecode \
-	./internal/securelink:FuzzSecurelinkOpen
+	./internal/securelink:FuzzSecurelinkOpen \
+	./internal/securelink:FuzzTicketRedeem
 
 # The protocol-stack packages the coverage gate watches: everything that
 # parses or seals bytes off the network. The profile is driven by their
 # own tests plus the shieldd + faultnet suites (the chaos wall is what
 # actually exercises the receive window and the datagram framing).
 COVER_PKGS = heartshield/internal/securelink,heartshield/internal/wire,heartshield/internal/wire/dgram
-COVER_TEST_PKGS = ./internal/securelink ./internal/wire/... ./internal/shieldd ./internal/faultnet
+COVER_TEST_PKGS = ./internal/securelink ./internal/securelink/sectest ./internal/wire/... ./internal/shieldd ./internal/faultnet
 
-.PHONY: all build test vet fmt staticcheck staticcheck-install race fuzz fuzz-nightly chaos-soak loadcheck ci bench benchcheck benchbaseline sim golden golden-check trial-check docs-check cover covercheck coverbaseline clean
+.PHONY: all build test vet fmt staticcheck staticcheck-install race fuzz fuzz-nightly chaos-soak loadcheck seccheck ci bench benchcheck benchbaseline sim golden golden-check trial-check docs-check cover covercheck coverbaseline clean
 
 # The markdown files the docs gate link-checks.
 DOCS_FILES = README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md PAPER.md
@@ -162,6 +167,13 @@ fuzz-nightly:
 		echo "nightly fuzzing $$fn in $$pkg for $(NIGHTLY_FUZZTIME)"; \
 		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(NIGHTLY_FUZZTIME) $$pkg; \
 	done
+
+# The adversarial handshake wall: the sectest suite mounts the
+# forward-secrecy, key-compromise, replay, and downgrade attacks against
+# a live server — including the leg that must keep SUCCEEDING against
+# the legacy pre-v4 derivation, proving the attacker model has teeth.
+seccheck:
+	$(GO) test -count=1 -timeout 5m ./internal/securelink/sectest
 
 ci: fmt vet staticcheck build test race fuzz
 

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"heartshield/internal/faultnet"
+)
+
+// TestParseImpairSpec locks the -impair grammar: every valid form
+// parses to exactly the impairment it names, and every malformed form —
+// including the historically silent ones (bare "up", empty "down=",
+// negative durations and depths) — fails with a usage error that names
+// the offending field.
+func TestParseImpairSpec(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		want    impairSpec
+		wantErr string // substring of the error; empty = must parse
+	}{
+		{
+			name: "empty spec is a perfect network",
+			spec: "",
+			want: impairSpec{},
+		},
+		{
+			name: "base keys",
+			spec: "drop=0.1,dup=0.05,reorder=0.2,corrupt=0.01,delay=2ms,jitter=1ms,depth=3",
+			want: impairSpec{imp: faultnet.Impairment{
+				Drop: 0.1, Dup: 0.05, Reorder: 0.2, Corrupt: 0.01,
+				Delay: 2 * time.Millisecond, Jitter: time.Millisecond, ReorderDepth: 3,
+			}},
+		},
+		{
+			name: "whitespace tolerated around fields",
+			spec: " drop=0.5 , delay=1ms ",
+			want: impairSpec{imp: faultnet.Impairment{Drop: 0.5, Delay: time.Millisecond}},
+		},
+		{
+			name: "per-direction overrides",
+			spec: "drop=0.1,up=drop:0.5+delay:2ms,down=dup:0.25",
+			want: impairSpec{
+				imp:  faultnet.Impairment{Drop: 0.1},
+				up:   &faultnet.Impairment{Drop: 0.5, Delay: 2 * time.Millisecond},
+				down: &faultnet.Impairment{Dup: 0.25},
+			},
+		},
+		{
+			name: "partition windows accumulate",
+			spec: "partition=500ms:2s,partition=4s:1s",
+			want: impairSpec{partitions: []faultnet.Partition{
+				{Start: 500 * time.Millisecond, Dur: 2 * time.Second},
+				{Start: 4 * time.Second, Dur: time.Second},
+			}},
+		},
+		{
+			name:    "unknown key rejected",
+			spec:    "lose=0.1",
+			wantErr: `unknown impairment key "lose"`,
+		},
+		{
+			name:    "unknown key inside an override rejected",
+			spec:    "up=lose:0.1",
+			wantErr: `unknown impairment key "lose"`,
+		},
+		{
+			name:    "bare up is not a zero override",
+			spec:    "drop=0.3,up",
+			wantErr: "up needs a value",
+		},
+		{
+			name:    "empty down is not a zero override",
+			spec:    "down=",
+			wantErr: "down needs a value",
+		},
+		{
+			name:    "bare key without value",
+			spec:    "drop",
+			wantErr: "not key=value",
+		},
+		{
+			name:    "probability above one",
+			spec:    "drop=1.5",
+			wantErr: "probability in [0,1]",
+		},
+		{
+			name:    "negative probability",
+			spec:    "dup=-0.1",
+			wantErr: "probability in [0,1]",
+		},
+		{
+			name:    "negative delay",
+			spec:    "delay=-2ms",
+			wantErr: "non-negative duration",
+		},
+		{
+			name:    "negative jitter inside an override",
+			spec:    "up=jitter:-1ms",
+			wantErr: "non-negative duration",
+		},
+		{
+			name:    "negative depth",
+			spec:    "depth=-4",
+			wantErr: "non-negative count",
+		},
+		{
+			name:    "bare partition",
+			spec:    "partition",
+			wantErr: "want start:dur",
+		},
+		{
+			name:    "partition missing duration",
+			spec:    "partition=500ms",
+			wantErr: "want start:dur",
+		},
+		{
+			name:    "negative partition start",
+			spec:    "partition=-1s:2s",
+			wantErr: "non-negative duration",
+		},
+		{
+			name:    "zero-length partition",
+			spec:    "partition=1s:0s",
+			wantErr: "positive duration",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseImpairSpec(tc.spec)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("parseImpairSpec(%q) accepted, want error containing %q (got %+v)",
+						tc.spec, tc.wantErr, got)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parseImpairSpec(%q) error = %q, want it to contain %q",
+						tc.spec, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseImpairSpec(%q): %v", tc.spec, err)
+			}
+			if got.imp != tc.want.imp {
+				t.Errorf("base impairment = %+v, want %+v", got.imp, tc.want.imp)
+			}
+			checkOverride(t, "up", got.up, tc.want.up)
+			checkOverride(t, "down", got.down, tc.want.down)
+			if len(got.partitions) != len(tc.want.partitions) {
+				t.Fatalf("partitions = %+v, want %+v", got.partitions, tc.want.partitions)
+			}
+			for i := range got.partitions {
+				if got.partitions[i] != tc.want.partitions[i] {
+					t.Errorf("partition %d = %+v, want %+v", i, got.partitions[i], tc.want.partitions[i])
+				}
+			}
+		})
+	}
+}
+
+func checkOverride(t *testing.T, dir string, got, want *faultnet.Impairment) {
+	t.Helper()
+	switch {
+	case got == nil && want == nil:
+	case got == nil || want == nil:
+		t.Errorf("%s override = %+v, want %+v", dir, got, want)
+	case *got != *want:
+		t.Errorf("%s override = %+v, want %+v", dir, *got, *want)
+	}
+}

@@ -219,23 +219,29 @@ func parseImpairSpec(spec string) (impairSpec, error) {
 		if field == "" {
 			continue
 		}
-		key, val, _ := strings.Cut(field, "=")
+		key, val, hasVal := strings.Cut(field, "=")
 		switch key {
 		case "partition":
 			startS, durS, ok := strings.Cut(val, ":")
-			if !ok {
+			if !hasVal || !ok {
 				return out, fmt.Errorf("impairment partition=%q: want start:dur", val)
 			}
 			start, err := time.ParseDuration(startS)
-			if err != nil {
-				return out, fmt.Errorf("impairment partition start %q: %v", startS, err)
+			if err != nil || start < 0 {
+				return out, fmt.Errorf("impairment partition start %q: want a non-negative duration", startS)
 			}
 			dur, err := time.ParseDuration(durS)
-			if err != nil {
-				return out, fmt.Errorf("impairment partition dur %q: %v", durS, err)
+			if err != nil || dur <= 0 {
+				return out, fmt.Errorf("impairment partition dur %q: want a positive duration", durS)
 			}
 			out.partitions = append(out.partitions, faultnet.Partition{Start: start, Dur: dur})
 		case "up", "down":
+			// A bare "up"/"down" (or an empty value) would silently
+			// install a zero-impairment override — masking the base spec
+			// for that direction. Demand an explicit value.
+			if !hasVal || val == "" {
+				return out, fmt.Errorf("impairment %s needs a value, e.g. %s=drop:0.5+delay:2ms", key, key)
+			}
 			sub := strings.ReplaceAll(strings.ReplaceAll(val, ":", "="), "+", ",")
 			imp, err := parseImpairment(sub)
 			if err != nil {
@@ -286,8 +292,8 @@ func parseImpairment(spec string) (faultnet.Impairment, error) {
 			}
 		case "delay", "jitter":
 			d, err := time.ParseDuration(val)
-			if err != nil {
-				return imp, fmt.Errorf("impairment %s=%q: %v", key, val, err)
+			if err != nil || d < 0 {
+				return imp, fmt.Errorf("impairment %s=%q: want a non-negative duration", key, val)
 			}
 			if key == "delay" {
 				imp.Delay = d
@@ -296,8 +302,8 @@ func parseImpairment(spec string) (faultnet.Impairment, error) {
 			}
 		case "depth":
 			n, err := strconv.Atoi(val)
-			if err != nil {
-				return imp, fmt.Errorf("impairment depth=%q: %v", val, err)
+			if err != nil || n < 0 {
+				return imp, fmt.Errorf("impairment depth=%q: want a non-negative count", val)
 			}
 			imp.ReorderDepth = n
 		default:

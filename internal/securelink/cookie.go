@@ -68,14 +68,38 @@ func (s *CookieSource) rotateLocked() error {
 	return nil
 }
 
-// maybeRotateLocked applies any due time-based rotation. A rotation
-// failure (exhausted entropy source) keeps the old secret — stale
-// cookies are a smaller hazard than an unkeyed one.
+// maybeRotateLocked applies every time-based rotation that has come due
+// since the last use, not just one: after a quiet period spanning two or
+// more intervals, a single rotation would park the pre-gap secret in the
+// previous slot and an arbitrarily old cookie would still verify,
+// breaking the "two intervals bound a cookie's life" contract. Two
+// rotations retire every pre-gap secret, so the count is capped there.
+// A rotation failure (exhausted entropy source) keeps the old secret —
+// stale cookies are a smaller hazard than an unkeyed one.
 func (s *CookieSource) maybeRotateLocked() {
-	if s.interval <= 0 || s.now().Before(s.nextRot) {
-		return
+	due := rotationsDue(s.now(), s.nextRot, s.interval)
+	for i := 0; i < due; i++ {
+		if s.rotateLocked() != nil {
+			return
+		}
 	}
-	_ = s.rotateLocked()
+}
+
+// rotationsDue returns how many rotations a lazily-rotated secret pair
+// owes at time now, given the next scheduled rotation and the interval:
+// zero before the deadline, otherwise one per elapsed interval since it,
+// capped at two — both slots hold fresh secrets after two, so older
+// epochs are unrepresentable and further rotations would only burn
+// entropy.
+func rotationsDue(now, nextRot time.Time, interval time.Duration) int {
+	if interval <= 0 || now.Before(nextRot) {
+		return 0
+	}
+	due := 1 + int(now.Sub(nextRot)/interval)
+	if due > 2 {
+		due = 2
+	}
+	return due
 }
 
 // cookieMAC computes the truncated cookie MAC for (addr, nonce) under

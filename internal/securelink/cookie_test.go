@@ -98,6 +98,63 @@ func TestCookieTimedRotation(t *testing.T) {
 	}
 }
 
+// Regression: a quiet period spanning several rotation intervals must
+// retire a pre-gap cookie. The old maybeRotateLocked performed at most
+// one rotation per use regardless of elapsed time, so the ancient
+// secret landed in the previous slot and the cookie still verified.
+func TestCookieQuietPeriodRetiresOldSecrets(t *testing.T) {
+	s, err := NewCookieSource(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(1_700_000_000, 0)
+	s.now = func() time.Time { return clock }
+	s.nextRot = clock.Add(time.Hour)
+
+	nonce := []byte("quiet-nonce-0123")
+	c := s.Mint("addr", nonce)
+
+	// 2.5 intervals of silence: two rotations are due, so both secret
+	// slots postdate the mint and the cookie must be dead.
+	clock = clock.Add(150 * time.Minute)
+	if s.Verify("addr", nonce, c) {
+		t.Fatal("cookie minted before a two-interval quiet period still verifies")
+	}
+
+	// 1.5 intervals of silence: only one rotation due, the mint-time
+	// secret sits in the previous slot, the cookie must still verify.
+	c2 := s.Mint("addr", nonce)
+	clock = clock.Add(90 * time.Minute)
+	if !s.Verify("addr", nonce, c2) {
+		t.Fatal("cookie minted within one interval of the quiet period was retired")
+	}
+}
+
+func TestRotationsDue(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	next := base.Add(time.Hour)
+	cases := []struct {
+		elapsed time.Duration
+		want    int
+	}{
+		{0, 0},
+		{59 * time.Minute, 0},
+		{60 * time.Minute, 1},
+		{90 * time.Minute, 1},
+		{120 * time.Minute, 2},
+		{150 * time.Minute, 2},
+		{24 * time.Hour, 2},
+	}
+	for _, c := range cases {
+		if got := rotationsDue(base.Add(c.elapsed), next, time.Hour); got != c.want {
+			t.Errorf("rotationsDue(+%v) = %d, want %d", c.elapsed, got, c.want)
+		}
+	}
+	if got := rotationsDue(base.Add(time.Hour), next, 0); got != 0 {
+		t.Errorf("rotationsDue with disabled interval = %d, want 0", got)
+	}
+}
+
 // Distinct sources never accept each other's cookies (independent
 // random secrets).
 func TestCookieSourcesAreIndependent(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+	"time"
 )
 
 // fuzzSecret keeps the fuzz corpus meaningful across runs: the seed
@@ -94,6 +95,45 @@ func FuzzSecurelinkOpen(f *testing.F) {
 				t.Fatalf("window=%d rekey=%d: link poisoned after fuzz input: %v",
 					mode.window, mode.rekey, err)
 			}
+		}
+	})
+}
+
+// FuzzTicketRedeem drives TicketSource.Peek/Redeem with arbitrary
+// ticket bytes. Neither may panic or over-allocate, garbage must never
+// redeem, and a failed attempt must not consume or corrupt the one
+// legitimate outstanding ticket.
+func FuzzTicketRedeem(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 13))
+	f.Add(make([]byte, 69))
+	long := make([]byte, 96)
+	for i := range long {
+		long[i] = byte(i * 7)
+	}
+	f.Add(long)
+	lying := append([]byte{1}, make([]byte, 80)...)
+	f.Add(lying)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ts, err := NewTicketSource(0, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rms := bytes.Repeat([]byte{0x42}, 32)
+		real, err := ts.Mint(rms, "fuzz-addr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(raw, real) {
+			return // the fuzzer cannot guess a fresh random ticket, but be safe
+		}
+		ts.Peek(raw, "fuzz-addr")
+		if got, ok := ts.Redeem(raw); ok {
+			t.Fatalf("garbage ticket redeemed for secret %x", got)
+		}
+		if got, ok := ts.Redeem(real); !ok || !bytes.Equal(got, rms) {
+			t.Fatal("legitimate ticket no longer redeems after fuzz input")
 		}
 	})
 }

@@ -28,6 +28,11 @@ var ErrServerBusy = errors.New("shieldd: server busy")
 // retransmission schedule without completing. Match with errors.Is.
 var ErrHandshakeTimeout = errors.New("shieldd: handshake timed out")
 
+// ErrDowngrade reports that the server (or someone rewriting its
+// traffic) negotiated a protocol version below the client's
+// SessionOptions.MinProtocol floor. Match with errors.Is.
+var ErrDowngrade = errors.New("shieldd: protocol downgrade below MinProtocol")
+
 // busyError is one BUSY response, carrying the server's retry-after
 // hint; it unwraps to ErrServerBusy.
 type busyError struct{ retryAfter time.Duration }
@@ -63,6 +68,14 @@ type SessionOptions struct {
 	// forces a strict request/response v1 session — the compatibility
 	// mode old clients get automatically.
 	Protocol uint8
+	// MinProtocol, when nonzero, is the lowest negotiated version the
+	// client accepts: a handshake landing below it fails with
+	// ErrDowngrade instead of completing. By default (zero) the client
+	// follows the server down to v1 for compatibility — which also means
+	// an active attacker rewriting HELLOs can strip the v4 AKE; deploy
+	// MinProtocol=4 to pin forward secrecy once every server speaks v4
+	// (the TLS-style rollback rule; see DESIGN.md "Handshake v2").
+	MinProtocol uint8
 	// AutoReconnect makes a dialed client transparently re-dial and
 	// re-handshake when its connection has died (e.g. the server's idle
 	// reaper closed it) and no requests are in flight. On datagram
@@ -125,6 +138,95 @@ func (o SessionOptions) hello(nonce [16]byte) *wire.Hello {
 		h.Flags |= wire.FlagConcerto
 	}
 	return h
+}
+
+// hsResult is one completed handshake: the session link, the negotiated
+// version and session ID, and — on v4 — the resumption state carried
+// into the next reconnect.
+type hsResult struct {
+	link      *securelink.Link
+	version   uint8
+	sessionID uint64
+	ticket    []byte // fresh single-use ticket from the sealed ack
+	rms       []byte // resumption secret the ticket will resume with
+	resumed   bool   // this handshake resumed from a prior ticket
+}
+
+// resumeState carries the previous v4 session's ticket and resumption
+// secret into the next handshake.
+type resumeState struct {
+	ticket []byte
+	rms    []byte
+}
+
+// clientAKE is the client half of a v4 handshake in flight: the
+// ephemeral key pair, the HELLO transcript, and the cached resumption
+// secret when the HELLO offered a ticket.
+type clientAKE struct {
+	eph        *securelink.Ephemeral
+	transcript []byte
+	rms        []byte
+}
+
+// newClientAKE equips hello for the v4 AKE (key share plus optional
+// resumption ticket) and returns the state needed to complete it.
+func newClientAKE(hello *wire.Hello, resume *resumeState) (*clientAKE, error) {
+	eph, err := securelink.NewEphemeral()
+	if err != nil {
+		return nil, fmt.Errorf("shieldd: ephemeral key: %w", err)
+	}
+	a := &clientAKE{eph: eph}
+	hello.KeyShare = eph.Public()
+	if resume != nil && len(resume.ticket) > 0 && len(resume.rms) > 0 {
+		hello.Ticket = resume.ticket
+		a.rms = resume.rms
+	}
+	a.transcript = hello.TranscriptBytes()
+	return a, nil
+}
+
+// complete mirrors the server's v4 key schedule against its CHALLENGE2
+// and returns the session link, the next resumption secret, and whether
+// the server resumed from the offered ticket. Any tampering with the
+// handshake messages desynchronizes the transcript here, so the sealed
+// HELLO-ACK that follows fails to open.
+func (a *clientAKE) complete(secret []byte, ch *wire.Challenge2) (link *securelink.Link, rms []byte, resumed bool, err error) {
+	sched := securelink.NewHandshake(securelink.HandshakeLabelV4)
+	sched.MixHash(a.transcript)
+	sched.MixHash(ch.Encode())
+	sched.MixKey(secret)
+	if ch.Resumed {
+		if a.rms == nil {
+			return nil, nil, false, fmt.Errorf("shieldd: server resumed a session this client did not offer")
+		}
+		sched.MixKey(a.rms)
+	} else {
+		dh, derr := a.eph.Shared(ch.KeyShare)
+		if derr != nil {
+			return nil, nil, false, fmt.Errorf("shieldd: server key share: %w", derr)
+		}
+		sched.MixKey(dh)
+	}
+	if _, link, err = securelink.Pair(sched.SessionSecret()); err != nil {
+		return nil, nil, false, err
+	}
+	return link, sched.ResumptionSecret(), ch.Resumed, nil
+}
+
+// checkAck validates the negotiated version in a HELLO-ACK against the
+// announced version, the handshake form that actually ran, and the
+// client's MinProtocol floor.
+func checkAck(ack *wire.HelloAck, announced, minProtocol uint8, akeDone bool) error {
+	if ack.Version < wire.MinVersion || ack.Version > announced {
+		return fmt.Errorf("shieldd: server negotiated unsupported version %d", ack.Version)
+	}
+	if akeDone != (ack.Version >= 4) {
+		return fmt.Errorf("shieldd: server acked version %d but ran the wrong handshake form", ack.Version)
+	}
+	if ack.Version < minProtocol {
+		return fmt.Errorf("%w: server negotiated v%d", ErrDowngrade, ack.Version)
+	}
+	return nil
 }
 
 // Call is one in-flight request on a pipelined session. Wait on Done (or
@@ -204,8 +306,16 @@ type Client struct {
 	link      *securelink.Link
 	version   uint8
 	sessionID uint64
-	nextID    uint64
-	pending   map[uint64]*Call
+	// ticket and rms hold the v4 resumption state from the latest
+	// handshake; reconnect offers them so a reap-then-reconnect
+	// completes in one round trip with forward-secret keys and no new
+	// DH. Empty on pre-v4 sessions.
+	ticket  []byte
+	rms     []byte
+	resumed bool   // the latest handshake resumed from a ticket
+	resumes uint64 // total resumed handshakes over the client's life
+	nextID  uint64
+	pending map[uint64]*Call
 	// ackCum is the highest request ID through which every response has
 	// been delivered; ackAbove holds delivered response IDs above a gap.
 	// Sent in every v3 request envelope so the server can prune its
@@ -244,7 +354,7 @@ func Dial(addr string, secret []byte, opt SessionOptions) (*Client, error) {
 // NewClient runs the session handshake over an established stream
 // transport.
 func NewClient(conn net.Conn, secret []byte, opt SessionOptions) (*Client, error) {
-	link, version, sessionID, err := handshake(conn, secret, opt)
+	hs, err := handshake(conn, secret, opt, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -253,17 +363,20 @@ func NewClient(conn net.Conn, secret []byte, opt SessionOptions) (*Client, error
 		opt:       opt,
 		secret:    secret,
 		tc:        tc,
-		link:      link,
-		version:   version,
-		sessionID: sessionID,
+		link:      hs.link,
+		version:   hs.version,
+		sessionID: hs.sessionID,
+		ticket:    hs.ticket,
+		rms:       hs.rms,
+		resumed:   hs.resumed,
 		nextID:    1,
 		pending:   make(map[uint64]*Call),
 		ackAbove:  make(map[uint64]struct{}),
 		window:    make(chan struct{}, opt.sendWindow()),
 		backoff:   stats.NewRNG(stats.DeriveSeed(opt.Seed, "client-busy-backoff")),
 	}
-	if version >= 2 {
-		go c.readLoop(tc, link, version)
+	if hs.version >= 2 {
+		go c.readLoop(tc, hs.link, hs.version)
 	}
 	return c, nil
 }
@@ -310,7 +423,7 @@ func NewPacketClient(pc net.PacketConn, peer net.Addr, secret []byte, opt Sessio
 		return nil, fmt.Errorf("shieldd: datagram transport requires wire protocol v2")
 	}
 	dc := dgram.NewConn(pc, peer)
-	link, version, sessionID, err := packetHandshake(dc, secret, opt)
+	hs, err := packetHandshake(dc, secret, opt, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -319,9 +432,12 @@ func NewPacketClient(pc net.PacketConn, peer net.Addr, secret []byte, opt Sessio
 		opt:       opt,
 		secret:    secret,
 		tc:        tc,
-		link:      link,
-		version:   version,
-		sessionID: sessionID,
+		link:      hs.link,
+		version:   hs.version,
+		sessionID: hs.sessionID,
+		ticket:    hs.ticket,
+		rms:       hs.rms,
+		resumed:   hs.resumed,
 		nextID:    1,
 		pending:   make(map[uint64]*Call),
 		ackAbove:  make(map[uint64]struct{}),
@@ -331,7 +447,7 @@ func NewPacketClient(pc net.PacketConn, peer net.Addr, secret []byte, opt Sessio
 	c.redialPacket = opt.RedialPacket
 	c.retry = newRetrier(c, opt.RetryTimeout, opt.MaxRetries)
 	go c.retry.run()
-	go c.readLoop(tc, link, version)
+	go c.readLoop(tc, hs.link, hs.version)
 	return c, nil
 }
 
@@ -345,12 +461,24 @@ func NewPacketClient(pc net.PacketConn, peer net.Addr, secret []byte, opt Sessio
 // same nonce) just re-derives the same keys; an undecryptable datagram
 // is dropped, never fatal. BUSY refusals are honored with deterministic
 // seeded jittered exponential backoff before re-sending.
-func packetHandshake(dc *dgram.Conn, secret []byte, opt SessionOptions) (*securelink.Link, uint8, uint64, error) {
+func packetHandshake(dc *dgram.Conn, secret []byte, opt SessionOptions, resume *resumeState) (hsResult, error) {
+	var zero hsResult
 	var nonce [16]byte
 	if _, err := rand.Read(nonce[:]); err != nil {
-		return nil, 0, 0, fmt.Errorf("shieldd: nonce: %w", err)
+		return zero, fmt.Errorf("shieldd: nonce: %w", err)
 	}
 	hello := opt.hello(nonce)
+	if opt.MinProtocol > hello.Version {
+		return zero, fmt.Errorf("%w: MinProtocol %d exceeds announced version %d",
+			ErrDowngrade, opt.MinProtocol, hello.Version)
+	}
+	var ake *clientAKE
+	if hello.Version >= 4 {
+		var err error
+		if ake, err = newClientAKE(hello, resume); err != nil {
+			return zero, err
+		}
+	}
 	helloEnc := hello.Encode()
 	rto := opt.RetryTimeout
 	if rto <= 0 {
@@ -364,9 +492,11 @@ func packetHandshake(dc *dgram.Conn, secret []byte, opt SessionOptions) (*secure
 	busies := 0
 
 	var link *securelink.Link
+	var rms []byte
+	var resumed, akeDone bool
 	for attempt := 0; attempt <= tries; attempt++ {
 		if err := dc.WriteFrame(dgram.KindHandshake, helloEnc); err != nil {
-			return nil, 0, 0, err
+			return zero, err
 		}
 		// Escalate the ACK wait per attempt, capped at a small multiple
 		// of the base timeout: handshake datagrams are tiny and a
@@ -384,7 +514,7 @@ func packetHandshake(dc *dgram.Conn, secret []byte, opt SessionOptions) (*secure
 				if isTimeout(err) {
 					break // resend the HELLO
 				}
-				return nil, 0, 0, fmt.Errorf("shieldd: handshake read: %w", err)
+				return zero, fmt.Errorf("shieldd: handshake read: %w", err)
 			}
 			if kind == dgram.KindHandshake {
 				msg, derr := wire.Decode(payload)
@@ -393,16 +523,19 @@ func packetHandshake(dc *dgram.Conn, secret []byte, opt SessionOptions) (*secure
 				}
 				switch m := msg.(type) {
 				case *wire.Error:
-					return nil, 0, 0, m
+					return zero, m
 				case *wire.Cookie:
 					// The stateless admission gate's round trip: echo the
 					// cookie in the HELLO and resend immediately. This
 					// costs no retry attempt — the gate answers every
 					// cookie-less HELLO, so the reply races only loss.
+					// The cookie is deliberately outside the v4 transcript
+					// (Hello.TranscriptBytes), so attaching it here does not
+					// desynchronize an AKE already offered in the first HELLO.
 					hello.Cookie = m.Cookie
 					helloEnc = hello.Encode()
 					if err := dc.WriteFrame(dgram.KindHandshake, helloEnc); err != nil {
-						return nil, 0, 0, err
+						return zero, err
 					}
 				case *wire.Busy:
 					// Overloaded server: honor its retry-after hint with
@@ -410,7 +543,7 @@ func packetHandshake(dc *dgram.Conn, secret []byte, opt SessionOptions) (*secure
 					// Refusals are bounded like retransmits, surfacing
 					// ErrServerBusy when the schedule is exhausted.
 					if busies++; busies > tries {
-						return nil, 0, 0, fmt.Errorf("%w: handshake refused %d times", ErrServerBusy, busies)
+						return zero, fmt.Errorf("%w: handshake refused %d times", ErrServerBusy, busies)
 					}
 					d := time.Duration(m.RetryAfterMillis) * time.Millisecond
 					if d <= 0 {
@@ -422,15 +555,33 @@ func packetHandshake(dc *dgram.Conn, secret []byte, opt SessionOptions) (*secure
 					d += time.Duration(backoff.Int63() % int64(d/2+1))
 					time.Sleep(d)
 					if err := dc.WriteFrame(dgram.KindHandshake, helloEnc); err != nil {
-						return nil, 0, 0, err
+						return zero, err
 					}
 					_ = dc.SetReadDeadline(time.Now().Add(wait))
+				case *wire.Challenge2:
+					if ake == nil {
+						continue // v4 challenge to a pre-v4 HELLO: noise
+					}
+					// A duplicate CHALLENGE2 (the server re-answering a
+					// retransmitted HELLO) is byte-identical — it entered the
+					// transcript — so re-deriving just reproduces the keys.
+					if link, rms, resumed, err = ake.complete(secret, m); err != nil {
+						return zero, err
+					}
+					akeDone = true
+					link.SetWindow(dgramWindow)
+					link.EnableRekey(sessionRekeyEvery)
 				case *wire.Challenge:
+					if opt.MinProtocol >= 4 {
+						return zero, fmt.Errorf("%w: server offered the legacy challenge", ErrDowngrade)
+					}
 					nonces := append(append([]byte(nil), nonce[:]...), m.ServerNonce[:]...)
 					_, link, err = securelink.Pair(securelink.SessionSecret(secret, nonces))
 					if err != nil {
-						return nil, 0, 0, err
+						return zero, err
 					}
+					akeDone = false
+					rms, resumed = nil, false
 					link.SetWindow(dgramWindow)
 					link.EnableRekey(sessionRekeyEvery)
 				}
@@ -451,14 +602,18 @@ func packetHandshake(dc *dgram.Conn, secret []byte, opt SessionOptions) (*secure
 			if !ok {
 				continue
 			}
-			if ack.Version < 2 || ack.Version > wire.Version {
-				return nil, 0, 0, fmt.Errorf("shieldd: server negotiated unsupported version %d", ack.Version)
+			if ack.Version < 2 {
+				return zero, fmt.Errorf("shieldd: server negotiated unsupported version %d", ack.Version)
+			}
+			if err := checkAck(ack, hello.Version, opt.MinProtocol, akeDone); err != nil {
+				return zero, err
 			}
 			_ = dc.SetReadDeadline(time.Time{})
-			return link, ack.Version, ack.SessionID, nil
+			return hsResult{link: link, version: ack.Version, sessionID: ack.SessionID,
+				ticket: ack.Ticket, rms: rms, resumed: resumed}, nil
 		}
 	}
-	return nil, 0, 0, fmt.Errorf("%w after %d attempts", ErrHandshakeTimeout, tries+1)
+	return zero, fmt.Errorf("%w after %d attempts", ErrHandshakeTimeout, tries+1)
 }
 
 // isTimeout reports a deadline-style error.
@@ -467,65 +622,94 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout() || errors.Is(err, os.ErrDeadlineExceeded)
 }
 
-// handshake performs HELLO → Challenge → HELLO-ACK over conn and returns
-// the established link and the negotiated protocol version.
-func handshake(conn net.Conn, secret []byte, opt SessionOptions) (*securelink.Link, uint8, uint64, error) {
+// handshake performs HELLO → CHALLENGE/CHALLENGE2 → sealed HELLO-ACK
+// over conn. A v4 announcement runs the AKE (or ticket resumption when
+// resume is offered); a legacy CHALLENGE reply falls back to the
+// SessionSecret derivation unless MinProtocol forbids it.
+func handshake(conn net.Conn, secret []byte, opt SessionOptions, resume *resumeState) (hsResult, error) {
+	var zero hsResult
 	var nonce [16]byte
 	if _, err := rand.Read(nonce[:]); err != nil {
-		return nil, 0, 0, fmt.Errorf("shieldd: nonce: %w", err)
+		return zero, fmt.Errorf("shieldd: nonce: %w", err)
 	}
 	hello := opt.hello(nonce)
+	if opt.MinProtocol > hello.Version {
+		return zero, fmt.Errorf("%w: MinProtocol %d exceeds announced version %d",
+			ErrDowngrade, opt.MinProtocol, hello.Version)
+	}
+	var ake *clientAKE
+	if hello.Version >= 4 {
+		var err error
+		if ake, err = newClientAKE(hello, resume); err != nil {
+			return zero, err
+		}
+	}
 	if err := wire.WriteFrame(conn, hello.Encode()); err != nil {
-		return nil, 0, 0, err
+		return zero, err
 	}
 
-	// The server answers a valid HELLO with a plaintext Challenge (its
-	// half of the session key derivation), or a plaintext Error refusal.
+	// The server answers a valid HELLO with a plaintext challenge (its
+	// half of the session key agreement), or a plaintext Error refusal.
 	raw, err := wire.ReadFrame(conn)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("shieldd: handshake read: %w", err)
+		return zero, fmt.Errorf("shieldd: handshake read: %w", err)
 	}
 	first, err := wire.Decode(raw)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("shieldd: handshake: %w", err)
+		return zero, fmt.Errorf("shieldd: handshake: %w", err)
 	}
-	if e, ok := first.(*wire.Error); ok {
-		return nil, 0, 0, e
-	}
-	ch, ok := first.(*wire.Challenge)
-	if !ok {
-		return nil, 0, 0, fmt.Errorf("shieldd: unexpected handshake reply %T", first)
-	}
-	nonces := append(append([]byte(nil), nonce[:]...), ch.ServerNonce[:]...)
-	_, link, err := securelink.Pair(securelink.SessionSecret(secret, nonces))
-	if err != nil {
-		return nil, 0, 0, err
+	var link *securelink.Link
+	var rms []byte
+	var resumed, akeDone bool
+	switch ch := first.(type) {
+	case *wire.Error:
+		return zero, ch
+	case *wire.Challenge2:
+		if ake == nil {
+			return zero, fmt.Errorf("shieldd: v4 challenge to a v%d HELLO", hello.Version)
+		}
+		if link, rms, resumed, err = ake.complete(secret, ch); err != nil {
+			return zero, err
+		}
+		akeDone = true
+	case *wire.Challenge:
+		// The legacy pre-v4 challenge: an old server, or an attacker
+		// rewriting the handshake. Indistinguishable by design — the
+		// MinProtocol floor is what rules the second reading out.
+		if opt.MinProtocol >= 4 {
+			return zero, fmt.Errorf("%w: server offered the legacy challenge", ErrDowngrade)
+		}
+		nonces := append(append([]byte(nil), nonce[:]...), ch.ServerNonce[:]...)
+		if _, link, err = securelink.Pair(securelink.SessionSecret(secret, nonces)); err != nil {
+			return zero, err
+		}
+	default:
+		return zero, fmt.Errorf("shieldd: unexpected handshake reply %T", first)
 	}
 	link.SetWindow(sessionWindow)
 	link.EnableRekey(sessionRekeyEvery)
 
 	raw, err = wire.ReadFrame(conn)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("shieldd: handshake read: %w", err)
+		return zero, fmt.Errorf("shieldd: handshake read: %w", err)
 	}
 	plain, err := link.Open(raw)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("shieldd: handshake: %w", err)
+		return zero, fmt.Errorf("shieldd: handshake: %w", err)
 	}
 	m, err := wire.Decode(plain)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("shieldd: handshake: %w", err)
+		return zero, fmt.Errorf("shieldd: handshake: %w", err)
 	}
 	ack, ok := m.(*wire.HelloAck)
 	if !ok {
-		return nil, 0, 0, fmt.Errorf("shieldd: unexpected handshake reply %T", m)
+		return zero, fmt.Errorf("shieldd: unexpected handshake reply %T", m)
 	}
-	// The negotiated version is the minimum of the two announcements; a
-	// server claiming more than we asked for is broken.
-	if ack.Version < wire.MinVersion || ack.Version > hello.Version {
-		return nil, 0, 0, fmt.Errorf("shieldd: server negotiated unsupported version %d", ack.Version)
+	if err := checkAck(ack, hello.Version, opt.MinProtocol, akeDone); err != nil {
+		return zero, err
 	}
-	return link, ack.Version, ack.SessionID, nil
+	return hsResult{link: link, version: ack.Version, sessionID: ack.SessionID,
+		ticket: ack.Ticket, rms: rms, resumed: resumed}, nil
 }
 
 // SessionID returns the server-assigned session identifier (of the most
@@ -549,6 +733,22 @@ func (c *Client) Reconnects() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.reconns
+}
+
+// Resumed reports whether the most recent handshake resumed from a v4
+// ticket (one round trip, no fresh DH) rather than running the full AKE.
+func (c *Client) Resumed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumed
+}
+
+// Resumes returns how many of the client's handshakes were ticket
+// resumptions.
+func (c *Client) Resumes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumes
 }
 
 // readLoop is the v2/v3 demultiplexer: the sole reader of the transport,
@@ -771,14 +971,20 @@ func (c *Client) reconnect() error {
 		return err
 	}
 	isPacket := c.retry != nil
+	// Offer the dead session's resumption ticket: after an idle reap the
+	// new handshake completes in one round trip on resumed forward-secret
+	// keys instead of a fresh DH. A refused or expired ticket silently
+	// falls back to the full AKE.
+	var resume *resumeState
+	if len(c.ticket) > 0 && len(c.rms) > 0 {
+		resume = &resumeState{ticket: c.ticket, rms: c.rms}
+	}
 	c.mu.Unlock()
 
 	// While c.err != nil every new request routes here and queues on
 	// reconnMu, so no one mutates tc/link/pending behind our back.
 	var tc transportConn
-	var link *securelink.Link
-	var version uint8
-	var sessionID uint64
+	var hs hsResult
 	if isPacket {
 		// Datagram reconnect: a fresh local socket (the server may have
 		// reaped this address's peer entry, and a fresh source port makes
@@ -795,7 +1001,7 @@ func (c *Client) reconnect() error {
 			return fmt.Errorf("shieldd: reconnect: %w", err)
 		}
 		dc := dgram.NewConn(pc, peer)
-		link, version, sessionID, err = packetHandshake(dc, c.secret, c.opt)
+		hs, err = packetHandshake(dc, c.secret, c.opt, resume)
 		if err != nil {
 			dc.Close()
 			return fmt.Errorf("shieldd: reconnect: %w", err)
@@ -807,7 +1013,7 @@ func (c *Client) reconnect() error {
 			return fmt.Errorf("shieldd: reconnect: %w", err)
 		}
 		var err2 error
-		link, version, sessionID, err2 = handshake(conn, c.secret, c.opt)
+		hs, err2 = handshake(conn, c.secret, c.opt, resume)
 		if err2 != nil {
 			conn.Close()
 			return fmt.Errorf("shieldd: reconnect: %w", err2)
@@ -822,8 +1028,13 @@ func (c *Client) reconnect() error {
 		return ErrClientClosed
 	}
 	old := c.tc
-	c.tc, c.link = tc, link
-	c.version, c.sessionID = version, sessionID
+	c.tc, c.link = tc, hs.link
+	c.version, c.sessionID = hs.version, hs.sessionID
+	c.ticket, c.rms = hs.ticket, hs.rms
+	c.resumed = hs.resumed
+	if hs.resumed {
+		c.resumes++
+	}
 	// The new session is a fresh request-ID space: the server's
 	// resequencer cursor and dedup ledger start empty, so ID allocation
 	// and the delivery cursor restart with them.
@@ -834,8 +1045,8 @@ func (c *Client) reconnect() error {
 	c.reconns++
 	c.mu.Unlock()
 	old.close()
-	if version >= 2 {
-		go c.readLoop(tc, link, version)
+	if hs.version >= 2 {
+		go c.readLoop(tc, hs.link, hs.version)
 	}
 	return nil
 }

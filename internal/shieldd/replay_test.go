@@ -5,6 +5,7 @@ import (
 	"net"
 	"testing"
 
+	"heartshield/internal/securelink"
 	"heartshield/internal/shieldd"
 	"heartshield/internal/wire"
 )
@@ -93,11 +94,16 @@ func TestRecordedSessionReplayFails(t *testing.T) {
 }
 
 // Two sessions opened with identical client HELLOs must still get
-// distinct server nonces — the freshness the replay defense rests on.
+// distinct server nonces and distinct server ephemerals — the freshness
+// the replay defense rests on.
 func TestServerNonceIsFresh(t *testing.T) {
 	srv := newServer(t, shieldd.ServerConfig{})
-	hello := (&wire.Hello{Version: wire.Version, Seed: 1}).Encode()
-	nonce := func() []byte {
+	eph, err := securelink.NewEphemeral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := (&wire.Hello{Version: wire.Version, Seed: 1, KeyShare: eph.Public()}).Encode()
+	challenge := func() *wire.Challenge2 {
 		cEnd, sEnd := net.Pipe()
 		go srv.ServeConn(sEnd)
 		defer cEnd.Close()
@@ -112,13 +118,40 @@ func TestServerNonceIsFresh(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ch, ok := m.(*wire.Challenge)
+		ch, ok := m.(*wire.Challenge2)
 		if !ok {
-			t.Fatalf("first server frame is %T, want Challenge", m)
+			t.Fatalf("first server frame is %T, want Challenge2", m)
 		}
-		return ch.ServerNonce[:]
+		return ch
 	}
-	if bytes.Equal(nonce(), nonce()) {
+	a, b := challenge(), challenge()
+	if bytes.Equal(a.ServerNonce[:], b.ServerNonce[:]) {
 		t.Fatal("server reused its session nonce for identical HELLOs")
+	}
+	if bytes.Equal(a.KeyShare, b.KeyShare) {
+		t.Fatal("server reused its ephemeral key share for identical HELLOs")
+	}
+}
+
+// A pre-v4 client still gets the legacy Challenge (and its fresh nonce).
+func TestServerLegacyChallenge(t *testing.T) {
+	srv := newServer(t, shieldd.ServerConfig{})
+	hello := (&wire.Hello{Version: 3, Seed: 1}).Encode()
+	cEnd, sEnd := net.Pipe()
+	go srv.ServeConn(sEnd)
+	defer cEnd.Close()
+	if err := wire.WriteFrame(cEnd, hello); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := wire.ReadFrame(cEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := wire.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(*wire.Challenge); !ok {
+		t.Fatalf("first server frame for a v3 HELLO is %T, want Challenge", m)
 	}
 }

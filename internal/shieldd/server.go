@@ -71,9 +71,11 @@ const (
 	// sessions use the larger dgramWindow (transport.go), where
 	// reordering is real.
 	sessionWindow = 8
-	// maxHelloFrame bounds the plaintext HELLO (33 bytes encoded); an
-	// unauthenticated peer cannot make them allocate a larger buffer.
-	maxHelloFrame = 256
+	// maxHelloFrame bounds the plaintext HELLO (~50 bytes encoded for
+	// v1–v3; a v4 HELLO adds a 32-byte key share and an optional ~100-byte
+	// resumption ticket); an unauthenticated peer cannot make the server
+	// allocate a larger buffer.
+	maxHelloFrame = 512
 	// handshakeTimeout bounds how long an unauthenticated connection may
 	// hold a goroutine before sending its HELLO.
 	handshakeTimeout = 10 * time.Second
@@ -85,6 +87,12 @@ const (
 	// defaultBusyRetryAfter is the retry-after hint carried in BUSY
 	// responses when the config does not set one.
 	defaultBusyRetryAfter = 250 * time.Millisecond
+	// defaultTicketLifetime bounds v4 resumption tickets when the config
+	// does not set one: long enough to resume after an idle reap, short
+	// enough that a ticket is not a durable capability. The ticket
+	// sealing key rotates on the same period, so any unexpired ticket is
+	// at most one rotation old and still opens.
+	defaultTicketLifetime = 5 * time.Minute
 )
 
 // ServerConfig configures a session server.
@@ -139,6 +147,13 @@ type ServerConfig struct {
 	// BusyRetryAfter is the retry-after hint carried in BUSY responses.
 	// Default 250ms.
 	BusyRetryAfter time.Duration
+	// MaxProtocol, when nonzero, caps the negotiated wire protocol
+	// version below wire.Version (staged rollouts, interop testing).
+	// Zero serves up to wire.Version.
+	MaxProtocol uint8
+	// TicketLifetime bounds how long a v4 resumption ticket stays
+	// redeemable. Default 5m.
+	TicketLifetime time.Duration
 }
 
 // Server is a concurrent shield session server.
@@ -156,6 +171,11 @@ type Server struct {
 	// cookie, so a spoofed-source HELLO flood costs the server one HMAC
 	// and one small reply datagram per packet and zero state.
 	cookies *securelink.CookieSource
+	// tickets mints and redeems the single-use v4 resumption tickets: a
+	// resumption secret sealed under a rotating server key, handed out in
+	// every v4 HELLO-ACK and redeemable once for a one-round-trip
+	// reconnect.
+	tickets *securelink.TicketSource
 	// hsLimiter, when non-nil, rate-limits cookie-verified handshakes
 	// per source address.
 	hsLimiter *rateLimiter
@@ -194,7 +214,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.HandshakeBurst <= 0 {
 		cfg.HandshakeBurst = 4
 	}
+	if cfg.TicketLifetime <= 0 {
+		cfg.TicketLifetime = defaultTicketLifetime
+	}
+	if cfg.MaxProtocol == 0 || cfg.MaxProtocol > wire.Version {
+		cfg.MaxProtocol = wire.Version
+	}
 	cookies, err := securelink.NewCookieSource(cookieRotateEvery)
+	if err != nil {
+		return nil, fmt.Errorf("shieldd: %w", err)
+	}
+	tickets, err := securelink.NewTicketSource(cfg.TicketLifetime, cfg.TicketLifetime)
 	if err != nil {
 		return nil, fmt.Errorf("shieldd: %w", err)
 	}
@@ -203,6 +233,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		pool:    newScenarioPool(cfg.PoolPerShape),
 		sem:     make(chan struct{}, cfg.MaxSessions),
 		cookies: cookies,
+		tickets: tickets,
 		reg:     metrics.NewRegistry(),
 	}
 	if cfg.MaxInFlightGlobal > 0 {
@@ -291,6 +322,91 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// srvHandshake is the server side of one negotiated handshake: the
+// encoded challenge to send the client, the derived session link, and —
+// on the v4 path — the fresh resumption ticket to embed in the sealed
+// ack plus whether the session resumed from a presented ticket.
+type srvHandshake struct {
+	challenge []byte
+	link      *securelink.Link
+	ticket    []byte
+	resumed   bool
+}
+
+// deriveSessionLink runs the key agreement for one HELLO at the
+// negotiated version. For v1–v3 it is the legacy derivation: both
+// nonces into securelink.SessionSecret under the master. For v4 it is
+// the AKE: a transcript-bound HKDF schedule over the HELLO and
+// CHALLENGE2 bytes, mixing the master PSK with either the X25519
+// ephemeral-ephemeral shared secret or, when the HELLO carries a
+// redeemable ticket, the previous session's resumption secret (skipping
+// the DH for a one-round-trip reconnect). A fresh single-use ticket
+// bound to addr is minted for every v4 handshake.
+//
+// A nil link with a non-empty refuse means the HELLO is malformed and
+// should be refused in plaintext; a nil link with an empty refuse is an
+// internal failure (exhausted entropy) and the connection just drops.
+func (s *Server) deriveSessionLink(hello *wire.Hello, version uint8, addr string) (hs srvHandshake, refuse string) {
+	if version < 4 {
+		var challenge wire.Challenge
+		if _, err := rand.Read(challenge.ServerNonce[:]); err != nil {
+			return srvHandshake{}, ""
+		}
+		nonces := append(append([]byte(nil), hello.Nonce[:]...), challenge.ServerNonce[:]...)
+		link, _, err := securelink.Pair(securelink.SessionSecret(s.cfg.Secret, nonces))
+		if err != nil {
+			return srvHandshake{}, ""
+		}
+		return srvHandshake{challenge: challenge.Encode(), link: link}, ""
+	}
+
+	var challenge wire.Challenge2
+	if _, err := rand.Read(challenge.ServerNonce[:]); err != nil {
+		return srvHandshake{}, ""
+	}
+	// A presented ticket is redeemed (consumed) even when the handshake
+	// later fails — single use means single attempt. An expired or
+	// replayed ticket silently falls back to the full AKE; the client
+	// learns which path ran from Challenge2.Resumed.
+	var rms []byte
+	if len(hello.Ticket) > 0 {
+		rms, _ = s.tickets.Redeem(hello.Ticket)
+	}
+	var dh []byte
+	if rms != nil {
+		challenge.Resumed = true
+	} else {
+		if len(hello.KeyShare) != securelink.KeyShareLen {
+			return srvHandshake{}, "wire protocol v4 requires an X25519 key share"
+		}
+		eph, err := securelink.NewEphemeral()
+		if err != nil {
+			return srvHandshake{}, ""
+		}
+		challenge.KeyShare = eph.Public()
+		if dh, err = eph.Shared(hello.KeyShare); err != nil {
+			return srvHandshake{}, "invalid X25519 key share"
+		}
+	}
+	enc := challenge.Encode()
+	sched := securelink.NewHandshake(securelink.HandshakeLabelV4)
+	sched.MixHash(hello.TranscriptBytes())
+	sched.MixHash(enc)
+	sched.MixKey(s.cfg.Secret)
+	if rms != nil {
+		sched.MixKey(rms)
+	} else {
+		sched.MixKey(dh)
+	}
+	link, _, err := securelink.Pair(sched.SessionSecret())
+	if err != nil {
+		return srvHandshake{}, ""
+	}
+	// A mint failure only costs the client its next resumption.
+	ticket, _ := s.tickets.Mint(sched.ResumptionSecret(), addr)
+	return srvHandshake{challenge: enc, link: link, ticket: ticket, resumed: challenge.Resumed}, ""
+}
+
 // ServeConn runs one session on an established transport (TCP connection
 // or one end of a net.Pipe) and blocks until the session ends. The
 // connection is always closed on return.
@@ -319,8 +435,8 @@ func (s *Server) ServeConn(conn net.Conn) {
 		return
 	}
 	version := hello.Version
-	if version > wire.Version {
-		version = wire.Version
+	if version > s.cfg.MaxProtocol {
+		version = s.cfg.MaxProtocol
 	}
 	opt, err := s.scenarioOptions(hello)
 	if err != nil {
@@ -329,26 +445,26 @@ func (s *Server) ServeConn(conn net.Conn) {
 		return
 	}
 
-	// The session keys bind a fresh server nonce alongside the client's,
-	// so a recorded session's sealed frames can never open in a new one:
-	// per-message replay protection extends to whole-session replay.
-	var challenge wire.Challenge
-	if _, err := rand.Read(challenge.ServerNonce[:]); err != nil {
+	// The session keys bind a fresh server nonce (and on v4 a fresh
+	// ephemeral DH) alongside the client's, so a recorded session's
+	// sealed frames can never open in a new one: per-message replay
+	// protection extends to whole-session replay.
+	hs, refuse := s.deriveSessionLink(hello, version, conn.RemoteAddr().String())
+	if hs.link == nil {
+		if refuse != "" {
+			_ = wire.WriteFrame(conn, (&wire.Error{Code: wire.CodeBadRequest, Msg: refuse}).Encode())
+		}
 		return
 	}
-	if err := wire.WriteFrame(conn, challenge.Encode()); err != nil {
+	if err := wire.WriteFrame(conn, hs.challenge); err != nil {
 		return
 	}
-	nonces := append(append([]byte(nil), hello.Nonce[:]...), challenge.ServerNonce[:]...)
-	link, _, err := securelink.Pair(securelink.SessionSecret(s.cfg.Secret, nonces))
-	if err != nil {
-		return
-	}
+	link := hs.link
 	link.SetWindow(sessionWindow)
 	link.EnableRekey(sessionRekeyEvery)
 
 	id := s.nextSession.Add(1)
-	ack := &wire.HelloAck{Version: version, SessionID: id}
+	ack := &wire.HelloAck{Version: version, SessionID: id, Ticket: hs.ticket}
 	if err := wire.WriteFrame(conn, link.Seal(ack.Encode())); err != nil {
 		return
 	}
@@ -471,6 +587,24 @@ func (s *Server) handshakeGate(addr net.Addr, payload []byte) (accept bool, repl
 	if !ok {
 		return false, nil
 	}
+	// A v4 resumption ticket issued to exactly this source address stands
+	// in for the cookie round: it proves a prior completed handshake from
+	// the address, which is strictly stronger reachability proof than a
+	// cookie echo, so resumption stays one round trip. Peek consumes
+	// nothing — servePeer redeems. Any mismatch (moved address, expired,
+	// already used) falls through to the normal cookie ladder; the client
+	// still resumes its keys, one round trip later.
+	if len(hello.Cookie) == 0 && len(hello.Ticket) > 0 && s.tickets.Peek(hello.Ticket, addr.String()) {
+		if s.hsLimiter != nil && !s.hsLimiter.allow(addr.String()) {
+			s.met.RateLimited.Add(1)
+			return false, nil
+		}
+		if s.cfg.AdmissionWait != 0 && len(s.sem) == cap(s.sem) {
+			s.met.ShedHandshakes.Add(1)
+			return false, (&wire.Busy{RetryAfterMillis: s.retryAfterMillis()}).Encode()
+		}
+		return true, nil
+	}
 	if len(hello.Cookie) == 0 {
 		s.met.CookiesSent.Add(1)
 		return false, (&wire.Cookie{Cookie: s.cookies.Mint(addr.String(), hello.Nonce[:])}).Encode()
@@ -530,13 +664,16 @@ func (s *Server) servePeer(peer *dgram.PeerConn) {
 		_ = peer.WriteFrame(dgram.KindHandshake,
 			(&wire.Error{Code: wire.CodeBadRequest, Msg: msg}).Encode())
 	}
-	if hello.Version < 2 {
+	version := hello.Version
+	if version > s.cfg.MaxProtocol {
+		version = s.cfg.MaxProtocol
+	}
+	// The negotiated version (not just the announced one) must carry
+	// request IDs: a v1 client — or any client against a MaxProtocol=1
+	// server — cannot run the datagram reliability layer.
+	if hello.Version < 2 || version < 2 {
 		refuse("datagram transport requires wire protocol v2")
 		return
-	}
-	version := hello.Version
-	if version > wire.Version {
-		version = wire.Version
 	}
 	opt, err := s.scenarioOptions(hello)
 	if err != nil {
@@ -544,25 +681,26 @@ func (s *Server) servePeer(peer *dgram.PeerConn) {
 		return
 	}
 
-	var challenge wire.Challenge
-	if _, err := rand.Read(challenge.ServerNonce[:]); err != nil {
+	hs, refuseMsg := s.deriveSessionLink(hello, version, peer.RemoteAddr().String())
+	if hs.link == nil {
+		if refuseMsg != "" {
+			refuse(refuseMsg)
+		}
 		return
 	}
-	nonces := append(append([]byte(nil), hello.Nonce[:]...), challenge.ServerNonce[:]...)
-	link, _, err := securelink.Pair(securelink.SessionSecret(s.cfg.Secret, nonces))
-	if err != nil {
-		return
-	}
+	link := hs.link
 	link.SetWindow(dgramWindow)
 	link.EnableRekey(sessionRekeyEvery)
 
 	id := s.nextSession.Add(1)
-	ack := &wire.HelloAck{Version: version, SessionID: id}
+	ack := &wire.HelloAck{Version: version, SessionID: id, Ticket: hs.ticket}
 	// sendChallenge re-seals the ACK on every (re)send: the client's
 	// receive window accepts whichever copy lands first and replay-drops
-	// the rest.
+	// the rest. The challenge bytes themselves are fixed — on v4 they
+	// entered the handshake transcript, so every retransmit must be
+	// byte-identical.
 	sendChallenge := func() bool {
-		if err := peer.WriteFrame(dgram.KindHandshake, challenge.Encode()); err != nil {
+		if err := peer.WriteFrame(dgram.KindHandshake, hs.challenge); err != nil {
 			return false
 		}
 		return peer.WriteFrame(dgram.KindSealed, link.Seal(ack.Encode())) == nil
@@ -663,6 +801,13 @@ func (s *Server) sessionTakeover(peer *dgram.PeerConn, origNonce [16]byte, paylo
 		return false
 	}
 	addr := peer.RemoteAddr().String()
+	// A valid resumption ticket issued to this exact address is the same
+	// proof-of-receipt the cookie round would establish (the admission
+	// gate accepts it the same way), so a resuming client instance takes
+	// the address over without a cookie round trip.
+	if len(h.Cookie) == 0 && len(h.Ticket) > 0 && s.tickets.Peek(h.Ticket, addr) {
+		return true
+	}
 	if len(h.Cookie) == 0 {
 		s.met.CookiesSent.Add(1)
 		_ = peer.WriteFrame(dgram.KindHandshake,

@@ -47,4 +47,17 @@ func TestWriteV2Corpus(t *testing.T) {
 	write("v8-env3-progress", EncodeEnvelopeV3(21, EnvPartial, 20, &ExperimentProgress{Done: 128, Total: 400, Stage: "fig7"}))
 	write("v8-env3-exchange", EncodeEnvelopeV3(7, 0, 6, &ExchangeReq{IMD: 0, Cmd: CmdInterrogate}))
 	write("v8-env3-truncated", make([]byte, 16))
+	akeHello := &Hello{Version: Version, Seed: 21,
+		KeyShare: make([]byte, 32), Ticket: []byte("opaque-resumption-ticket")}
+	copy(akeHello.Nonce[:], "fuzz-v4-ake-nonc")
+	for i := range akeHello.KeyShare {
+		akeHello.KeyShare[i] = byte(i)
+	}
+	write("v10-hello-ake", akeHello.Encode())
+	challenge2 := &Challenge2{KeyShare: make([]byte, 32)}
+	copy(challenge2.ServerNonce[:], "fuzz-v4-srvnonce")
+	write("v10-challenge2", challenge2.Encode())
+	write("v10-challenge2-resumed", (&Challenge2{Resumed: true}).Encode())
+	write("v10-helloack-ticket", (&HelloAck{Version: Version, SessionID: 5, Ticket: []byte("minted-ticket")}).Encode())
+	write("v10-challenge2-lying-len", []byte{KindChallenge2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
 }

@@ -4,12 +4,13 @@
 // EXPERIMENT, STATUS, STATUS-METRICS, PING/PONG).
 //
 // Transport framing is uint32 big-endian length || payload. The HELLO
-// frame travels in plaintext (it carries the public session nonce both
-// ends feed into securelink.SessionSecret); every frame after it is a
+// frame travels in plaintext (it carries the public session nonce and,
+// from v4, the client's ephemeral key share that both ends feed into
+// the session key schedule); every frame after the handshake round is a
 // securelink-sealed message, so the payload on the wire is
 // seq(8) || AES-GCM ciphertext of an encoded message.
 //
-// Three protocol versions share this vocabulary, negotiated in HELLO
+// Four protocol versions share this vocabulary, negotiated in HELLO
 // (client announces its highest version, HELLO-ACK carries the minimum
 // of the two):
 //
@@ -28,6 +29,14 @@
 //     has been received (the server prunes its dedup ledger below it),
 //     and the server reports the highest request ID through which every
 //     request has been received and sequenced.
+//   - v4: same sealed envelope as v3, but the handshake is an
+//     authenticated key exchange: HELLO carries an X25519 key share
+//     (and optionally a resumption ticket), the server answers with
+//     CHALLENGE2 carrying its own share, and the session keys come from
+//     a transcript-bound HKDF schedule mixing the DH secret with the
+//     provisioned PSK (securelink.Handshake) instead of the v1–v3
+//     SessionSecret derivation. The sealed HELLO-ACK returns a fresh
+//     single-use ticket for one-round-trip resumption.
 //
 // Message encoding is kind(1) || body, with fixed-width big-endian
 // integers, IEEE-754 bits for floats, and uint32-length-prefixed byte
@@ -48,7 +57,7 @@ import (
 
 // Version is the highest protocol version this package speaks; HELLO
 // carries the client's highest version and HELLO-ACK the negotiated one.
-const Version = 3
+const Version = 4
 
 // MinVersion is the lowest protocol version still accepted (v1 clients
 // keep working against a v2 server).
@@ -119,6 +128,7 @@ const (
 	KindHelloAck           byte = 0x02
 	KindChallenge          byte = 0x03
 	KindCookie             byte = 0x04
+	KindChallenge2         byte = 0x05
 	KindExchangeReq        byte = 0x10
 	KindExchangeResp       byte = 0x11
 	KindAttackReq          byte = 0x12
@@ -179,6 +189,11 @@ type Message interface {
 // any per-peer state, and the client retries the identical HELLO with
 // the cookie attached. Stream transports ignore the field (the TCP
 // three-way handshake already proves source-address reachability).
+//
+// KeyShare is the client's X25519 ephemeral public key, present when the
+// announced version is ≥ 4; Ticket optionally carries a resumption
+// ticket from a previous v4 session, asking the server to skip the DH
+// and resume in one round trip. Both are empty from v1–v3 clients.
 type Hello struct {
 	Version   uint8
 	Nonce     [16]byte
@@ -187,6 +202,20 @@ type Hello struct {
 	Flags     uint8
 	ExtraIMDs uint8
 	Cookie    []byte
+	KeyShare  []byte
+	Ticket    []byte
+}
+
+// TranscriptBytes returns the HELLO encoding that enters the v4
+// handshake transcript: everything except the cookie. The cookie is
+// transport-level admission proof, not a negotiated parameter — it
+// legitimately differs between a client's first and cookied HELLO
+// retransmits, so binding it would desynchronize the two ends'
+// transcripts on datagram transports.
+func (m *Hello) TranscriptBytes() []byte {
+	t := *m
+	t.Cookie = nil
+	return t.Encode()
 }
 
 // Cookie is the server's plaintext answer to a cookie-less HELLO on an
@@ -215,11 +244,29 @@ type Challenge struct {
 	ServerNonce [16]byte
 }
 
+// Challenge2 is the server's plaintext reply to a v4 HELLO: the fresh
+// server nonce plus the server's X25519 ephemeral key share. On ticket
+// resumption the server skips the DH — KeyShare is empty and Resumed is
+// set, telling the client to mix its cached resumption secret instead of
+// a DH shared secret. The whole message enters the handshake transcript,
+// so tampering with any field makes the sealed HELLO-ACK fail to open.
+type Challenge2 struct {
+	ServerNonce [16]byte
+	KeyShare    []byte
+	Resumed     bool
+}
+
 // HelloAck confirms the session. It is the first sealed frame, so opening
 // it also proves the server holds the pairing secret.
+//
+// Ticket is a fresh single-use resumption ticket minted for v4 sessions
+// (empty otherwise); the client presents it in a later HELLO to resume
+// in one round trip. It travels only inside this sealed frame, so an
+// eavesdropper never sees it.
 type HelloAck struct {
 	Version   uint8
 	SessionID uint64
+	Ticket    []byte
 }
 
 // ExchangeReq asks for one protected exchange with IMD index IMD.
@@ -497,7 +544,9 @@ func (m *Hello) Encode() []byte {
 	b = append(b, m.Nonce[:]...)
 	b = appendU64(b, uint64(m.Seed))
 	b = append(b, m.Location, m.Flags, m.ExtraIMDs)
-	return appendBytes(b, m.Cookie)
+	b = appendBytes(b, m.Cookie)
+	b = appendBytes(b, m.KeyShare)
+	return appendBytes(b, m.Ticket)
 }
 
 // Kind returns the wire kind byte.
@@ -527,9 +576,20 @@ func (m *Challenge) Encode() []byte {
 // Kind returns the wire kind byte.
 func (m *Challenge) Kind() byte { return KindChallenge }
 
+// Encode serializes the Challenge2 message.
+func (m *Challenge2) Encode() []byte {
+	b := append([]byte{KindChallenge2}, m.ServerNonce[:]...)
+	b = appendBytes(b, m.KeyShare)
+	return appendBool(b, m.Resumed)
+}
+
+// Kind returns the wire kind byte.
+func (m *Challenge2) Kind() byte { return KindChallenge2 }
+
 // Encode serializes the HelloAck message.
 func (m *HelloAck) Encode() []byte {
-	return appendU64([]byte{KindHelloAck, m.Version}, m.SessionID)
+	b := appendU64([]byte{KindHelloAck, m.Version}, m.SessionID)
+	return appendBytes(b, m.Ticket)
 }
 
 // Kind returns the wire kind byte.
@@ -761,6 +821,8 @@ func Decode(b []byte) (Message, error) {
 		h.Flags = c.u8()
 		h.ExtraIMDs = c.u8()
 		h.Cookie = c.bytes()
+		h.KeyShare = c.bytes()
+		h.Ticket = c.bytes()
 		m = h
 	case KindCookie:
 		m = &Cookie{Cookie: c.bytes()}
@@ -775,8 +837,19 @@ func Decode(b []byte) (Message, error) {
 			c.err = ErrTruncated
 		}
 		m = ch
+	case KindChallenge2:
+		ch := &Challenge2{}
+		if len(c.b) >= len(ch.ServerNonce) && c.err == nil {
+			copy(ch.ServerNonce[:], c.b)
+			c.b = c.b[len(ch.ServerNonce):]
+		} else {
+			c.err = ErrTruncated
+		}
+		ch.KeyShare = c.bytes()
+		ch.Resumed = c.bool()
+		m = ch
 	case KindHelloAck:
-		m = &HelloAck{Version: c.u8(), SessionID: c.u64()}
+		m = &HelloAck{Version: c.u8(), SessionID: c.u64(), Ticket: c.bytes()}
 	case KindExchangeReq:
 		m = &ExchangeReq{IMD: c.u8(), Cmd: c.u8()}
 	case KindExchangeResp:

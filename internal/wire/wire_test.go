@@ -16,15 +16,26 @@ func sampleMessages() []Message {
 	copy(hello.Nonce[:], "nonce-0123456789")
 	cookieHello := &Hello{Version: Version, Seed: 9, Cookie: []byte("opaque-cookie-token")}
 	copy(cookieHello.Nonce[:], "nonce-covershoot")
+	akeHello := &Hello{Version: Version, Seed: 3,
+		KeyShare: bytes.Repeat([]byte{0x5A}, 32), Ticket: []byte("resumption-ticket-opaque")}
+	copy(akeHello.Nonce[:], "nonce-akexchange")
 	challenge := &Challenge{}
 	copy(challenge.ServerNonce[:], "srvnonce-9876543")
+	challenge2 := &Challenge2{KeyShare: bytes.Repeat([]byte{0xC3}, 32)}
+	copy(challenge2.ServerNonce[:], "srvnonce2-876543")
+	resumedChallenge2 := &Challenge2{Resumed: true}
+	copy(resumedChallenge2.ServerNonce[:], "srvnonce2-resume")
 	return []Message{
 		hello,
 		cookieHello,
+		akeHello,
 		challenge,
+		challenge2,
+		resumedChallenge2,
 		&Cookie{Cookie: []byte("mac-over-addr-and-nonce!")},
 		&Busy{RetryAfterMillis: 750},
 		&HelloAck{Version: Version, SessionID: 0xDEADBEEF01},
+		&HelloAck{Version: Version, SessionID: 2, Ticket: []byte("fresh-single-use-ticket")},
 		&ExchangeReq{IMD: 2, Cmd: CmdSetTherapy},
 		&ExchangeResp{Response: []byte("patient-data"), ResponseCommand: "data-response",
 			EavesBER: 0.4961, CancellationDB: 34.93},
@@ -256,5 +267,35 @@ func TestFrameTruncatedPayload(t *testing.T) {
 	short := buf.Bytes()[:buf.Len()-3]
 	if _, err := ReadFrame(bytes.NewReader(short)); err != io.ErrUnexpectedEOF {
 		t.Fatalf("truncated payload error = %v", err)
+	}
+}
+
+// TranscriptBytes is the HELLO encoding bound into the v4 handshake
+// transcript: identical for HELLOs that differ only in their cookie
+// (which changes between datagram retransmits), different for any other
+// field.
+func TestHelloTranscriptBytes(t *testing.T) {
+	h := &Hello{Version: Version, Seed: 77, KeyShare: bytes.Repeat([]byte{0x11}, 32)}
+	copy(h.Nonce[:], "nonce-transcript")
+	bare := h.TranscriptBytes()
+
+	cookied := *h
+	cookied.Cookie = []byte("admission-cookie")
+	if !bytes.Equal(cookied.TranscriptBytes(), bare) {
+		t.Fatal("cookie changed the handshake transcript")
+	}
+	if cookied.Cookie == nil {
+		t.Fatal("TranscriptBytes mutated the message")
+	}
+
+	tampered := *h
+	tampered.KeyShare = bytes.Repeat([]byte{0x22}, 32)
+	if bytes.Equal(tampered.TranscriptBytes(), bare) {
+		t.Fatal("key-share substitution left the transcript unchanged")
+	}
+	ticketed := *h
+	ticketed.Ticket = []byte("ticket")
+	if bytes.Equal(ticketed.TranscriptBytes(), bare) {
+		t.Fatal("ticket presence left the transcript unchanged")
 	}
 }

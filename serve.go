@@ -14,6 +14,10 @@ import (
 // under overload. Match with errors.Is.
 var ErrServerBusy = shieldd.ErrServerBusy
 
+// ErrProtocolDowngrade reports that the negotiated wire version fell
+// below DialOptions.MinProtocol. Match with errors.Is.
+var ErrProtocolDowngrade = shieldd.ErrDowngrade
+
 // ServeOptions configures a shield session server.
 type ServeOptions struct {
 	// Secret is the provisioned master pairing secret shared with
@@ -52,6 +56,14 @@ type ServeOptions struct {
 	// in flight across all sessions; over-budget requests are answered
 	// BUSY instead of queueing.
 	MaxInFlightGlobal int
+	// MaxProtocol caps the wire protocol version the server will
+	// negotiate (0 = highest supported). Setting it below 4 disables the
+	// forward-secret v4 handshake — useful only for staged rollouts.
+	MaxProtocol uint8
+	// TicketLifetime bounds how long a v4 resumption ticket stays
+	// redeemable (and how often the ticket-sealing key rotates).
+	// Zero means 5 minutes.
+	TicketLifetime time.Duration
 	// BusyRetryAfter is the retry-after hint carried in BUSY responses
 	// (default 250ms).
 	BusyRetryAfter time.Duration
@@ -79,6 +91,8 @@ func NewServer(opt ServeOptions) (*Server, error) {
 		HandshakeBurst:     opt.HandshakeBurst,
 		MaxInFlightGlobal:  opt.MaxInFlightGlobal,
 		BusyRetryAfter:     opt.BusyRetryAfter,
+		MaxProtocol:        opt.MaxProtocol,
+		TicketLifetime:     opt.TicketLifetime,
 	})
 	if err != nil {
 		return nil, err
@@ -182,6 +196,11 @@ type DialOptions struct {
 	// Protocol caps the announced wire version (0 = highest supported).
 	// Setting 1 forces a strict request/response v1 session.
 	Protocol uint8
+	// MinProtocol, when nonzero, refuses to complete a session below
+	// that wire version (ErrProtocolDowngrade). Deploy MinProtocol=4 to
+	// pin the forward-secret handshake once every server is upgraded;
+	// the default tolerates older servers, like TLS version fallback.
+	MinProtocol uint8
 	// AutoReconnect makes a dialed session transparently re-dial and
 	// re-handshake after the server's idle reaper (or a network fault)
 	// closes the connection and no requests are in flight. The fresh
@@ -210,6 +229,7 @@ func (o DialOptions) session() shieldd.SessionOptions {
 		Concerto:           o.Concerto,
 		ExtraIMDs:          o.ExtraIMDs,
 		Protocol:           o.Protocol,
+		MinProtocol:        o.MinProtocol,
 		AutoReconnect:      o.AutoReconnect,
 		RetryTimeout:       o.RetryTimeout,
 		MaxRetries:         o.MaxRetries,
